@@ -1,0 +1,274 @@
+package prodpred
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (go test -bench=. -benchmem). Each BenchmarkTableN /
+// BenchmarkFigureN runs the corresponding experiment end to end and reports
+// its headline shape metric alongside the timing, so a single bench run
+// doubles as a reproduction report. Micro-benchmarks of the core stochastic
+// operations and the SOR kernel follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"prodpred/internal/experiments"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+)
+
+// benchExperiment runs a registered experiment once per iteration and
+// publishes selected metrics through the benchmark reporter.
+func benchExperiment(b *testing.B, id string, reported ...string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range reported {
+		v, err := res.Metric(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, m)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "relSpreadA", "relSpreadB")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "add_mc_spread_err", "mul_mc_spread_err")
+}
+
+func BenchmarkFigure1And2(b *testing.B) {
+	benchExperiment(b, "fig1-2", "ks_p", "coverage2s")
+}
+
+func BenchmarkFigure3And4(b *testing.B) {
+	benchExperiment(b, "fig3-4", "coverage2s", "mean_mbit")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	benchExperiment(b, "fig5", "modes")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchExperiment(b, "fig6", "strips")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchExperiment(b, "fig7", "max_skew")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	benchExperiment(b, "fig8", "mean", "spread")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	benchExperiment(b, "fig9", "captured_all", "max_mean_err")
+}
+
+func BenchmarkFigure10And11(b *testing.B) {
+	benchExperiment(b, "fig10-11", "modes", "transition_rate")
+}
+
+func BenchmarkFigure12And13(b *testing.B) {
+	benchExperiment(b, "fig12-13", "capture_frac", "max_interval_err", "max_mean_err")
+}
+
+func BenchmarkFigure14And15(b *testing.B) {
+	benchExperiment(b, "fig14-15", "capture_frac", "max_interval_err", "max_mean_err")
+}
+
+func BenchmarkFigure16And17(b *testing.B) {
+	benchExperiment(b, "fig16-17", "capture_frac", "max_interval_err", "max_mean_err")
+}
+
+func BenchmarkDedicated(b *testing.B) {
+	benchExperiment(b, "dedicated", "worst_err")
+}
+
+func BenchmarkLongtail(b *testing.B) {
+	benchExperiment(b, "longtail", "long_cov2")
+}
+
+func BenchmarkMaxOps(b *testing.B) {
+	benchExperiment(b, "maxops", "clark_mean_err")
+}
+
+func BenchmarkAllocation(b *testing.B) {
+	benchExperiment(b, "allocation", "high-penalty_conservative_penalty", "high-penalty_mean_penalty")
+}
+
+func BenchmarkAblationIterationRel(b *testing.B) {
+	benchExperiment(b, "ablation-iteration-rel", "related_capture", "unrelated_capture")
+}
+
+func BenchmarkAblationForecaster(b *testing.B) {
+	benchExperiment(b, "ablation-forecaster", "bursty-4mode_best_rmse")
+}
+
+func BenchmarkAblationModal(b *testing.B) {
+	benchExperiment(b, "ablation-modal", "paper_cov", "mixture_cov")
+}
+
+func BenchmarkAblationMaxStrategy(b *testing.B) {
+	benchExperiment(b, "ablation-maxstrategy", "probabilistic_capture")
+}
+
+func BenchmarkAblationEmpirical(b *testing.B) {
+	benchExperiment(b, "ablation-empirical", "s0_rule_cov", "s1_rule_cov")
+}
+
+func BenchmarkAblationPartition(b *testing.B) {
+	benchExperiment(b, "ablation-partition", "speedup_n120")
+}
+
+func BenchmarkAblationObjective(b *testing.B) {
+	benchExperiment(b, "ablation-objective", "mean_allocA", "p95_allocA")
+}
+
+func BenchmarkAblationSelfSched(b *testing.B) {
+	benchExperiment(b, "ablation-selfsched", "self-sched_chunk5", "static_mean-balanced")
+}
+
+func BenchmarkHostTCP(b *testing.B) {
+	benchExperiment(b, "host-tcp", "comp_ratio", "capture_frac")
+}
+
+func BenchmarkHostBench(b *testing.B) {
+	benchExperiment(b, "host-bench", "coverage2s")
+}
+
+func BenchmarkSORTCPDistributed(b *testing.B) {
+	n := 257
+	part, err := sor.NewEqualPartition(n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := sor.NewTCPBackend(part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := sor.NewGrid(n)
+		g.SetBoundary(func(x, y float64) float64 { return x + y })
+		if _, err := backend.Run(g, sor.DefaultOmega, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core-operation micro-benchmarks ---------------------------------------
+
+func BenchmarkStochasticAddUnrelated(b *testing.B) {
+	x := stochastic.New(8, 2)
+	y := stochastic.New(5, 1.5)
+	var sink stochastic.Value
+	for i := 0; i < b.N; i++ {
+		sink = x.AddUnrelated(y)
+	}
+	_ = sink
+}
+
+func BenchmarkStochasticMulUnrelated(b *testing.B) {
+	x := stochastic.New(8, 2)
+	y := stochastic.New(5, 1.5)
+	var sink stochastic.Value
+	for i := 0; i < b.N; i++ {
+		sink = x.MulUnrelated(y)
+	}
+	_ = sink
+}
+
+func BenchmarkStochasticClarkMax(b *testing.B) {
+	vs := []stochastic.Value{
+		stochastic.New(4, 0.5), stochastic.New(3, 2), stochastic.New(3, 1),
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := stochastic.Max(stochastic.Probabilistic, vs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSORSweep(b *testing.B) {
+	g, err := sor.NewGrid(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.SetBoundary(func(x, y float64) float64 { return x + y })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SweepPhase(sor.Red, 1, 511, sor.DefaultOmega)
+		g.SweepPhase(sor.Black, 1, 511, sor.DefaultOmega)
+	}
+	elems := int64(g.InteriorPoints())
+	b.SetBytes(elems * 8)
+}
+
+func BenchmarkSORLocalParallel(b *testing.B) {
+	n := 512
+	part, err := sor.NewEqualPartition(n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := sor.NewLocalBackend(part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := sor.NewGrid(n)
+	g.SetBoundary(func(x, y float64) float64 { return x + y })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.Run(g, sor.DefaultOmega, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralSORPredict(b *testing.B) {
+	plat := Platform1()
+	weights := make([]float64, plat.Size())
+	machines := make([]Machine, plat.Size())
+	for i := range weights {
+		machines[i] = plat.Machine(i)
+		weights[i] = machines[i].ElemRate
+	}
+	part, err := NewWeightedPartition(1000, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	link, _ := plat.Link(0, 1)
+	cfg := &SORConfig{
+		N: 1000, Iterations: 20, Partition: part, Machines: machines,
+		Link: link, MaxStrategy: LargestMean,
+	}
+	params := cfg.DedicatedParams()
+	params[LoadParam(0)] = NewValue(0.48, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Predict(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueSample(b *testing.B) {
+	v := stochastic.New(12, 1.2)
+	rng := rand.New(rand.NewSource(1))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = v.Sample(rng)
+	}
+	_ = sink
+}

@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list             list all experiment IDs
+//	experiments -run fig9         run one experiment
+//	experiments -all              run everything
+//	experiments -seed 7 -run fig5 override the seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prodpred/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments")
+		run  = flag.String("run", "", "experiment ID to run")
+		all  = flag.Bool("all", false, "run every experiment")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "also write artifacts (<id>.txt, <id>_metrics.csv) to this directory")
+	)
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		e, err := experiments.Lookup(*run)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runOne(e, *seed, *out); err != nil {
+			fatal(err)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := runOne(e, *seed, *out); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, seed int64, outDir string) error {
+	fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+	fmt.Printf("paper: %s\n\n", e.Paper)
+	res, err := e.Run(seed)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Println(res.Text)
+	if len(res.Metrics) > 0 {
+		fmt.Println("metrics:")
+		for _, k := range sortedKeys(res.Metrics) {
+			fmt.Printf("  %-24s %.6g\n", k, res.Metrics[k])
+		}
+	}
+	fmt.Println()
+	if outDir != "" {
+		return writeArtifacts(res, e, outDir)
+	}
+	return nil
+}
+
+func writeArtifacts(res *experiments.Result, e experiments.Experiment, dir string) error {
+	header := fmt.Sprintf("%s: %s\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+	txt := filepath.Join(dir, res.ID+".txt")
+	if err := os.WriteFile(txt, []byte(header+res.Text), 0o644); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("metric,value\n")
+	for _, k := range sortedKeys(res.Metrics) {
+		fmt.Fprintf(&b, "%s,%g\n", k, res.Metrics[k])
+	}
+	return os.WriteFile(filepath.Join(dir, res.ID+"_metrics.csv"), []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command nwsmon runs the Network Weather Service reimplementation against
+// a simulated production machine and prints the forecast stream: the
+// measured availability, the mixture-of-experts forecast, its error
+// estimate, and the winning forecaster.
+//
+// Usage:
+//
+//	nwsmon -load bursty -duration 600 -period 5 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/load"
+	"prodpred/internal/nws"
+	"prodpred/internal/simenv"
+)
+
+func main() {
+	var (
+		loadKind = flag.String("load", "bursty", "load class: center | trimodal | bursty | light | dedicated")
+		duration = flag.Float64("duration", 600, "virtual seconds to monitor")
+		period   = flag.Float64("period", nws.DefaultPeriod, "sensor period (s)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*loadKind, *duration, *period, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nwsmon:", err)
+		os.Exit(1)
+	}
+}
+
+func makeLoad(kind string, seed int64) (load.Process, error) {
+	switch kind {
+	case "center":
+		return load.Platform1CenterMode(seed)
+	case "trimodal":
+		return load.Platform1TriModal(seed)
+	case "bursty":
+		return load.Platform2FourModeBursty(seed)
+	case "light":
+		return load.LightLoad(seed)
+	case "dedicated":
+		return load.Dedicated(), nil
+	}
+	return nil, fmt.Errorf("unknown load class %q", kind)
+}
+
+func run(kind string, duration, period float64, seed int64) error {
+	proc, err := makeLoad(kind, seed)
+	if err != nil {
+		return err
+	}
+	plat := cluster.Platform1()
+	cpu := make([]load.Process, plat.Size())
+	cpu[0] = proc
+	for i := 1; i < plat.Size(); i++ {
+		cpu[i] = load.Dedicated()
+	}
+	env, err := simenv.New(plat, cpu, load.Dedicated())
+	if err != nil {
+		return err
+	}
+	mon, err := nws.NewCPUMonitor(env, 0, period, 512)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("NWS CPU monitor: %s load, period %.0fs\n", kind, period)
+	fmt.Printf("%-8s %-10s %-14s %-10s %s\n", "t", "measured", "forecast", "±2·RMSE", "best forecaster")
+	for t := 0.0; t <= duration; t += period {
+		if err := mon.RunUntil(t); err != nil {
+			return err
+		}
+		measured, _ := mon.Last()
+		f, err := mon.Forecast()
+		if err != nil {
+			return err
+		}
+		sv := f.Stochastic()
+		fmt.Printf("%-8.0f %-10.3f %-14.3f %-10.3f %s\n",
+			t, measured.V, f.Value, sv.Spread, f.Best)
+	}
+	fmt.Println("\nFinal forecaster scoreboard (postmortem RMSE):")
+	for name, rmse := range mon.Mix().RMSEs() {
+		fmt.Printf("  %-14s %.4f\n", name, rmse)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Quickstart: build stochastic values from measurements, combine them with
+// the paper's Table 2 rules, and read prediction intervals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prodpred"
+)
+
+func main() {
+	// A stochastic value is mean ± two standard deviations. Build one
+	// directly, from a percentage, or from a measurement sample.
+	bandwidth := prodpred.NewValue(8, 2)    // 8 ± 2 Mbit/s
+	cpu := prodpred.FromPercent(0.48, 10.4) // 0.48 ± 10.4% = 0.48 ± 0.05
+	samples := []float64{11.2, 10.8, 11.5, 11.0, 10.9, 11.3, 11.1}
+	benchTime, err := prodpred.FromSample(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bandwidth:     ", bandwidth)
+	fmt.Println("cpu available: ", cpu)
+	fmt.Println("benchmark time:", benchTime)
+
+	// Combine values. Related quantities (coupled fluctuations) use
+	// conservative error accumulation; unrelated (independent) ones use
+	// root-sum-square propagation.
+	latency := prodpred.NewValue(0.010, 0.002)
+	msgTime := latency.AddUnrelated(prodpred.Point(4.0).DivUnrelated(bandwidth))
+	fmt.Println("\nmessage time = latency + size/bandwidth =", msgTime)
+
+	// Computation under production load: benchmark time / availability.
+	prodTime := benchTime.DivUnrelated(cpu)
+	fmt.Println("production compute time =", prodTime)
+
+	// Intervals answer the questions schedulers ask.
+	lo, hi := prodTime.Interval()
+	fmt.Printf("\n~95%% interval: [%.1f, %.1f] s\n", lo, hi)
+	fmt.Printf("is 26 s within expectations? %v\n", prodTime.Contains(26))
+	fmt.Printf("error if the run takes 40 s: %.1f%%\n",
+		prodTime.RelativeErrorOutside(40)*100)
+
+	// Group operations resolve "the slowest machine" questions; the right
+	// strategy depends on the penalty for guessing wrong (§2.3.3).
+	a, b, c := prodpred.NewValue(4, 0.5), prodpred.NewValue(3, 2), prodpred.NewValue(3, 1)
+	byMean, err := prodpred.Max(prodpred.LargestMean, a, b, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byMag, err := prodpred.Max(prodpred.LargestMagnitude, a, b, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probabilistic, err := prodpred.Max(prodpred.Probabilistic, a, b, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMax{%v, %v, %v}:\n", a, b, c)
+	fmt.Println("  largest mean:     ", byMean)
+	fmt.Println("  largest magnitude:", byMag)
+	fmt.Println("  probabilistic:    ", probabilistic)
+}

@@ -1,0 +1,88 @@
+// Scheduling: the paper's §1.2 two-machine example. Machines A and B both
+// average 12 s per unit of work in production, but A is stable (±5%) and B
+// volatile (±30%). A point-value scheduler splits work equally; a
+// stochastic-value scheduler can adapt to the penalty structure.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prodpred"
+	"prodpred/internal/sched"
+)
+
+func main() {
+	unitTimes := []prodpred.Value{
+		prodpred.FromPercent(12, 5),  // machine A
+		prodpred.FromPercent(12, 30), // machine B
+	}
+	const totalWork = 100
+	fmt.Println("Unit-work times:  A =", unitTimes[0], "  B =", unitTimes[1])
+	fmt.Println("Total work:", totalWork, "units")
+
+	for _, s := range []prodpred.SchedStrategy{
+		prodpred.MeanBalanced, prodpred.Conservative, prodpred.Optimistic,
+	} {
+		alloc, err := prodpred.UnitAllocation(totalWork, unitTimes, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-13s allocation: A=%d B=%d\n", s, alloc[0], alloc[1])
+
+		// Predict the makespan as a stochastic value.
+		makespan, err := sched.PredictMakespan(alloc, unitTimes, prodpred.LargestMagnitude)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("   predicted makespan:", makespan)
+	}
+
+	// Monte Carlo: which policy wins under which penalty regime?
+	fmt.Println("\nMonte Carlo (5000 trials), penalty = 100/s of overrun:")
+	rng := rand.New(rand.NewSource(1))
+	penalty := sched.OverrunPenalty(100)
+	for _, s := range []prodpred.SchedStrategy{
+		prodpred.MeanBalanced, prodpred.Conservative, prodpred.Optimistic,
+	} {
+		rep, err := sched.EvaluatePolicy(totalWork, unitTimes, s, penalty, rng, 5000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-13s promised %6.1f s  mean makespan %6.1f s  mean penalty %8.1f\n",
+			s, rep.Promised, rep.MeanMakespan, rep.MeanPenalty)
+	}
+	fmt.Println("\nWhen misses are expensive, the conservative allocation —")
+	fmt.Println("more work on the stable machine — pays for its longer promise.")
+
+	// Service ranges (§1.2): convert a stochastic makespan into promises
+	// at chosen miss probabilities instead of a hard guarantee.
+	alloc, err := prodpred.UnitAllocation(totalWork, unitTimes, prodpred.MeanBalanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	makespan, err := sched.PredictMakespan(alloc, unitTimes, prodpred.Probabilistic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nService range for the mean-balanced plan (makespan %s):\n", makespan)
+	for _, miss := range []float64{0.5, 0.1, 0.05, 0.01} {
+		p, err := prodpred.PromiseFor(makespan, miss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  promise %.1f s -> missed at most %.0f%% of the time\n", p, miss*100)
+	}
+
+	// Or let the optimizer pick the allocation for the metric you pay on.
+	optAlloc, optMakespan, err := prodpred.OptimizeAllocation(totalWork, unitTimes,
+		sched.QuantileObjective(0.95))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\np95-optimized allocation A=%d B=%d, makespan %s\n",
+		optAlloc[0], optAlloc[1], optMakespan)
+}

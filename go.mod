@@ -1,0 +1,3 @@
+module prodpred
+
+go 1.22

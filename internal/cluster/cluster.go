@@ -1,0 +1,308 @@
+// Package cluster defines the hardware model of the reproduction: machines
+// with dedicated compute rates, links with dedicated bandwidth and latency,
+// and the two production platforms of the paper's evaluation:
+//
+//	Platform 1: two Sparc-2s, a Sparc-5, and a Sparc-10 on 10 Mbit ethernet
+//	Platform 2: a Sparc-5, a Sparc-10, and two UltraSparcs on 10 Mbit ethernet
+//
+// Dedicated rates are calibrated to circa-1997 relative SPEC performance
+// (Sparc-2 = 1x); the absolute scale only shifts every runtime by a common
+// factor and does not affect any of the paper's comparative claims.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Machine is one workstation.
+type Machine struct {
+	Name string
+	// ElemRate is the dedicated compute rate in SOR element-updates per
+	// second (five-point stencil update incl. loop overhead).
+	ElemRate float64
+	// MemoryMB bounds the problem size that fits in core; the paper's
+	// Figure 9 holds "for problem sizes which fit within main memory".
+	MemoryMB float64
+}
+
+// Validate checks the machine definition.
+func (m Machine) Validate() error {
+	if m.Name == "" {
+		return errors.New("cluster: machine needs a name")
+	}
+	if !(m.ElemRate > 0) {
+		return fmt.Errorf("cluster: machine %s needs a positive ElemRate", m.Name)
+	}
+	if !(m.MemoryMB > 0) {
+		return fmt.Errorf("cluster: machine %s needs positive memory", m.Name)
+	}
+	return nil
+}
+
+// FitsInMemory reports whether an NxN float64 grid plus working copies fits
+// in this machine's share of memory when the grid is split across p
+// machines. The solver stores the grid once plus two ghost rows.
+func (m Machine) FitsInMemory(n, p int) bool {
+	rows := float64(n)/float64(p) + 2
+	bytes := rows * float64(n) * 8
+	return bytes <= m.MemoryMB*1e6*0.8 // leave 20% headroom for OS/code
+}
+
+// Link is a point-to-point channel between two machines. On a shared
+// ethernet every pair sees the same dedicated bandwidth.
+type Link struct {
+	// DedBW is the dedicated bandwidth in bytes per second.
+	DedBW float64
+	// Latency is the per-message latency in seconds.
+	Latency float64
+}
+
+// Validate checks the link definition.
+func (l Link) Validate() error {
+	if !(l.DedBW > 0) {
+		return errors.New("cluster: link needs positive bandwidth")
+	}
+	if l.Latency < 0 {
+		return errors.New("cluster: negative latency")
+	}
+	return nil
+}
+
+// Platform is a set of machines with a full link matrix.
+type Platform struct {
+	Name     string
+	Machines []Machine
+	links    [][]Link
+}
+
+// NewPlatform builds a platform where every machine pair is connected by
+// the same shared link (the paper's 10 Mbit ethernet topology).
+func NewPlatform(name string, machines []Machine, shared Link) (*Platform, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("cluster: platform needs machines")
+	}
+	if err := shared.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("cluster: duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	p := &Platform{Name: name, Machines: append([]Machine(nil), machines...)}
+	n := len(machines)
+	p.links = make([][]Link, n)
+	for i := range p.links {
+		p.links[i] = make([]Link, n)
+		for j := range p.links[i] {
+			if i != j {
+				p.links[i][j] = shared
+			}
+		}
+	}
+	return p, nil
+}
+
+// NewPlatformWithLinks builds a platform with an explicit link matrix.
+// links must be a square matrix matching the machine count; diagonal
+// entries are ignored, all others must validate. Asymmetric matrices are
+// allowed (e.g. asymmetric routes), though the presets here are symmetric.
+func NewPlatformWithLinks(name string, machines []Machine, links [][]Link) (*Platform, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("cluster: platform needs machines")
+	}
+	n := len(machines)
+	if len(links) != n {
+		return nil, fmt.Errorf("cluster: link matrix has %d rows for %d machines", len(links), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("cluster: duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	p := &Platform{Name: name, Machines: append([]Machine(nil), machines...)}
+	p.links = make([][]Link, n)
+	for i := range links {
+		if len(links[i]) != n {
+			return nil, fmt.Errorf("cluster: link matrix row %d has %d entries for %d machines", i, len(links[i]), n)
+		}
+		p.links[i] = make([]Link, n)
+		for j := range links[i] {
+			if i == j {
+				continue
+			}
+			if err := links[i][j].Validate(); err != nil {
+				return nil, fmt.Errorf("cluster: link (%d,%d): %w", i, j, err)
+			}
+			p.links[i][j] = links[i][j]
+		}
+	}
+	return p, nil
+}
+
+// TwoClusterPlatform returns a metacomputing-style topology: two LANs of
+// two machines each on fast local ethernet, bridged by a much slower
+// wide-area link — the setting where decomposition decisions across the
+// bridge dominate performance.
+func TwoClusterPlatform() *Platform {
+	machines := []Machine{
+		Sparc10("site-a-1"), Sparc10("site-a-2"),
+		Sparc10("site-b-1"), Sparc10("site-b-2"),
+	}
+	lan := Ethernet10Mbit()
+	wan := Link{DedBW: 1.25e5, Latency: 30e-3} // 1 Mbit/s, 30 ms
+	links := make([][]Link, len(machines))
+	for i := range links {
+		links[i] = make([]Link, len(machines))
+		for j := range links[i] {
+			if i == j {
+				continue
+			}
+			if (i < 2) == (j < 2) {
+				links[i][j] = lan
+			} else {
+				links[i][j] = wan
+			}
+		}
+	}
+	p, err := NewPlatformWithLinks("two-cluster", machines, links)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return p
+}
+
+// Size returns the number of machines.
+func (p *Platform) Size() int { return len(p.Machines) }
+
+// Machine returns machine i.
+func (p *Platform) Machine(i int) Machine { return p.Machines[i] }
+
+// Link returns the link from machine i to machine j; i and j must differ.
+func (p *Platform) Link(i, j int) (Link, error) {
+	if i < 0 || j < 0 || i >= p.Size() || j >= p.Size() {
+		return Link{}, fmt.Errorf("cluster: link index (%d,%d) out of range", i, j)
+	}
+	if i == j {
+		return Link{}, errors.New("cluster: no self link")
+	}
+	return p.links[i][j], nil
+}
+
+// MachineIndex returns the index of the machine with the given name.
+func (p *Platform) MachineIndex(name string) (int, error) {
+	for i, m := range p.Machines {
+		if m.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: no machine named %q", name)
+}
+
+// SlowestMachine returns the index of the machine with the lowest dedicated
+// rate (the paper tracks "the (consistently) slowest machine").
+func (p *Platform) SlowestMachine() int {
+	best := 0
+	for i, m := range p.Machines {
+		if m.ElemRate < p.Machines[best].ElemRate {
+			best = i
+		}
+	}
+	return best
+}
+
+// Circa-1997 machine catalog. ElemRate is element updates per second for
+// the red-black stencil kernel, scaled from relative integer/FP performance
+// with Sparc-2 = 1x ~= 0.5 M elements/s.
+const sparc2Rate = 0.5e6
+
+// Sparc2 returns a Sparc-2 class machine.
+func Sparc2(name string) Machine {
+	return Machine{Name: name, ElemRate: sparc2Rate, MemoryMB: 32}
+}
+
+// Sparc5 returns a Sparc-5 class machine (~2.5x a Sparc-2).
+func Sparc5(name string) Machine {
+	return Machine{Name: name, ElemRate: 2.5 * sparc2Rate, MemoryMB: 64}
+}
+
+// Sparc10 returns a Sparc-10 class machine (~3.5x a Sparc-2).
+func Sparc10(name string) Machine {
+	return Machine{Name: name, ElemRate: 3.5 * sparc2Rate, MemoryMB: 128}
+}
+
+// UltraSparc returns an UltraSparc class machine (~8x a Sparc-2).
+func UltraSparc(name string) Machine {
+	return Machine{Name: name, ElemRate: 8 * sparc2Rate, MemoryMB: 256}
+}
+
+// Ethernet10Mbit returns the paper's shared 10 Mbit/s ethernet link:
+// 1.25 MB/s dedicated bandwidth, 1 ms latency.
+func Ethernet10Mbit() Link {
+	return Link{DedBW: 1.25e6, Latency: 1e-3}
+}
+
+// Platform1 returns the paper's first platform: two Sparc-2s, a Sparc-5,
+// and a Sparc-10 on shared 10 Mbit ethernet (§3.1).
+func Platform1() *Platform {
+	p, err := NewPlatform("platform1",
+		[]Machine{
+			Sparc2("sparc2-a"),
+			Sparc2("sparc2-b"),
+			Sparc5("sparc5"),
+			Sparc10("sparc10"),
+		},
+		Ethernet10Mbit(),
+	)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return p
+}
+
+// Platform2 returns the paper's second platform: a Sparc-5, a Sparc-10,
+// and two UltraSparcs on shared 10 Mbit ethernet (§3.2).
+func Platform2() *Platform {
+	p, err := NewPlatform("platform2",
+		[]Machine{
+			Sparc5("sparc5"),
+			Sparc10("sparc10"),
+			UltraSparc("ultra-a"),
+			UltraSparc("ultra-b"),
+		},
+		Ethernet10Mbit(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TwoMachineExample returns the abstract two-machine system of the paper's
+// §1.2 example: machine A takes 10 s per unit of work dedicated, machine B
+// 5 s. Unit work is normalized to A's rate so ElemRate is expressed in
+// units-of-work per 10 seconds.
+func TwoMachineExample() *Platform {
+	p, err := NewPlatform("two-machine",
+		[]Machine{
+			{Name: "A", ElemRate: 0.1, MemoryMB: 64}, // 10 s per unit
+			{Name: "B", ElemRate: 0.2, MemoryMB: 64}, // 5 s per unit
+		},
+		Ethernet10Mbit(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestMachineValidate(t *testing.T) {
+	good := Machine{Name: "m", ElemRate: 1, MemoryMB: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good machine: %v", err)
+	}
+	bad := []Machine{
+		{Name: "", ElemRate: 1, MemoryMB: 1},
+		{Name: "m", ElemRate: 0, MemoryMB: 1},
+		{Name: "m", ElemRate: -1, MemoryMB: 1},
+		{Name: "m", ElemRate: 1, MemoryMB: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("machine %+v should fail validation", m)
+		}
+	}
+}
+
+func TestFitsInMemory(t *testing.T) {
+	m := Machine{Name: "m", ElemRate: 1, MemoryMB: 32}
+	// 1000x1000 split 4 ways: 252 rows * 1000 cols * 8 B = ~2 MB: fits.
+	if !m.FitsInMemory(1000, 4) {
+		t.Error("1000^2 /4 should fit in 32MB")
+	}
+	// 4000x4000 on one machine: 4002*4000*8 = ~128 MB: does not fit.
+	if m.FitsInMemory(4000, 1) {
+		t.Error("4000^2 should not fit in 32MB")
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	if err := Ethernet10Mbit().Validate(); err != nil {
+		t.Errorf("ethernet link: %v", err)
+	}
+	if err := (Link{DedBW: 0, Latency: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if err := (Link{DedBW: 1, Latency: -1}).Validate(); err == nil {
+		t.Error("negative latency should fail")
+	}
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	link := Ethernet10Mbit()
+	if _, err := NewPlatform("p", nil, link); err == nil {
+		t.Error("no machines should fail")
+	}
+	if _, err := NewPlatform("p", []Machine{Sparc2("a"), Sparc2("a")}, link); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	if _, err := NewPlatform("p", []Machine{{Name: "x"}}, link); err == nil {
+		t.Error("invalid machine should fail")
+	}
+	if _, err := NewPlatform("p", []Machine{Sparc2("a")}, Link{}); err == nil {
+		t.Error("invalid link should fail")
+	}
+}
+
+func TestPlatformAccessors(t *testing.T) {
+	p := Platform1()
+	if p.Size() != 4 {
+		t.Fatalf("Size=%d", p.Size())
+	}
+	if p.Machine(0).Name != "sparc2-a" {
+		t.Errorf("Machine(0)=%s", p.Machine(0).Name)
+	}
+	l, err := p.Link(0, 3)
+	if err != nil || l.DedBW != 1.25e6 {
+		t.Errorf("Link=%+v err=%v", l, err)
+	}
+	if _, err := p.Link(0, 0); err == nil {
+		t.Error("self link should fail")
+	}
+	if _, err := p.Link(-1, 2); err == nil {
+		t.Error("out of range should fail")
+	}
+	if _, err := p.Link(0, 9); err == nil {
+		t.Error("out of range should fail")
+	}
+	i, err := p.MachineIndex("sparc10")
+	if err != nil || i != 3 {
+		t.Errorf("MachineIndex=%d err=%v", i, err)
+	}
+	if _, err := p.MachineIndex("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestSlowestMachine(t *testing.T) {
+	p1 := Platform1()
+	if got := p1.SlowestMachine(); p1.Machine(got).Name != "sparc2-a" {
+		t.Errorf("platform1 slowest=%s", p1.Machine(got).Name)
+	}
+	p2 := Platform2()
+	if got := p2.SlowestMachine(); p2.Machine(got).Name != "sparc5" {
+		t.Errorf("platform2 slowest=%s", p2.Machine(got).Name)
+	}
+}
+
+func TestCatalogRelativeSpeeds(t *testing.T) {
+	s2 := Sparc2("a").ElemRate
+	if Sparc5("b").ElemRate <= s2 || Sparc10("c").ElemRate <= Sparc5("b").ElemRate ||
+		UltraSparc("d").ElemRate <= Sparc10("c").ElemRate {
+		t.Error("catalog speeds should be strictly increasing")
+	}
+	if UltraSparc("d").ElemRate/s2 != 8 {
+		t.Errorf("ultrasparc ratio=%g want 8", UltraSparc("d").ElemRate/s2)
+	}
+}
+
+func TestTwoMachineExample(t *testing.T) {
+	p := TwoMachineExample()
+	if p.Size() != 2 {
+		t.Fatalf("size=%d", p.Size())
+	}
+	a, b := p.Machine(0), p.Machine(1)
+	// Dedicated unit-work times 10 s and 5 s (Table 1 row 1).
+	if ta := 1 / a.ElemRate; ta != 10 {
+		t.Errorf("A unit time=%g want 10", ta)
+	}
+	if tb := 1 / b.ElemRate; tb != 5 {
+		t.Errorf("B unit time=%g want 5", tb)
+	}
+}
+
+func TestNewPlatformWithLinksValidation(t *testing.T) {
+	ms := []Machine{Sparc2("a"), Sparc2("b")}
+	good := [][]Link{
+		{{}, Ethernet10Mbit()},
+		{Ethernet10Mbit(), {}},
+	}
+	p, err := NewPlatformWithLinks("p", ms, good)
+	if err != nil {
+		t.Fatalf("valid matrix failed: %v", err)
+	}
+	l, err := p.Link(0, 1)
+	if err != nil || l.DedBW != 1.25e6 {
+		t.Errorf("link=%+v err=%v", l, err)
+	}
+	if _, err := NewPlatformWithLinks("p", nil, nil); err == nil {
+		t.Error("no machines should fail")
+	}
+	if _, err := NewPlatformWithLinks("p", ms, good[:1]); err == nil {
+		t.Error("row count mismatch should fail")
+	}
+	ragged := [][]Link{{{}}, {Ethernet10Mbit(), {}}}
+	if _, err := NewPlatformWithLinks("p", ms, ragged); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	badLink := [][]Link{
+		{{}, {}}, // invalid off-diagonal link
+		{Ethernet10Mbit(), {}},
+	}
+	if _, err := NewPlatformWithLinks("p", ms, badLink); err == nil {
+		t.Error("invalid off-diagonal link should fail")
+	}
+	if _, err := NewPlatformWithLinks("p", []Machine{Sparc2("a"), Sparc2("a")}, good); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	if _, err := NewPlatformWithLinks("p", []Machine{{Name: "x"}, Sparc2("b")}, good); err == nil {
+		t.Error("invalid machine should fail")
+	}
+}
+
+func TestTwoClusterPlatform(t *testing.T) {
+	p := TwoClusterPlatform()
+	if p.Size() != 4 {
+		t.Fatalf("size=%d", p.Size())
+	}
+	lan, err := p.Link(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan, err := p.Link(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wan.DedBW >= lan.DedBW {
+		t.Errorf("WAN bw %g should be below LAN %g", wan.DedBW, lan.DedBW)
+	}
+	if wan.Latency <= lan.Latency {
+		t.Errorf("WAN latency %g should exceed LAN %g", wan.Latency, lan.Latency)
+	}
+	// Symmetric.
+	back, _ := p.Link(2, 1)
+	if back != wan {
+		t.Error("bridge link should be symmetric")
+	}
+}
+
+func TestPlatform2FasterInAggregate(t *testing.T) {
+	sum := func(p *Platform) float64 {
+		var s float64
+		for _, m := range p.Machines {
+			s += m.ElemRate
+		}
+		return s
+	}
+	if sum(Platform2()) <= sum(Platform1()) {
+		t.Error("platform2 should have more aggregate compute")
+	}
+}

@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mixture is a finite mixture of component distributions with non-negative
+// weights summing to 1. Multi-modal CPU load (paper §2.1.2, Figures 5 and
+// 10) is modeled as a mixture whose components are the modes.
+type Mixture struct {
+	components []Distribution
+	weights    []float64
+}
+
+// NewMixture builds a mixture from parallel component and weight slices.
+// Weights must be non-negative and sum to a positive value; they are
+// normalized to 1.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, errors.New("dist: mixture needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, errors.New("dist: mixture component/weight length mismatch")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: invalid mixture weight %g", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: mixture weights sum to zero")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &Mixture{
+		components: append([]Distribution(nil), components...),
+		weights:    norm,
+	}, nil
+}
+
+// Components returns the component distributions. Callers must not modify
+// the returned slice.
+func (m *Mixture) Components() []Distribution { return m.components }
+
+// Weights returns the normalized weights. Callers must not modify the
+// returned slice.
+func (m *Mixture) Weights() []float64 { return m.weights }
+
+// K returns the number of components.
+func (m *Mixture) K() int { return len(m.components) }
+
+// PDF implements Distribution.
+func (m *Mixture) PDF(x float64) float64 {
+	var f float64
+	for i, c := range m.components {
+		f += m.weights[i] * c.PDF(x)
+	}
+	return f
+}
+
+// CDF implements Distribution.
+func (m *Mixture) CDF(x float64) float64 {
+	var f float64
+	for i, c := range m.components {
+		f += m.weights[i] * c.CDF(x)
+	}
+	return f
+}
+
+// Quantile implements Distribution via bisection on the mixture CDF, which
+// is monotone. Accuracy is ~1e-10 relative to the bracketing interval.
+func (m *Mixture) Quantile(p float64) float64 {
+	if p <= 0 {
+		p = 1e-12
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	// Bracket using component quantiles.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.components {
+		cl := c.Quantile(1e-9)
+		ch := c.Quantile(1 - 1e-9)
+		if cl < lo {
+			lo = cl
+		}
+		if ch > hi {
+			hi = ch
+		}
+	}
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) || !(hi > lo) {
+		// Fall back to a wide fixed bracket around the mean.
+		mu := m.Mean()
+		sd := math.Sqrt(m.Variance())
+		if sd == 0 || math.IsNaN(sd) {
+			sd = math.Abs(mu) + 1
+		}
+		lo, hi = mu-20*sd, mu+20*sd
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 {
+	var mu float64
+	for i, c := range m.components {
+		mu += m.weights[i] * c.Mean()
+	}
+	return mu
+}
+
+// Variance implements Distribution using the law of total variance.
+func (m *Mixture) Variance() float64 {
+	mu := m.Mean()
+	var v float64
+	for i, c := range m.components {
+		cm := c.Mean()
+		v += m.weights[i] * (c.Variance() + (cm-mu)*(cm-mu))
+	}
+	return v
+}
+
+// Sample implements Distribution: pick a component by weight, then sample it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	return m.components[m.PickComponent(rng)].Sample(rng)
+}
+
+// PickComponent returns a component index drawn according to the mixture
+// weights. Exposed so Markov-modulated load processes can reuse the weights
+// as stationary mode probabilities.
+func (m *Mixture) PickComponent(rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range m.weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(m.weights) - 1 // round-off guard
+}
+
+// SortedByMean returns a copy of the mixture with components ordered by
+// ascending mean, convenient for labeling modes the way the paper does
+// ("the center mode").
+func (m *Mixture) SortedByMean() *Mixture {
+	idx := make([]int, m.K())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return m.components[idx[a]].Mean() < m.components[idx[b]].Mean()
+	})
+	comps := make([]Distribution, m.K())
+	ws := make([]float64, m.K())
+	for i, j := range idx {
+		comps[i] = m.components[j]
+		ws[i] = m.weights[j]
+	}
+	out, err := NewMixture(comps, ws)
+	if err != nil {
+		// Cannot happen: inputs came from a valid mixture.
+		panic(err)
+	}
+	return out
+}

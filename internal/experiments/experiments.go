@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. Each experiment
+// is deterministic given its seed and returns a rendered text artifact
+// together with named numeric metrics that the benchmark harness and the
+// integration tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID      string
+	Title   string
+	Text    string             // rendered tables / ASCII figures
+	Metrics map[string]float64 // named shape metrics
+}
+
+// Metric fetches a named metric, failing loudly when absent.
+func (r *Result) Metric(name string) (float64, error) {
+	v, ok := r.Metrics[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: %s has no metric %q", r.ID, name)
+	}
+	return v, nil
+}
+
+// Experiment is a registered, runnable reproduction artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper reports, for EXPERIMENTS.md context
+	Run   func(seed int64) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try one of: %s)",
+		id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists all registered experiment IDs.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "host-tcp",
+		Title: "Host validation: stochastic prediction of real TCP-distributed SOR runs",
+		Paper: "The paper's methodology applied to this machine: benchmark-calibrated structural prediction and stochastic summaries of real wall-clock times.",
+		Run:   runHostTCP,
+	})
+}
+
+// runHostTCP is the one experiment that runs on real hardware rather than
+// the simulator: the TCP-distributed SOR executes on loopback, the
+// benchmark-based computation component is calibrated with a real
+// BM(Elt) measurement, and run-to-run wall-clock variation is summarized
+// as a stochastic value whose interval is checked against later runs —
+// the paper's loop with this host as the production machine. Wall-clock
+// numbers vary with host load; the metrics are shapes, not constants.
+func runHostTCP(seed int64) (*Result, error) {
+	_ = seed // real time is the randomness source here
+	const (
+		n       = 257
+		iters   = 30
+		workers = 4
+		warmup  = 2
+		train   = 6
+		test    = 8
+	)
+	part, err := sor.NewEqualPartition(n, workers)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := sor.NewTCPBackend(part)
+	if err != nil {
+		return nil, err
+	}
+	runOnce := func() (sor.TCPResult, error) {
+		g, err := sor.NewGrid(n)
+		if err != nil {
+			return sor.TCPResult{}, err
+		}
+		g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
+		return backend.Run(g, sor.DefaultOmega, iters)
+	}
+
+	// Calibrate the benchmark-based computation component (§2.2.1):
+	// BM(Elt) on this host.
+	bm, err := sor.BenchmarkElement(n, 3)
+	if err != nil {
+		return nil, err
+	}
+	// Structural compute prediction per phase: all strips are equal and
+	// workers run in parallel, so Max_p Comp_p = elems_p/2 * BM.
+	stripElems := float64(part.Elems(0))
+	compPred := 2 * float64(iters) * (stripElems / 2) * bm // red + black
+
+	for i := 0; i < warmup; i++ {
+		if _, err := runOnce(); err != nil {
+			return nil, err
+		}
+	}
+	var trainTimes []float64
+	var compObserved time.Duration
+	for i := 0; i < train; i++ {
+		res, err := runOnce()
+		if err != nil {
+			return nil, err
+		}
+		trainTimes = append(trainTimes, res.Elapsed.Seconds())
+		for _, c := range res.CompTime {
+			compObserved += c
+		}
+	}
+	sv, err := stochastic.FromSample(trainTimes)
+	if err != nil {
+		return nil, err
+	}
+	// Observed per-worker compute across training runs, for the
+	// calibration ratio.
+	compPerRun := compObserved.Seconds() / float64(train*workers)
+
+	captured, tested := 0, 0
+	var maxOutside float64
+	var testTimes []float64
+	for i := 0; i < test; i++ {
+		res, err := runOnce()
+		if err != nil {
+			return nil, err
+		}
+		t := res.Elapsed.Seconds()
+		testTimes = append(testTimes, t)
+		tested++
+		if sv.Contains(t) {
+			captured++
+		} else if e := sv.RelativeErrorOutside(t); e > maxOutside {
+			maxOutside = e
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Real TCP-distributed SOR on loopback: %dx%d, %d iterations, %d workers\n\n", n, n, iters, workers)
+	fmt.Fprintf(&b, "Calibration: BM(Elt) = %.1f ns/element\n", bm*1e9)
+	fmt.Fprintf(&b, "Structural compute prediction %.4f s/run vs observed %.4f s/run (ratio %.2f)\n\n",
+		compPred, compPerRun, compPerRun/compPred)
+	fmt.Fprintf(&b, "Training runs (%d): stochastic wall-clock value %s\n", train, sv.String())
+	fmt.Fprintf(&b, "Test runs (%d): %d/%d inside the interval; worst outside error %s\n",
+		test, captured, tested, pct(maxOutside))
+	tb := NewTable("run", "wall clock (s)", "inside")
+	for i, t := range testTimes {
+		in := "yes"
+		if !sv.Contains(t) {
+			in = "NO"
+		}
+		tb.AddRowf(i+1, fmt.Sprintf("%.4f", t), in)
+	}
+	b.WriteString(tb.String())
+	return &Result{
+		ID: "host-tcp", Title: "Host TCP validation", Text: b.String(),
+		Metrics: map[string]float64{
+			"bm_ns":        bm * 1e9,
+			"comp_ratio":   compPerRun / compPred,
+			"capture_frac": float64(captured) / float64(tested),
+			"spread_rel":   sv.RelativeSpread(),
+		},
+	}, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"prodpred/internal/sched"
+	"prodpred/internal/stochastic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-objective",
+		Title: "Ablation: allocations tuned to different performance metrics",
+		Paper: "§1.2: 'a sophisticated scheduling strategy tuned to the user's performance metric' — the same stochastic predictions, three metrics, three different best allocations.",
+		Run:   runAblationObjective,
+	})
+}
+
+func runAblationObjective(seed int64) (*Result, error) {
+	unitTimes := []stochastic.Value{
+		stochastic.FromPercent(12, 5),  // machine A: stable
+		stochastic.FromPercent(12, 30), // machine B: volatile
+	}
+	const units = 100
+	results, err := sched.CompareObjectives(units, unitTimes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Monte Carlo each optimized allocation under every metric to show
+	// the cross-metric tradeoffs.
+	rng := rand.New(rand.NewSource(seed))
+	const trials = 20000
+	evaluate := func(alloc []int) (mean, p95 float64, err error) {
+		xs := make([]float64, trials)
+		for i := range xs {
+			xs[i], err = sched.SimulateMakespan(alloc, unitTimes, rng)
+			if err != nil {
+				return 0, 0, err
+			}
+			mean += xs[i]
+		}
+		mean /= trials
+		e, err := stochastic.NewEmpirical(xs)
+		if err != nil {
+			return 0, 0, err
+		}
+		p95, err = e.Quantile(0.95)
+		return mean, p95, err
+	}
+
+	tb := NewTable("objective", "alloc A/B", "predicted", "MC mean (s)", "MC p95 (s)")
+	metrics := map[string]float64{}
+	for _, r := range results {
+		mean, p95, err := evaluate(r.Alloc)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowf(r.Name, fmt.Sprintf("%d/%d", r.Alloc[0], r.Alloc[1]),
+			r.Makespan.String(), mean, p95)
+		metrics[r.Name+"_allocA"] = float64(r.Alloc[0])
+		metrics[r.Name+"_mc_mean"] = mean
+		metrics[r.Name+"_mc_p95"] = p95
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two machines (12s ± 5%% and 12s ± 30%%), %d units, optimizer per metric:\n", units)
+	b.WriteString(tb.String())
+	b.WriteString("\nMinimizing the mean splits nearly evenly; minimizing the upper bound\nor the 95th percentile shifts work to the stable machine. Each\nallocation wins on its own metric — the information a point value\ncannot express.\n")
+	return &Result{ID: "ablation-objective", Title: "Objective-tuned allocation", Text: b.String(), Metrics: metrics}, nil
+}

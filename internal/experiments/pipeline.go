@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/load"
+	"prodpred/internal/nws"
+	"prodpred/internal/sched"
+	"prodpred/internal/simenv"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+// productionConfig describes a monitor->predict->execute series on a
+// simulated production platform — the experimental loop behind Figures 9
+// and 12-17.
+type productionConfig struct {
+	plat  *cluster.Platform
+	cpu   []load.Process
+	net   load.Process
+	n     int // grid size
+	iters int // SOR iterations per run
+	runs  int // number of back-to-back executions
+	gap   float64
+	// warmup is how long monitors observe before the first run.
+	warmup       float64
+	partStrategy sched.Strategy
+	maxStrategy  stochastic.MaxStrategy
+	iterationRel structural.Relation
+	// predictLoad optionally overrides the per-machine stochastic load
+	// parameter; when nil, the NWS monitor report is used.
+	predictLoad func(machine int, mon *nws.Monitor) (stochastic.Value, error)
+}
+
+// runRecord is one production execution and its predictions.
+type runRecord struct {
+	Start   float64
+	Pred    stochastic.Value // stochastic execution-time prediction
+	Actual  float64          // simulated execution time
+	LoadsAt []float64        // raw availability per machine at run start
+}
+
+// seriesMetrics summarizes a run series the way the paper's evaluation
+// does.
+type seriesMetrics struct {
+	CaptureFrac float64 // fraction of actuals inside the stochastic interval
+	MaxIntErr   float64 // max relative error of actuals outside the interval
+	MaxMeanErr  float64 // max |actual - predicted mean| / actual
+	MeanMeanErr float64 // average of the same
+}
+
+func summarizeRuns(recs []runRecord) seriesMetrics {
+	var m seriesMetrics
+	captured := 0
+	for _, r := range recs {
+		if r.Pred.Contains(r.Actual) {
+			captured++
+		} else if e := r.Pred.RelativeErrorOutside(r.Actual); e > m.MaxIntErr {
+			m.MaxIntErr = e
+		}
+		me := math.Abs(r.Actual-r.Pred.Mean) / r.Actual
+		if me > m.MaxMeanErr {
+			m.MaxMeanErr = me
+		}
+		m.MeanMeanErr += me
+	}
+	if len(recs) > 0 {
+		m.CaptureFrac = float64(captured) / float64(len(recs))
+		m.MeanMeanErr /= float64(len(recs))
+	}
+	return m
+}
+
+// runProductionSeries executes the full pipeline: NWS monitors warm up on
+// the platform, a capacity-balanced partition is chosen from the first
+// forecasts, and then `runs` executions alternate predict -> execute ->
+// advance, exactly as the paper's experiments interleave NWS readings with
+// SOR runs.
+func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
+	if cfg.runs <= 0 {
+		return nil, errors.New("experiments: runs must be positive")
+	}
+	env, err := simenv.New(cfg.plat, cfg.cpu, cfg.net)
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.plat.Size()
+	monitors := make([]*nws.Monitor, p)
+	for i := range monitors {
+		monitors[i], err = nws.NewCPUMonitor(env, i, nws.DefaultPeriod, 512)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A bandwidth monitor probes the shared ethernet with ghost-row-sized
+	// messages; its forecast parameterizes BWAvail.
+	link, err := cfg.plat.Link(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	ghostBytes := float64(cfg.n-2) * 8
+	bwMonitor, err := nws.NewBandwidthMonitor(env, 0, 1, ghostBytes, nws.DefaultPeriod, 512)
+	if err != nil {
+		return nil, err
+	}
+
+	readLoads := func(t float64) ([]stochastic.Value, error) {
+		loads := make([]stochastic.Value, p)
+		for i, mon := range monitors {
+			if err := mon.RunUntil(t); err != nil {
+				return nil, err
+			}
+			if cfg.predictLoad != nil {
+				loads[i], err = cfg.predictLoad(i, mon)
+			} else {
+				var f nws.Forecast
+				f, err = mon.Forecast()
+				loads[i] = f.Stochastic()
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return loads, nil
+	}
+
+	t := cfg.warmup
+	loads, err := readLoads(t)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]cluster.Machine, p)
+	for i := range machines {
+		machines[i] = cfg.plat.Machine(i)
+	}
+	part, err := sched.SORPartition(cfg.n, machines, loads, cfg.partStrategy)
+	if err != nil {
+		return nil, err
+	}
+	model := &structural.SORConfig{
+		N:            cfg.n,
+		Iterations:   cfg.iters,
+		Partition:    part,
+		Machines:     machines,
+		MachineIdx:   sor.IdentityMapping(p),
+		Link:         link,
+		MaxStrategy:  cfg.maxStrategy,
+		IterationRel: cfg.iterationRel,
+	}
+	backend, err := sor.NewSimBackend(env, part, sor.IdentityMapping(p))
+	if err != nil {
+		return nil, err
+	}
+
+	var recs []runRecord
+	for run := 0; run < cfg.runs; run++ {
+		loads, err = readLoads(t)
+		if err != nil {
+			return nil, err
+		}
+		params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
+		if _, ok := cfg.net.(load.Constant); !ok {
+			// Production network: the NWS bandwidth monitor's forecast of
+			// achieved bytes/s, expressed as a fraction of the dedicated
+			// link rate.
+			bw, err := bwMonitor.Report(t)
+			if err != nil {
+				return nil, err
+			}
+			frac := bw.MulPoint(1 / link.DedBW)
+			if frac.Mean <= 0.01 {
+				frac = stochastic.New(0.01, frac.Spread)
+			}
+			params[structural.BWAvailParam] = frac
+		}
+		for i, l := range loads {
+			params[structural.LoadParam(i)] = l
+		}
+		pred, err := model.Predict(params)
+		if err != nil {
+			return nil, err
+		}
+		g, err := sor.NewGrid(cfg.n)
+		if err != nil {
+			return nil, err
+		}
+		g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
+		res, err := backend.Run(g, sor.DefaultOmega, cfg.iters, t)
+		if err != nil {
+			return nil, err
+		}
+		rec := runRecord{Start: t, Pred: pred, Actual: res.ExecTime}
+		for i := 0; i < p; i++ {
+			rec.LoadsAt = append(rec.LoadsAt, env.RawCPUAvail(i, t))
+		}
+		recs = append(recs, rec)
+		t += res.ExecTime + cfg.gap
+	}
+	return recs, nil
+}
+
+// renderRunSeries renders a run series as the paper's Figures 9/12/14/16:
+// actual execution times against the stochastic interval.
+func renderRunSeries(recs []runRecord) string {
+	tb := NewTable("t(start)", "predicted", "interval", "actual", "inside", "err-out")
+	for _, r := range recs {
+		lo, hi := r.Pred.Interval()
+		inside := "yes"
+		errOut := ""
+		if !r.Pred.Contains(r.Actual) {
+			inside = "NO"
+			errOut = pct(r.Pred.RelativeErrorOutside(r.Actual))
+		}
+		tb.AddRowf(fmt.Sprintf("%.0f", r.Start), r.Pred.String(),
+			fmt.Sprintf("[%.2f,%.2f]", lo, hi),
+			fmt.Sprintf("%.2f", r.Actual), inside, errOut)
+	}
+	xs := make([]float64, len(recs))
+	actual := make([]float64, len(recs))
+	los := make([]float64, len(recs))
+	his := make([]float64, len(recs))
+	means := make([]float64, len(recs))
+	for i, r := range recs {
+		xs[i] = r.Start
+		actual[i] = r.Actual
+		los[i], his[i] = r.Pred.Interval()
+		means[i] = r.Pred.Mean
+	}
+	plot := RenderSeriesMulti(xs, [][]float64{los, his, means, actual},
+		[]byte{'-', '-', 'm', 'A'}, 64, 14)
+	return tb.String() + "\n  A=actual, m=predicted mean, -=stochastic interval bounds\n" + plot
+}
+
+// renderLoadTrace renders machine loads at run starts (the paper's
+// Figures 13/15/17 companion load plots).
+func renderLoadTrace(recs []runRecord, machine int) string {
+	xs := make([]float64, len(recs))
+	ys := make([]float64, len(recs))
+	for i, r := range recs {
+		xs[i] = r.Start
+		ys[i] = r.LoadsAt[machine]
+	}
+	return RenderSeries(xs, ys, 64, 10)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered with
+// %v, floats with 4 significant digits.
+func (t *Table) AddRowf(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		default:
+			out[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderSeries draws y(x) as a rows x cols ASCII plot, the terminal
+// analogue of the paper's time-series figures (execution times, load
+// traces). Points map to '*'; multiple series can be overlaid by calling
+// with different markers via RenderSeriesMulti.
+func RenderSeries(xs, ys []float64, cols, rows int) string {
+	return RenderSeriesMulti(xs, [][]float64{ys}, []byte{'*'}, cols, rows)
+}
+
+// RenderSeriesMulti overlays several series sharing the x axis. Later
+// series draw over earlier ones. Markers must parallel the series.
+func RenderSeriesMulti(xs []float64, series [][]float64, markers []byte, cols, rows int) string {
+	if cols < 8 {
+		cols = 8
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+	xLo, xHi := minMax(xs)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		lo, hi := minMax(ys)
+		yLo = math.Min(yLo, lo)
+		yHi = math.Max(yHi, hi)
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	canvas := make([][]byte, rows)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, ys := range series {
+		marker := byte('*')
+		if si < len(markers) {
+			marker = markers[si]
+		}
+		for i, y := range ys {
+			if i >= len(xs) {
+				break
+			}
+			cx := int((xs[i] - xLo) / (xHi - xLo) * float64(cols-1))
+			cy := int((y - yLo) / (yHi - yLo) * float64(rows-1))
+			canvas[rows-1-cy][cx] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g +%s\n", yHi, strings.Repeat("-", cols))
+	for _, line := range canvas {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(line))
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", yLo, strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "%10s  %-10.4g%*s\n", "", xLo, cols-10, fmt.Sprintf("%.4g", xHi))
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"prodpred/internal/load"
+	"prodpred/internal/sched"
+	"prodpred/internal/stats"
+	"prodpred/internal/stochastic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Unit-work execution times: dedicated vs production, point vs stochastic",
+		Paper: "Table 1: A and B take 10/5 s dedicated; both average 12 s in production, but A is ±5% and B ±30%.",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "allocation",
+		Title: "Work allocation strategies under prediction penalties",
+		Paper: "§1.2: with stochastic values, a scheduler can favour the low-variance machine when misses are costly.",
+		Run:   runAllocation,
+	})
+}
+
+// runTable1 regenerates Table 1 from simulated measurements: machine A is
+// the slow stable machine, machine B the fast one whose extra users make
+// its load volatile. Unit-work execution times are measured over a long
+// production window and summarized both ways.
+func runTable1(seed int64) (*Result, error) {
+	// Dedicated unit times: A = 10 s, B = 5 s.
+	const dedA, dedB = 10.0, 5.0
+	// Production availability: chosen so both machines average 12 s per
+	// unit of work (the paper's coincidence): mean avail = ded/12.
+	loadA, err := load.NewSingleMode(dedA/12, 0.018, 0.9, 1, seed+1) // stable
+	if err != nil {
+		return nil, err
+	}
+	loadB, err := load.NewMarkovModal(
+		[]load.ModeSpec{ // volatile: many users come and go
+			{Mean: 0.35, Sigma: 0.02},
+			{Mean: 0.42, Sigma: 0.02},
+			{Mean: 0.52, Sigma: 0.02},
+		},
+		[]float64{1, 1, 1}, 0.10, 0.7, 1, seed+2,
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(ded float64, p load.Process, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			t := float64(i) * 60 // one unit-work probe per minute
+			out[i] = ded / clampAvail(p.At(t))
+		}
+		return out
+	}
+	unitsA := measure(dedA, loadA, 1440) // a day of probes
+	unitsB := measure(dedB, loadB, 1440)
+	svA, err := stochastic.FromSample(unitsA)
+	if err != nil {
+		return nil, err
+	}
+	svB, err := stochastic.FromSample(unitsB)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := NewTable("", "Machine A", "Machine B")
+	tb.AddRowf("Dedicated", fmt.Sprintf("%.0f sec", dedA), fmt.Sprintf("%.0f sec", dedB))
+	tb.AddRowf("Production (point)", fmt.Sprintf("%.1f sec", svA.Mean), fmt.Sprintf("%.1f sec", svB.Mean))
+	tb.AddRowf("Production (stochastic)",
+		fmt.Sprintf("%.1f sec ± %.0f%%", svA.Mean, svA.RelativeSpread()*100),
+		fmt.Sprintf("%.1f sec ± %.0f%%", svB.Mean, svB.RelativeSpread()*100))
+
+	var b strings.Builder
+	b.WriteString("Execution times for a unit of work (measured over 24 h of probes):\n")
+	b.WriteString(tb.String())
+	b.WriteString("\nEqual production means hide radically different variability —\nthe information a stochastic value preserves.\n")
+	return &Result{
+		ID: "table1", Title: "Two-machine unit work", Text: b.String(),
+		Metrics: map[string]float64{
+			"meanA":      svA.Mean,
+			"meanB":      svB.Mean,
+			"relSpreadA": svA.RelativeSpread(),
+			"relSpreadB": svB.RelativeSpread(),
+		},
+	}, nil
+}
+
+func clampAvail(v float64) float64 {
+	if v < 0.05 {
+		return 0.05
+	}
+	return v
+}
+
+// runAllocation evaluates the §1.2 scheduling argument quantitatively.
+func runAllocation(seed int64) (*Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	unit := []stochastic.Value{
+		stochastic.FromPercent(12, 5),  // machine A
+		stochastic.FromPercent(12, 30), // machine B
+	}
+	const totalWork = 100
+	const trials = 5000
+
+	var b strings.Builder
+	metrics := map[string]float64{}
+	for _, regime := range []struct {
+		name    string
+		penalty sched.PenaltyFn
+	}{
+		{"no-penalty", sched.OverrunPenalty(0)},
+		{"high-penalty", sched.OverrunPenalty(100)},
+	} {
+		tb := NewTable("strategy", "alloc A/B", "promised (s)", "mean makespan (s)", "mean penalty")
+		for _, s := range []sched.Strategy{sched.MeanBalanced, sched.Conservative, sched.Optimistic} {
+			rep, err := sched.EvaluatePolicy(totalWork, unit, s, regime.penalty, rng, trials)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRowf(s.String(), fmt.Sprintf("%d/%d", rep.Alloc[0], rep.Alloc[1]),
+				rep.Promised, rep.MeanMakespan, rep.MeanPenalty)
+			metrics[regime.name+"_"+s.String()+"_penalty"] = rep.MeanPenalty
+			metrics[regime.name+"_"+s.String()+"_makespan"] = rep.MeanMakespan
+		}
+		fmt.Fprintf(&b, "Penalty regime: %s\n", regime.name)
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("Under a high overrun penalty the conservative (variance-aware)\nallocation wins; with no penalty the strategies tie on makespan —\nexactly the tradeoff stochastic values expose to a scheduler.\n")
+
+	// A quick distributional check: machine B's unit times really are ±30%.
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = unit[1].Sample(rng)
+	}
+	metrics["unitB_cov"] = stats.Coverage(xs, unit[1].Lo(), unit[1].Hi())
+	return &Result{ID: "allocation", Title: "Allocation strategies", Text: b.String(), Metrics: metrics}, nil
+}

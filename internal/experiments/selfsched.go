@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/load"
+	"prodpred/internal/sched"
+	"prodpred/internal/simenv"
+	"prodpred/internal/stochastic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-selfsched",
+		Title: "Ablation: static prediction-based allocation vs dynamic self-scheduling",
+		Paper: "The conclusion's 'sophisticated strategies for scheduling': committing to a forecast vs adapting at runtime, across dispatch chunk sizes.",
+		Run:   runAblationSelfSched,
+	})
+}
+
+func runAblationSelfSched(seed int64) (*Result, error) {
+	const (
+		units    = 120
+		trials   = 10
+		dispatch = 0.5 // seconds per chunk dispatch on the shared network
+	)
+	mkEnv := func(s int64) (*simenv.Env, error) {
+		la, err := load.NewSingleMode(10.0/12.0, 0.02, 0.8, 1, s)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := load.NewMarkovModal(
+			[]load.ModeSpec{{Mean: 0.15, Sigma: 0.03}, {Mean: 0.75, Sigma: 0.03}},
+			[]float64{0.5, 0.5}, 0.02, 0.7, 1, s+1)
+		if err != nil {
+			return nil, err
+		}
+		return simenv.New(cluster.TwoMachineExample(),
+			[]load.Process{la, lb}, load.Dedicated())
+	}
+
+	type policy struct {
+		name string
+		run  func(env *simenv.Env) (float64, error)
+	}
+	staticAlloc := func(s sched.Strategy) func(env *simenv.Env) (float64, error) {
+		return func(env *simenv.Env) (float64, error) {
+			// Unit times from the §1.2 production view: A stable, B
+			// volatile, both 12 s mean.
+			unitTimes := []stochastic.Value{
+				stochastic.FromPercent(12, 5),
+				stochastic.FromPercent(12, 30),
+			}
+			alloc, err := sched.UnitAllocation(units, unitTimes, s)
+			if err != nil {
+				return 0, err
+			}
+			res, err := sched.SimulateStatic(env, alloc, 1, 0)
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+	}
+	selfSched := func(chunk int) func(env *simenv.Env) (float64, error) {
+		return func(env *simenv.Env) (float64, error) {
+			res, err := sched.SimulateSelfScheduling(env, units, chunk, 1, dispatch, 0)
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+	}
+	policies := []policy{
+		{"static mean-balanced", staticAlloc(sched.MeanBalanced)},
+		{"static conservative", staticAlloc(sched.Conservative)},
+		{"self-sched chunk=1", selfSched(1)},
+		{"self-sched chunk=5", selfSched(5)},
+		{"self-sched chunk=20", selfSched(20)},
+		{"self-sched chunk=120", selfSched(units)},
+	}
+
+	means := make([]float64, len(policies))
+	for trial := 0; trial < trials; trial++ {
+		env, err := mkEnv(seed + int64(trial)*31)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range policies {
+			m, err := p.run(env)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			means[i] += m
+		}
+	}
+	tb := NewTable("policy", "mean makespan (s)")
+	metrics := map[string]float64{}
+	for i, p := range policies {
+		means[i] /= trials
+		tb.AddRowf(p.name, fmt.Sprintf("%.1f", means[i]))
+		key := strings.NewReplacer(" ", "_", "=", "").Replace(p.name)
+		metrics[key] = means[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two-machine system (§1.2), %d units, %d trials, dispatch cost %.1f s/chunk:\n",
+		units, trials, dispatch)
+	b.WriteString(tb.String())
+	b.WriteString("\nDynamic self-scheduling with moderate chunks tracks the volatile\nmachine's mode changes; one-shot chunks reduce to static allocation and\nunit chunks drown in dispatch overhead. Stochastic predictions still\nmatter for the promise (when will it finish), even when the division of\nlabour is dynamic.\n")
+	return &Result{ID: "ablation-selfsched", Title: "Self-scheduling ablation", Text: b.String(), Metrics: metrics}, nil
+}

@@ -1,0 +1,365 @@
+// Package load implements the stochastic CPU-availability processes that
+// stand in for the paper's production machines. The paper's experiments ran
+// on shared Sparc workstations whose "CPU load" signal — as supplied by the
+// Network Weather Service — is the *fraction of CPU available* to the
+// application (§2.2.1 divides benchmark time by that fraction). All
+// processes here therefore emit values in [0, 1].
+//
+// Three statistical classes of signal matter to the reproduction:
+//
+//   - single-mode load that wanders within one normal mode (Figure 8,
+//     Platform 1),
+//   - multi-modal bursty load that jumps between modes (Figures 10-11,
+//     Platform 2), and
+//   - long-tailed contention (the bandwidth histograms of Figure 3).
+//
+// Every process is deterministic given its seed and piecewise-constant over
+// ticks of Interval() seconds, which lets the simulator integrate work
+// progress in closed form segment by segment.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"prodpred/internal/timeseries"
+)
+
+// Process is a time-varying CPU-availability signal. At returns the
+// fraction of CPU available at virtual time t >= 0; values are constant
+// within ticks of Interval() seconds. Implementations are safe for
+// concurrent use.
+type Process interface {
+	At(t float64) float64
+	Interval() float64
+}
+
+// Constant is a fixed availability level.
+type Constant struct {
+	Level float64
+}
+
+// NewConstant returns a constant process clamped to [0, 1].
+func NewConstant(level float64) Constant {
+	return Constant{Level: clamp01(level)}
+}
+
+// At implements Process.
+func (c Constant) At(float64) float64 { return c.Level }
+
+// Interval implements Process. Constants use a nominal 1-second tick.
+func (c Constant) Interval() float64 { return 1 }
+
+// Dedicated is full availability — a machine with no competing users.
+func Dedicated() Constant { return Constant{Level: 1} }
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}
+
+// cache lazily materializes a per-tick sequence from a generator function,
+// keeping processes deterministic and At() pure from the caller's view.
+type cache struct {
+	mu   sync.Mutex
+	vals []float64
+	gen  func(i int, prev float64) float64
+	dt   float64
+}
+
+func newCache(dt float64, gen func(i int, prev float64) float64) *cache {
+	return &cache{gen: gen, dt: dt}
+}
+
+func (c *cache) at(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / c.dt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.vals) <= idx {
+		prev := math.NaN()
+		if n := len(c.vals); n > 0 {
+			prev = c.vals[n-1]
+		}
+		c.vals = append(c.vals, c.gen(len(c.vals), prev))
+	}
+	return c.vals[idx]
+}
+
+// SingleMode is availability that wanders within one mode: an AR(1)
+// process with the given mean and stationary standard deviation, clamped to
+// [0, 1]. Phi controls smoothness (0 = white noise, close to 1 = slow
+// wander like the paper's Figure 8 trace).
+type SingleMode struct {
+	c *cache
+}
+
+// NewSingleMode constructs a single-mode process. mean must lie in [0,1],
+// sigma > 0, and 0 <= phi < 1.
+func NewSingleMode(mean, sigma, phi, dt float64, seed int64) (*SingleMode, error) {
+	if mean < 0 || mean > 1 {
+		return nil, fmt.Errorf("load: mean %g outside [0,1]", mean)
+	}
+	if !(sigma > 0) {
+		return nil, errors.New("load: sigma must be positive")
+	}
+	if phi < 0 || phi >= 1 {
+		return nil, fmt.Errorf("load: phi %g outside [0,1)", phi)
+	}
+	if !(dt > 0) {
+		return nil, errors.New("load: dt must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Innovation scale chosen so the stationary std is sigma.
+	innov := sigma * math.Sqrt(1-phi*phi)
+	gen := func(i int, prev float64) float64 {
+		if i == 0 {
+			return clamp01(mean + sigma*rng.NormFloat64())
+		}
+		return clamp01(mean + phi*(prev-mean) + innov*rng.NormFloat64())
+	}
+	return &SingleMode{c: newCache(dt, gen)}, nil
+}
+
+// At implements Process.
+func (s *SingleMode) At(t float64) float64 { return s.c.at(t) }
+
+// Interval implements Process.
+func (s *SingleMode) Interval() float64 { return s.c.dt }
+
+// ModeSpec describes one mode of a Markov-modulated process.
+type ModeSpec struct {
+	Mean  float64 // availability mean in [0,1]
+	Sigma float64 // within-mode std dev
+}
+
+// MarkovModal is availability that jumps between modes according to a
+// per-tick switching probability and mode-stationary weights, with AR(1)
+// wander inside the current mode. This reproduces the "multi-modal bursty"
+// load of the paper's Platform 2 (Figures 10-11): dwell periods in a mode
+// punctuated by abrupt jumps.
+type MarkovModal struct {
+	c     *cache
+	modes []ModeSpec
+	// trace of mode indices, parallel to the cache, for tests and for
+	// occupancy ground truth.
+	mu        sync.Mutex
+	modeTrace []int
+}
+
+// NewMarkovModal constructs a bursty modal process. switchProb is the
+// per-tick probability of re-drawing the mode from weights; phi is the
+// within-mode AR(1) smoothness.
+func NewMarkovModal(modes []ModeSpec, weights []float64, switchProb, phi, dt float64, seed int64) (*MarkovModal, error) {
+	if len(modes) == 0 {
+		return nil, errors.New("load: no modes")
+	}
+	if len(weights) != len(modes) {
+		return nil, errors.New("load: weight length mismatch")
+	}
+	total := 0.0
+	for i, m := range modes {
+		if m.Mean < 0 || m.Mean > 1 {
+			return nil, fmt.Errorf("load: mode %d mean %g outside [0,1]", i, m.Mean)
+		}
+		if !(m.Sigma > 0) {
+			return nil, fmt.Errorf("load: mode %d sigma must be positive", i)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("load: negative weight %g", weights[i])
+		}
+		total += weights[i]
+	}
+	if total <= 0 {
+		return nil, errors.New("load: weights sum to zero")
+	}
+	if switchProb < 0 || switchProb > 1 {
+		return nil, fmt.Errorf("load: switchProb %g outside [0,1]", switchProb)
+	}
+	if phi < 0 || phi >= 1 {
+		return nil, fmt.Errorf("load: phi %g outside [0,1)", phi)
+	}
+	if !(dt > 0) {
+		return nil, errors.New("load: dt must be positive")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := func() int {
+		u := rng.Float64()
+		acc := 0.0
+		for i, w := range norm {
+			acc += w
+			if u < acc {
+				return i
+			}
+		}
+		return len(norm) - 1
+	}
+	mm := &MarkovModal{modes: append([]ModeSpec(nil), modes...)}
+	cur := -1
+	gen := func(i int, prev float64) float64 {
+		if i == 0 || rng.Float64() < switchProb {
+			cur = pick()
+			prev = math.NaN()
+		}
+		m := modes[cur]
+		mm.mu.Lock()
+		mm.modeTrace = append(mm.modeTrace, cur)
+		mm.mu.Unlock()
+		if math.IsNaN(prev) {
+			return clamp01(m.Mean + m.Sigma*rng.NormFloat64())
+		}
+		innov := m.Sigma * math.Sqrt(1-phi*phi)
+		return clamp01(m.Mean + phi*(prev-m.Mean) + innov*rng.NormFloat64())
+	}
+	mm.c = newCache(dt, gen)
+	return mm, nil
+}
+
+// At implements Process.
+func (m *MarkovModal) At(t float64) float64 { return m.c.at(t) }
+
+// Interval implements Process.
+func (m *MarkovModal) Interval() float64 { return m.c.dt }
+
+// ModeAt returns the index of the mode in force at time t (forcing
+// generation up to t).
+func (m *MarkovModal) ModeAt(t float64) int {
+	m.c.at(t)
+	idx := int(math.Max(t, 0) / m.c.dt)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= len(m.modeTrace) {
+		idx = len(m.modeTrace) - 1
+	}
+	return m.modeTrace[idx]
+}
+
+// Modes returns the mode specifications.
+func (m *MarkovModal) Modes() []ModeSpec { return m.modes }
+
+// Trace wraps a recorded time series as a Process (last observation carried
+// forward), for replaying measured or exported load signals.
+type Trace struct {
+	s  *timeseries.Series
+	dt float64
+}
+
+// NewTrace wraps s; dt is the nominal tick used by Interval. Values are
+// clamped to [0,1] on read. The series must be non-empty.
+func NewTrace(s *timeseries.Series, dt float64) (*Trace, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("load: empty trace")
+	}
+	if !(dt > 0) {
+		return nil, errors.New("load: dt must be positive")
+	}
+	return &Trace{s: s, dt: dt}, nil
+}
+
+// At implements Process. Times before the first observation return the
+// first observation.
+func (tr *Trace) At(t float64) float64 {
+	v, ok := tr.s.ValueAt(t)
+	if !ok {
+		v = tr.s.At(0).V
+	}
+	return clamp01(v)
+}
+
+// Interval implements Process.
+func (tr *Trace) Interval() float64 { return tr.dt }
+
+// UserSessions models availability driven by an M/M/infinity population of
+// competing users: users arrive at rate lambda per second, stay for
+// exponential sessions of mean 1/mu seconds, and the application receives a
+// 1/(1+n) share of the CPU when n users are active. This is the generative
+// story behind "machine B is much faster ... it has more users and
+// therefore a more dynamic load" (§1.2).
+type UserSessions struct {
+	c *cache
+}
+
+// NewUserSessions constructs the process; lambda and mu must be positive.
+func NewUserSessions(lambda, mu, dt float64, seed int64) (*UserSessions, error) {
+	if !(lambda > 0) || !(mu > 0) {
+		return nil, errors.New("load: lambda and mu must be positive")
+	}
+	if !(dt > 0) {
+		return nil, errors.New("load: dt must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Track the active-user count tick to tick. Within a tick of length
+	// dt, arrivals ~ Poisson(lambda*dt) and each active user departs with
+	// probability 1 - exp(-mu*dt).
+	n := 0
+	// Start at the stationary mean to skip burn-in.
+	n = int(lambda / mu)
+	pDepart := 1 - math.Exp(-mu*dt)
+	gen := func(i int, prev float64) float64 {
+		stay := 0
+		for j := 0; j < n; j++ {
+			if rng.Float64() >= pDepart {
+				stay++
+			}
+		}
+		n = stay + poisson(rng, lambda*dt)
+		return 1 / float64(1+n)
+	}
+	return &UserSessions{c: newCache(dt, gen)}, nil
+}
+
+// At implements Process.
+func (u *UserSessions) At(t float64) float64 { return u.c.at(t) }
+
+// Interval implements Process.
+func (u *UserSessions) Interval() float64 { return u.c.dt }
+
+// poisson draws a Poisson(mean) variate by Knuth's method; mean values here
+// are small (a few arrivals per tick).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 { // numerical guard; unreachable for sane means
+			return k
+		}
+	}
+}
+
+// Record samples the process every dt from t0 to t1 and returns the series,
+// the shape consumed by histogram figures and by modal fitting.
+func Record(p Process, t0, t1, dt float64) (*timeseries.Series, error) {
+	if !(dt > 0) || t1 < t0 {
+		return nil, errors.New("load: bad recording range")
+	}
+	s := timeseries.NewSeries(int((t1 - t0) / dt))
+	for t := t0; t <= t1+1e-12; t += dt {
+		if err := s.Append(t, p.At(t)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package load
+
+import (
+	"testing"
+
+	"prodpred/internal/stats"
+)
+
+func TestNewLongTailedValidation(t *testing.T) {
+	cases := []struct{ peak, m, s, dt float64 }{
+		{0, 0.1, 0.1, 1}, {1.5, 0.1, 0.1, 1},
+		{0.6, 0, 0.1, 1}, {0.6, 0.1, 0, 1},
+		{0.6, 0.1, 0.1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewLongTailed(c.peak, c.m, c.s, c.dt, 1); err == nil {
+			t.Errorf("NewLongTailed(%v) should fail", c)
+		}
+	}
+}
+
+func TestLongTailedShape(t *testing.T) {
+	p, err := NewLongTailed(0.62, 0.095, 0.08, 1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Record(p, 0, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.Values()
+	for _, x := range xs {
+		if x < 0 || x > 0.62+1e-12 {
+			t.Fatalf("value %g outside [0, peak]", x)
+		}
+	}
+	// Left-skewed: median above mean, negative skewness.
+	mean := stats.Mean(xs)
+	med, _ := stats.Median(xs)
+	if med <= mean {
+		t.Errorf("median %g should exceed mean %g for a left tail", med, mean)
+	}
+	if sk := stats.Skewness(xs); sk >= 0 {
+		t.Errorf("skewness=%g want negative (left tail)", sk)
+	}
+}
+
+func TestEthernetContentionMatchesFigure3(t *testing.T) {
+	p, err := EthernetContention(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Record(p, 0, 30000, 1)
+	xs := s.Values()
+	// Figure 3 reports mean bandwidth 5.25 Mbit/s on 10 Mbit ethernet,
+	// i.e. a mean availability fraction ~0.525.
+	mean := stats.Mean(xs)
+	if mean < 0.50 || mean > 0.55 {
+		t.Errorf("mean availability=%g want ~0.525", mean)
+	}
+	// §2.1.1: a 2-sigma normal summary covers ~91% of this long-tailed
+	// data rather than the nominal 95%.
+	cov := stats.CoverageSigma(xs, 2)
+	if cov < 0.88 || cov > 0.94 {
+		t.Errorf("2-sigma coverage=%g want ~0.91", cov)
+	}
+	// And it must actually be long-tailed: a Jarque-Bera test rejects
+	// normality decisively.
+	res, err := stats.JarqueBera(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("JB failed to reject normality: p=%g", res.PValue)
+	}
+}
+
+func TestNewCongestedValidation(t *testing.T) {
+	cases := []struct{ peak, m1, s1, pb, m2, s2, dt float64 }{
+		{0, 0.1, 0.1, 0.1, 0.2, 0.1, 1},   // bad peak
+		{1.5, 0.1, 0.1, 0.1, 0.2, 0.1, 1}, // peak > 1
+		{0.6, 0, 0.1, 0.1, 0.2, 0.1, 1},   // bad base mean
+		{0.6, 0.1, 0, 0.1, 0.2, 0.1, 1},   // bad base std
+		{0.6, 0.1, 0.1, -0.1, 0.2, 0.1, 1},
+		{0.6, 0.1, 0.1, 1.1, 0.2, 0.1, 1},
+		{0.6, 0.1, 0.1, 0.1, 0, 0.1, 1}, // bad burst mean
+		{0.6, 0.1, 0.1, 0.1, 0.2, 0.1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewCongested(c.peak, c.m1, c.s1, c.pb, c.m2, c.s2, c.dt, 1); err == nil {
+			t.Errorf("NewCongested(%v) should fail", c)
+		}
+	}
+	p, err := NewCongested(0.62, 0.08, 0.025, 0.10, 0.26, 0.035, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Interval() != 1 {
+		t.Errorf("Interval=%g", p.Interval())
+	}
+	for tt := 0.0; tt < 100; tt++ {
+		if v := p.At(tt); v < 0 || v > 0.62 {
+			t.Fatalf("value %g outside [0, peak]", v)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package modal analyzes multi-modal measurement data — the paper's §2.1.2.
+// Production CPU load often consists of several modes (Figure 5 shows a
+// tri-modal workstation load); this package detects the modes (1-D Gaussian
+// mixture fitting via EM with BIC model selection), classifies observations
+// into modes, computes mode-occupancy fractions P_i and burstiness metrics,
+// and combines per-mode stochastic values into a single prediction
+// parameter using the paper's weighted formula.
+package modal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"prodpred/internal/dist"
+	"prodpred/internal/stats"
+	"prodpred/internal/stochastic"
+)
+
+// Mode is one detected mode: a normal component with a mixture weight.
+type Mode struct {
+	Mean   float64
+	Sigma  float64
+	Weight float64
+}
+
+// Stochastic returns the mode's stochastic value (mean ± 2 sigma).
+func (m Mode) Stochastic() stochastic.Value {
+	return stochastic.FromMeanSigma(m.Mean, m.Sigma)
+}
+
+// MixtureModel is a fitted 1-D Gaussian mixture, modes sorted by ascending
+// mean.
+type MixtureModel struct {
+	Modes         []Mode
+	LogLikelihood float64
+	Iterations    int
+	Converged     bool
+}
+
+// K returns the number of modes.
+func (mm *MixtureModel) K() int { return len(mm.Modes) }
+
+// BIC returns the Bayesian Information Criterion of the fit on a sample of
+// size n: k_params*ln(n) - 2*LL, with 3K-1 free parameters. Lower is
+// better.
+func (mm *MixtureModel) BIC(n int) float64 {
+	k := float64(3*mm.K() - 1)
+	return k*math.Log(float64(n)) - 2*mm.LogLikelihood
+}
+
+// Mixture converts the model into a dist.Mixture.
+func (mm *MixtureModel) Mixture() (*dist.Mixture, error) {
+	comps := make([]dist.Distribution, mm.K())
+	ws := make([]float64, mm.K())
+	for i, m := range mm.Modes {
+		n, err := dist.NewNormal(m.Mean, m.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = n
+		ws[i] = m.Weight
+	}
+	return dist.NewMixture(comps, ws)
+}
+
+// Classify returns the index of the mode with the highest posterior
+// responsibility for observation x.
+func (mm *MixtureModel) Classify(x float64) int {
+	best, bestVal := 0, math.Inf(-1)
+	for i, m := range mm.Modes {
+		v := math.Log(m.Weight) + logNormalPDF(x, m.Mean, m.Sigma)
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// ClassifySeries maps each observation to its most likely mode.
+func (mm *MixtureModel) ClassifySeries(xs []float64) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = mm.Classify(x)
+	}
+	return out
+}
+
+// Occupancy returns the empirical fraction of observations classified into
+// each mode — the P_i of §2.1.2.
+func (mm *MixtureModel) Occupancy(xs []float64) []float64 {
+	counts := make([]float64, mm.K())
+	for _, x := range xs {
+		counts[mm.Classify(x)]++
+	}
+	if len(xs) > 0 {
+		for i := range counts {
+			counts[i] /= float64(len(xs))
+		}
+	}
+	return counts
+}
+
+func logNormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return -0.5*z*z - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+const (
+	emMaxIter  = 500
+	emTol      = 1e-8
+	minSigma   = 1e-6 // variance floor keeps components from collapsing
+	minWeight  = 1e-8
+	minSamples = 8
+)
+
+// FitEM fits a k-component Gaussian mixture to xs by expectation-
+// maximization, initialized with 1-D k-means (which is deterministic given
+// the quantile seeding used here). It returns an error for k < 1 or when
+// the sample is too small or degenerate.
+func FitEM(xs []float64, k int) (*MixtureModel, error) {
+	if k < 1 {
+		return nil, errors.New("modal: k must be >= 1")
+	}
+	if len(xs) < minSamples || len(xs) < 2*k {
+		return nil, fmt.Errorf("modal: need at least %d samples for k=%d", max(minSamples, 2*k), k)
+	}
+	lo, _ := stats.Min(xs)
+	hi, _ := stats.Max(xs)
+	if hi == lo {
+		return nil, errors.New("modal: degenerate sample")
+	}
+
+	means, sigmas, weights := kmeansInit(xs, k)
+	n := len(xs)
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+
+	prevLL := math.Inf(-1)
+	var ll float64
+	iters := 0
+	converged := false
+	for iters = 1; iters <= emMaxIter; iters++ {
+		// E-step with log-sum-exp for numeric safety.
+		ll = 0
+		for i, x := range xs {
+			maxLog := math.Inf(-1)
+			for j := 0; j < k; j++ {
+				resp[i][j] = math.Log(weights[j]) + logNormalPDF(x, means[j], sigmas[j])
+				if resp[i][j] > maxLog {
+					maxLog = resp[i][j]
+				}
+			}
+			var sum float64
+			for j := 0; j < k; j++ {
+				resp[i][j] = math.Exp(resp[i][j] - maxLog)
+				sum += resp[i][j]
+			}
+			for j := 0; j < k; j++ {
+				resp[i][j] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		// M-step.
+		for j := 0; j < k; j++ {
+			var nj, mu float64
+			for i, x := range xs {
+				nj += resp[i][j]
+				mu += resp[i][j] * x
+			}
+			if nj < minWeight*float64(n) {
+				// Collapsed component: re-seed it at the sample point with
+				// the worst likelihood to escape the degenerate optimum.
+				means[j] = reseedPoint(xs, means, sigmas, weights)
+				sigmas[j] = (hi - lo) / float64(4*k)
+				weights[j] = 1.0 / float64(n)
+				continue
+			}
+			mu /= nj
+			var v float64
+			for i, x := range xs {
+				d := x - mu
+				v += resp[i][j] * d * d
+			}
+			v /= nj
+			means[j] = mu
+			sigmas[j] = math.Sqrt(v)
+			if sigmas[j] < minSigma {
+				sigmas[j] = minSigma
+			}
+			weights[j] = nj / float64(n)
+		}
+		normalize(weights)
+		if math.Abs(ll-prevLL) < emTol*(1+math.Abs(ll)) {
+			converged = true
+			break
+		}
+		prevLL = ll
+	}
+
+	mm := &MixtureModel{LogLikelihood: ll, Iterations: iters, Converged: converged}
+	for j := 0; j < k; j++ {
+		mm.Modes = append(mm.Modes, Mode{Mean: means[j], Sigma: sigmas[j], Weight: weights[j]})
+	}
+	sort.Slice(mm.Modes, func(a, b int) bool { return mm.Modes[a].Mean < mm.Modes[b].Mean })
+	return mm, nil
+}
+
+// FitBIC fits mixtures with k = 1..kMax and returns the one minimizing BIC.
+func FitBIC(xs []float64, kMax int) (*MixtureModel, error) {
+	if kMax < 1 {
+		return nil, errors.New("modal: kMax must be >= 1")
+	}
+	var best *MixtureModel
+	bestBIC := math.Inf(1)
+	var firstErr error
+	for k := 1; k <= kMax; k++ {
+		mm, err := FitEM(xs, k)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if b := mm.BIC(len(xs)); b < bestBIC {
+			best, bestBIC = mm, b
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// kmeansInit seeds EM with 1-D k-means initialized at evenly spaced sample
+// quantiles (deterministic).
+func kmeansInit(xs []float64, k int) (means, sigmas, weights []float64) {
+	means = make([]float64, k)
+	for j := 0; j < k; j++ {
+		q := (float64(j) + 0.5) / float64(k)
+		means[j], _ = stats.Quantile(xs, q)
+	}
+	assign := make([]int, len(xs))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, x := range xs {
+			best, bestD := 0, math.Inf(1)
+			for j, m := range means {
+				d := math.Abs(x - m)
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]float64, k)
+		for i, x := range xs {
+			sums[assign[i]] += x
+			counts[assign[i]]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] > 0 {
+				means[j] = sums[j] / counts[j]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	sigmas = make([]float64, k)
+	weights = make([]float64, k)
+	lo, _ := stats.Min(xs)
+	hi, _ := stats.Max(xs)
+	fallback := (hi - lo) / float64(4*k)
+	if fallback < minSigma {
+		fallback = minSigma
+	}
+	for j := 0; j < k; j++ {
+		var ss, cnt float64
+		for i, x := range xs {
+			if assign[i] == j {
+				d := x - means[j]
+				ss += d * d
+				cnt++
+			}
+		}
+		if cnt > 1 && ss > 0 {
+			sigmas[j] = math.Sqrt(ss / cnt)
+		} else {
+			sigmas[j] = fallback
+		}
+		if sigmas[j] < minSigma {
+			sigmas[j] = minSigma
+		}
+		weights[j] = (cnt + 1) / float64(len(xs)+k) // Laplace smoothing
+	}
+	normalize(weights)
+	return means, sigmas, weights
+}
+
+// reseedPoint returns the sample value with the lowest mixture density,
+// used to revive a collapsed EM component.
+func reseedPoint(xs []float64, means, sigmas, weights []float64) float64 {
+	worst, worstD := xs[0], math.Inf(1)
+	for _, x := range xs {
+		d := 0.0
+		for j := range means {
+			d += weights[j] * math.Exp(logNormalPDF(x, means[j], sigmas[j]))
+		}
+		if d < worstD {
+			worst, worstD = x, d
+		}
+	}
+	return worst
+}
+
+func normalize(ws []float64) {
+	var tot float64
+	for _, w := range ws {
+		tot += w
+	}
+	if tot <= 0 {
+		for i := range ws {
+			ws[i] = 1 / float64(len(ws))
+		}
+		return
+	}
+	for i := range ws {
+		ws[i] /= tot
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

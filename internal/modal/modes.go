@@ -1,0 +1,89 @@
+package modal
+
+import (
+	"errors"
+
+	"prodpred/internal/stochastic"
+)
+
+// Burstiness summarizes how a series moves between modes over time —
+// the paper distinguishes load that "remains within a single mode" from
+// "multi-modal bursty" load (§2.1.2, Figures 8 vs 11), and picks the
+// stochastic-value construction accordingly.
+type Burstiness struct {
+	Transitions    int     // number of adjacent-sample mode changes
+	TransitionRate float64 // transitions per sample
+	DominantMode   int     // mode with the highest occupancy
+	DominantFrac   float64 // occupancy of the dominant mode
+	MeanDwell      float64 // average run length within a mode, in samples
+}
+
+// AnalyzeBurstiness classifies the series xs with the model and summarizes
+// its mode dynamics.
+func AnalyzeBurstiness(mm *MixtureModel, xs []float64) (Burstiness, error) {
+	if len(xs) == 0 {
+		return Burstiness{}, errors.New("modal: empty series")
+	}
+	labels := mm.ClassifySeries(xs)
+	occ := mm.Occupancy(xs)
+	b := Burstiness{}
+	for i, f := range occ {
+		if f > b.DominantFrac {
+			b.DominantMode, b.DominantFrac = i, f
+		}
+	}
+	runs := 1
+	for i := 1; i < len(labels); i++ {
+		if labels[i] != labels[i-1] {
+			b.Transitions++
+			runs++
+		}
+	}
+	b.TransitionRate = float64(b.Transitions) / float64(len(labels))
+	b.MeanDwell = float64(len(labels)) / float64(runs)
+	return b, nil
+}
+
+// SingleMode reports whether the series effectively stays in one mode: the
+// dominant mode covers at least domFrac of samples and the transition rate
+// is below maxRate. These are the conditions under which the paper uses the
+// current mode's distribution directly (§3.1).
+func (b Burstiness) SingleMode(domFrac, maxRate float64) bool {
+	return b.DominantFrac >= domFrac && b.TransitionRate <= maxRate
+}
+
+// StochasticValue builds the prediction parameter from a fitted model and
+// the observed series per §2.1.2:
+//
+//   - If the series is effectively single-mode, return that mode's
+//     stochastic value (mean ± 2 sigma of the mode).
+//   - Otherwise, return the occupancy-weighted combination
+//     P1(M1 ± SD1) + P2(M2 ± SD2) + ... .
+//
+// The returned bool reports whether the single-mode branch was taken.
+func StochasticValue(mm *MixtureModel, xs []float64) (stochastic.Value, bool, error) {
+	b, err := AnalyzeBurstiness(mm, xs)
+	if err != nil {
+		return stochastic.Value{}, false, err
+	}
+	if b.SingleMode(0.9, 0.05) {
+		return mm.Modes[b.DominantMode].Stochastic(), true, nil
+	}
+	modes := make([]stochastic.Value, mm.K())
+	for i, m := range mm.Modes {
+		modes[i] = m.Stochastic()
+	}
+	v, err := stochastic.WeightedCombine(modes, mm.Occupancy(xs))
+	return v, false, err
+}
+
+// MixtureStochasticValue is the variance-complete alternative summary
+// (exact mixture mean ± 2 sigma including between-mode variance), used by
+// the modal ablation experiment.
+func MixtureStochasticValue(mm *MixtureModel, xs []float64) (stochastic.Value, error) {
+	modes := make([]stochastic.Value, mm.K())
+	for i, m := range mm.Modes {
+		modes[i] = m.Stochastic()
+	}
+	return stochastic.MixtureSummary(modes, mm.Occupancy(xs))
+}

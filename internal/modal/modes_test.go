@@ -1,0 +1,171 @@
+package modal
+
+import (
+	"math/rand"
+	"testing"
+
+	"prodpred/internal/stochastic"
+)
+
+func twoModeModel() *MixtureModel {
+	return &MixtureModel{Modes: []Mode{
+		{Mean: 0.3, Sigma: 0.02, Weight: 0.5},
+		{Mean: 0.9, Sigma: 0.02, Weight: 0.5},
+	}}
+}
+
+// steadySeries stays in mode 0; burstySeries alternates every sample.
+func steadySeries(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.3
+	}
+	return xs
+}
+
+func burstySeries(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 0.3
+		} else {
+			xs[i] = 0.9
+		}
+	}
+	return xs
+}
+
+func TestAnalyzeBurstinessSteady(t *testing.T) {
+	mm := twoModeModel()
+	b, err := AnalyzeBurstiness(mm, steadySeries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Transitions != 0 || b.TransitionRate != 0 {
+		t.Errorf("steady transitions=%d rate=%g", b.Transitions, b.TransitionRate)
+	}
+	if b.DominantMode != 0 || b.DominantFrac != 1 {
+		t.Errorf("dominant=%d frac=%g", b.DominantMode, b.DominantFrac)
+	}
+	if b.MeanDwell != 100 {
+		t.Errorf("dwell=%g", b.MeanDwell)
+	}
+	if !b.SingleMode(0.9, 0.05) {
+		t.Error("steady series should be single-mode")
+	}
+}
+
+func TestAnalyzeBurstinessBursty(t *testing.T) {
+	mm := twoModeModel()
+	b, err := AnalyzeBurstiness(mm, burstySeries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Transitions != 99 {
+		t.Errorf("transitions=%d", b.Transitions)
+	}
+	if b.MeanDwell != 1 {
+		t.Errorf("dwell=%g", b.MeanDwell)
+	}
+	if b.SingleMode(0.9, 0.05) {
+		t.Error("bursty series should not be single-mode")
+	}
+}
+
+func TestAnalyzeBurstinessEmpty(t *testing.T) {
+	if _, err := AnalyzeBurstiness(twoModeModel(), nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestStochasticValueSingleModeBranch(t *testing.T) {
+	mm := twoModeModel()
+	v, single, err := StochasticValue(mm, steadySeries(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single {
+		t.Error("should take single-mode branch")
+	}
+	want := stochastic.FromMeanSigma(0.3, 0.02)
+	if !v.ApproxEqual(want, 1e-12) {
+		t.Errorf("value=%v want %v", v, want)
+	}
+}
+
+func TestStochasticValueWeightedBranch(t *testing.T) {
+	mm := twoModeModel()
+	v, single, err := StochasticValue(mm, burstySeries(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single {
+		t.Error("should take weighted branch")
+	}
+	// 50/50 occupancy: mean = 0.6, spread = 0.5*0.04 + 0.5*0.04 = 0.04.
+	want := stochastic.New(0.6, 0.04)
+	if !v.ApproxEqual(want, 1e-9) {
+		t.Errorf("value=%v want %v", v, want)
+	}
+}
+
+func TestStochasticValueEmptySeries(t *testing.T) {
+	if _, _, err := StochasticValue(twoModeModel(), nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestMixtureStochasticValueIsWider(t *testing.T) {
+	mm := twoModeModel()
+	xs := burstySeries(200)
+	paper, _, err := StochasticValue(mm, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MixtureStochasticValue(mm, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Spread <= paper.Spread {
+		t.Errorf("mixture spread %g should exceed weighted-combine spread %g",
+			full.Spread, paper.Spread)
+	}
+	if !almostEqual(full.Mean, paper.Mean, 1e-9) {
+		t.Errorf("means differ: %g vs %g", full.Mean, paper.Mean)
+	}
+}
+
+func TestEndToEndFitAndSummarize(t *testing.T) {
+	// Fit a bursty 4-modal series like Platform 2's, then summarize.
+	rng := rand.New(rand.NewSource(120))
+	means := []float64{0.1, 0.35, 0.6, 0.92}
+	n := 2000
+	xs := make([]float64, n)
+	mode := 0
+	for i := range xs {
+		if rng.Float64() < 0.1 { // bursty switching
+			mode = rng.Intn(4)
+		}
+		xs[i] = means[mode] + 0.02*rng.NormFloat64()
+	}
+	mm, err := FitBIC(xs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.K() < 3 || mm.K() > 5 {
+		t.Errorf("fitted K=%d want ~4", mm.K())
+	}
+	v, single, err := StochasticValue(mm, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single {
+		t.Error("bursty multi-modal series took the single-mode branch")
+	}
+	if v.Mean < 0.1 || v.Mean > 0.92 {
+		t.Errorf("combined mean %g outside mode range", v.Mean)
+	}
+	if v.Spread <= 0 {
+		t.Errorf("combined spread %g", v.Spread)
+	}
+}

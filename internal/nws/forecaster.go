@@ -1,0 +1,232 @@
+// Package nws reimplements the forecasting core of the Network Weather
+// Service (Wolski '96/'97), the monitoring system the paper uses to obtain
+// run-time CPU-availability values and their variances at 5-second
+// intervals.
+//
+// NWS runs a battery of cheap forecasters over each measurement history,
+// tracks every forecaster's postmortem error, and reports the prediction of
+// the currently most accurate one together with an error estimate. Here the
+// report is surfaced directly as a stochastic.Value (forecast ± 2·RMSE), the
+// form the paper's structural models consume.
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"prodpred/internal/stochastic"
+)
+
+// Forecaster predicts the next measurement from a history (oldest first).
+// ok is false when the history is too short for this method.
+type Forecaster interface {
+	Name() string
+	Predict(hist []float64) (value float64, ok bool)
+}
+
+// LastValue predicts the most recent measurement.
+type LastValue struct{}
+
+// Name implements Forecaster.
+func (LastValue) Name() string { return "last" }
+
+// Predict implements Forecaster.
+func (LastValue) Predict(hist []float64) (float64, bool) {
+	if len(hist) == 0 {
+		return 0, false
+	}
+	return hist[len(hist)-1], true
+}
+
+// RunningMean predicts the mean of the entire history.
+type RunningMean struct{}
+
+// Name implements Forecaster.
+func (RunningMean) Name() string { return "running-mean" }
+
+// Predict implements Forecaster.
+func (RunningMean) Predict(hist []float64) (float64, bool) {
+	if len(hist) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, x := range hist {
+		s += x
+	}
+	return s / float64(len(hist)), true
+}
+
+// WindowMean predicts the mean of the last W measurements.
+type WindowMean struct{ W int }
+
+// Name implements Forecaster.
+func (f WindowMean) Name() string { return fmt.Sprintf("mean-%d", f.W) }
+
+// Predict implements Forecaster.
+func (f WindowMean) Predict(hist []float64) (float64, bool) {
+	if f.W <= 0 || len(hist) < f.W {
+		return 0, false
+	}
+	var s float64
+	for _, x := range hist[len(hist)-f.W:] {
+		s += x
+	}
+	return s / float64(f.W), true
+}
+
+// WindowMedian predicts the median of the last W measurements — robust to
+// the spikes in long-tailed histories.
+type WindowMedian struct{ W int }
+
+// Name implements Forecaster.
+func (f WindowMedian) Name() string { return fmt.Sprintf("median-%d", f.W) }
+
+// Predict implements Forecaster.
+func (f WindowMedian) Predict(hist []float64) (float64, bool) {
+	if f.W <= 0 || len(hist) < f.W {
+		return 0, false
+	}
+	w := append([]float64(nil), hist[len(hist)-f.W:]...)
+	sort.Float64s(w)
+	n := len(w)
+	if n%2 == 1 {
+		return w[n/2], true
+	}
+	return (w[n/2-1] + w[n/2]) / 2, true
+}
+
+// ExpSmoothing predicts with exponential smoothing at gain Alpha in (0,1].
+type ExpSmoothing struct{ Alpha float64 }
+
+// Name implements Forecaster.
+func (f ExpSmoothing) Name() string { return fmt.Sprintf("exp-%.2f", f.Alpha) }
+
+// Predict implements Forecaster.
+func (f ExpSmoothing) Predict(hist []float64) (float64, bool) {
+	if len(hist) == 0 || f.Alpha <= 0 || f.Alpha > 1 {
+		return 0, false
+	}
+	s := hist[0]
+	for _, x := range hist[1:] {
+		s = f.Alpha*x + (1-f.Alpha)*s
+	}
+	return s, true
+}
+
+// DefaultBattery returns the NWS-style mixture-of-experts forecaster set:
+// last value, running mean, sliding means and medians at several widths,
+// and exponential smoothing at several gains.
+func DefaultBattery() []Forecaster {
+	return []Forecaster{
+		LastValue{},
+		RunningMean{},
+		WindowMean{W: 5}, WindowMean{W: 10}, WindowMean{W: 30},
+		WindowMedian{W: 5}, WindowMedian{W: 15},
+		ExpSmoothing{Alpha: 0.1}, ExpSmoothing{Alpha: 0.3}, ExpSmoothing{Alpha: 0.6},
+	}
+}
+
+// Forecast is one NWS report: the best forecaster's prediction and the
+// error estimate derived from its postmortem RMSE.
+type Forecast struct {
+	Value float64
+	RMSE  float64
+	Best  string // name of the winning forecaster
+}
+
+// Stochastic renders the forecast as a stochastic value: Value ± 2·RMSE.
+func (f Forecast) Stochastic() stochastic.Value {
+	return stochastic.FromMeanSigma(f.Value, f.RMSE)
+}
+
+// Mix is the mixture-of-experts selector: it scores every forecaster by
+// cumulative squared postmortem error and forecasts with the current best.
+// Not safe for concurrent use.
+type Mix struct {
+	forecasters []Forecaster
+	sqErr       []float64
+	n           []int
+}
+
+// NewMix builds a Mix over the given forecasters (DefaultBattery() if nil).
+func NewMix(fs []Forecaster) *Mix {
+	if len(fs) == 0 {
+		fs = DefaultBattery()
+	}
+	return &Mix{
+		forecasters: fs,
+		sqErr:       make([]float64, len(fs)),
+		n:           make([]int, len(fs)),
+	}
+}
+
+// Update performs one postmortem round: every forecaster predicts from
+// hist, and its squared error against the actual next measurement is
+// accumulated.
+func (m *Mix) Update(hist []float64, actual float64) {
+	for i, f := range m.forecasters {
+		v, ok := f.Predict(hist)
+		if !ok {
+			continue
+		}
+		d := v - actual
+		m.sqErr[i] += d * d
+		m.n[i]++
+	}
+}
+
+// Forecast predicts the next measurement from hist using the forecaster
+// with the lowest postmortem RMSE (ties and unscored forecasters resolve in
+// battery order, preferring scored ones). It fails when no forecaster can
+// predict from the history.
+func (m *Mix) Forecast(hist []float64) (Forecast, error) {
+	bestIdx := -1
+	bestRMSE := math.Inf(1)
+	bestVal := 0.0
+	for i, f := range m.forecasters {
+		v, ok := f.Predict(hist)
+		if !ok {
+			continue
+		}
+		rmse := math.Inf(1)
+		if m.n[i] > 0 {
+			rmse = math.Sqrt(m.sqErr[i] / float64(m.n[i]))
+		}
+		if bestIdx == -1 || rmse < bestRMSE {
+			bestIdx, bestRMSE, bestVal = i, rmse, v
+		}
+	}
+	if bestIdx == -1 {
+		return Forecast{}, errors.New("nws: no forecaster can predict from this history")
+	}
+	if math.IsInf(bestRMSE, 1) {
+		// No postmortem data yet: report a large conservative error of half
+		// the history range (or the value itself when degenerate).
+		lo, hi := hist[0], hist[0]
+		for _, x := range hist {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		bestRMSE = (hi - lo) / 2
+		if bestRMSE == 0 {
+			bestRMSE = math.Abs(bestVal) * 0.5
+		}
+	}
+	return Forecast{Value: bestVal, RMSE: bestRMSE, Best: m.forecasters[bestIdx].Name()}, nil
+}
+
+// RMSEs reports each forecaster's name and current postmortem RMSE (NaN
+// when unscored), for diagnostics and the forecaster ablation.
+func (m *Mix) RMSEs() map[string]float64 {
+	out := make(map[string]float64, len(m.forecasters))
+	for i, f := range m.forecasters {
+		if m.n[i] == 0 {
+			out[f.Name()] = math.NaN()
+			continue
+		}
+		out[f.Name()] = math.Sqrt(m.sqErr[i] / float64(m.n[i]))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package nws
+
+import (
+	"fmt"
+
+	"prodpred/internal/stats"
+)
+
+// Additional forecasters beyond the classic battery. The NWS papers
+// emphasize that the set is open-ended: any cheap predictor can join the
+// mix because postmortem scoring demotes the bad ones automatically.
+
+// TrimmedWindowMean predicts the trimmed mean of the last W measurements,
+// discarding the Trim fraction from each end — robust to the congestion
+// spikes of long-tailed histories without the median's coarseness.
+type TrimmedWindowMean struct {
+	W    int
+	Trim float64
+}
+
+// Name implements Forecaster.
+func (f TrimmedWindowMean) Name() string {
+	return fmt.Sprintf("trimmed-%d-%.0f%%", f.W, f.Trim*100)
+}
+
+// Predict implements Forecaster.
+func (f TrimmedWindowMean) Predict(hist []float64) (float64, bool) {
+	if f.W <= 0 || len(hist) < f.W {
+		return 0, false
+	}
+	v, err := stats.TrimmedMean(hist[len(hist)-f.W:], f.Trim)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Trend predicts by extrapolating a least-squares line over the last W
+// measurements one step ahead — the only battery member that can lead a
+// ramp instead of lagging it.
+type Trend struct{ W int }
+
+// Name implements Forecaster.
+func (f Trend) Name() string { return fmt.Sprintf("trend-%d", f.W) }
+
+// Predict implements Forecaster.
+func (f Trend) Predict(hist []float64) (float64, bool) {
+	if f.W < 2 || len(hist) < f.W {
+		return 0, false
+	}
+	w := hist[len(hist)-f.W:]
+	xs := make([]float64, len(w))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	slope, intercept, err := stats.LinearFit(xs, w)
+	if err != nil {
+		return 0, false
+	}
+	return intercept + slope*float64(len(w)), true
+}
+
+// AdaptiveMean re-selects its window size on every prediction: it scores
+// each candidate width by its one-step error over the available history and
+// predicts with the best. This is the NWS "adaptive window" idea in its
+// simplest form.
+type AdaptiveMean struct {
+	Widths []int // candidate window sizes, e.g. {3, 5, 10, 20}
+}
+
+// Name implements Forecaster.
+func (f AdaptiveMean) Name() string { return "adaptive-mean" }
+
+// Predict implements Forecaster.
+func (f AdaptiveMean) Predict(hist []float64) (float64, bool) {
+	if len(f.Widths) == 0 || len(hist) == 0 {
+		return 0, false
+	}
+	bestW, bestErr := 0, 0.0
+	found := false
+	for _, w := range f.Widths {
+		if w <= 0 || len(hist) < w+1 {
+			continue
+		}
+		// Backtest this width over up to the last 20 steps.
+		steps := len(hist) - w
+		if steps > 20 {
+			steps = 20
+		}
+		var se float64
+		for s := 0; s < steps; s++ {
+			end := len(hist) - s
+			mean := 0.0
+			for _, x := range hist[end-w-1 : end-1] {
+				mean += x
+			}
+			mean /= float64(w)
+			d := mean - hist[end-1]
+			se += d * d
+		}
+		if !found || se < bestErr {
+			bestW, bestErr, found = w, se, true
+		}
+	}
+	if !found {
+		// History too short to backtest any width: fall back to the
+		// smallest feasible plain window.
+		for _, w := range f.Widths {
+			if w > 0 && len(hist) >= w {
+				return WindowMean{W: w}.Predict(hist)
+			}
+		}
+		return 0, false
+	}
+	return WindowMean{W: bestW}.Predict(hist)
+}
+
+// ExtendedBattery returns DefaultBattery plus the adaptive forecasters.
+func ExtendedBattery() []Forecaster {
+	return append(DefaultBattery(),
+		TrimmedWindowMean{W: 10, Trim: 0.2},
+		TrimmedWindowMean{W: 30, Trim: 0.1},
+		Trend{W: 6},
+		Trend{W: 15},
+		AdaptiveMean{Widths: []int{3, 5, 10, 20, 40}},
+	)
+}

@@ -1,0 +1,165 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrimmedWindowMean(t *testing.T) {
+	f := TrimmedWindowMean{W: 5, Trim: 0.2}
+	// Window {1, 2, 3, 4, 100}: trimming one from each end -> mean(2,3,4)=3.
+	v, ok := f.Predict([]float64{9, 9, 1, 2, 3, 4, 100})
+	if !ok || v != 3 {
+		t.Errorf("Predict=%g,%v want 3", v, ok)
+	}
+	if _, ok := f.Predict([]float64{1, 2}); ok {
+		t.Error("short history should not predict")
+	}
+	if _, ok := (TrimmedWindowMean{W: 0, Trim: 0.1}).Predict([]float64{1}); ok {
+		t.Error("W=0 should not predict")
+	}
+	if _, ok := (TrimmedWindowMean{W: 2, Trim: 0.9}).Predict([]float64{1, 2}); ok {
+		t.Error("bad trim should not predict")
+	}
+	if (TrimmedWindowMean{W: 10, Trim: 0.2}).Name() != "trimmed-10-20%" {
+		t.Error("name format")
+	}
+}
+
+func TestTrimmedMeanRobustToSpike(t *testing.T) {
+	plain := WindowMean{W: 5}
+	robust := TrimmedWindowMean{W: 5, Trim: 0.2}
+	hist := []float64{0.5, 0.5, 0.5, 0.5, 0.01} // one congestion spike
+	pv, _ := plain.Predict(hist)
+	rv, _ := robust.Predict(hist)
+	if math.Abs(rv-0.5) >= math.Abs(pv-0.5) {
+		t.Errorf("trimmed %g should be closer to 0.5 than plain %g", rv, pv)
+	}
+}
+
+func TestTrendExtrapolates(t *testing.T) {
+	f := Trend{W: 4}
+	// Perfect ramp 1,2,3,4 -> next is 5.
+	v, ok := f.Predict([]float64{9, 1, 2, 3, 4})
+	if !ok || math.Abs(v-5) > 1e-9 {
+		t.Errorf("Predict=%g,%v want 5", v, ok)
+	}
+	// Constant history -> predicts the constant.
+	v, ok = f.Predict([]float64{2, 2, 2, 2})
+	if !ok || math.Abs(v-2) > 1e-9 {
+		t.Errorf("constant Predict=%g,%v", v, ok)
+	}
+	if _, ok := f.Predict([]float64{1, 2}); ok {
+		t.Error("short history should not predict")
+	}
+	if _, ok := (Trend{W: 1}).Predict([]float64{1, 2}); ok {
+		t.Error("W<2 should not predict")
+	}
+}
+
+func TestTrendBeatsMeanOnRamp(t *testing.T) {
+	mix := NewMix([]Forecaster{WindowMean{W: 6}, Trend{W: 6}})
+	hist := []float64{}
+	for i := 0; i < 100; i++ {
+		x := 0.01 * float64(i)
+		if len(hist) >= 6 {
+			mix.Update(hist, x)
+		}
+		hist = append(hist, x)
+	}
+	f, err := mix.Forecast(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Best != "trend-6" {
+		t.Errorf("best=%s want trend-6 (%v)", f.Best, mix.RMSEs())
+	}
+}
+
+func TestAdaptiveMean(t *testing.T) {
+	f := AdaptiveMean{Widths: []int{3, 10}}
+	if _, ok := f.Predict(nil); ok {
+		t.Error("empty history should not predict")
+	}
+	if _, ok := (AdaptiveMean{}).Predict([]float64{1, 2, 3}); ok {
+		t.Error("no widths should not predict")
+	}
+	// Short history: falls back to the smallest feasible width.
+	v, ok := f.Predict([]float64{1, 2, 3})
+	if !ok || v != 2 {
+		t.Errorf("fallback Predict=%g,%v want 2", v, ok)
+	}
+	// On iid data, the wider window backtests better than the narrow one.
+	rng := rand.New(rand.NewSource(1))
+	hist := make([]float64, 200)
+	for i := range hist {
+		hist[i] = 0.5 + 0.1*rng.NormFloat64()
+	}
+	v, ok = f.Predict(hist)
+	if !ok {
+		t.Fatal("should predict")
+	}
+	wide, _ := WindowMean{W: 10}.Predict(hist)
+	if v != wide {
+		t.Errorf("adaptive=%g want wide-window %g on iid data", v, wide)
+	}
+	// On a fast-switching series, the narrow window should win.
+	for i := range hist {
+		hist[i] = float64((i / 30) % 2) // square wave
+	}
+	v, ok = f.Predict(hist)
+	if !ok {
+		t.Fatal("should predict")
+	}
+	narrow, _ := WindowMean{W: 3}.Predict(hist)
+	if v != narrow {
+		t.Errorf("adaptive=%g want narrow-window %g on switching data", v, narrow)
+	}
+}
+
+func TestExtendedBatterySuperset(t *testing.T) {
+	ext := ExtendedBattery()
+	if len(ext) <= len(DefaultBattery()) {
+		t.Error("extended battery should add forecasters")
+	}
+	names := map[string]bool{}
+	for _, f := range ext {
+		if names[f.Name()] {
+			t.Errorf("duplicate forecaster name %q", f.Name())
+		}
+		names[f.Name()] = true
+	}
+	// Everything in the extended battery predicts from a 50-sample history.
+	hist := make([]float64, 50)
+	for i := range hist {
+		hist[i] = 0.5 + 0.01*float64(i%7)
+	}
+	for _, f := range ext {
+		if _, ok := f.Predict(hist); !ok {
+			t.Errorf("%s cannot predict from 50 samples", f.Name())
+		}
+	}
+}
+
+func TestExtendedBatteryInMix(t *testing.T) {
+	// The mix over the extended battery still works end to end.
+	mix := NewMix(ExtendedBattery())
+	rng := rand.New(rand.NewSource(2))
+	hist := []float64{}
+	x := 0.5
+	for i := 0; i < 300; i++ {
+		x = 0.5 + 0.9*(x-0.5) + 0.02*rng.NormFloat64()
+		if len(hist) > 0 {
+			mix.Update(hist, x)
+		}
+		hist = append(hist, x)
+	}
+	f, err := mix.Forecast(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE <= 0 || f.RMSE > 0.1 {
+		t.Errorf("RMSE=%g", f.RMSE)
+	}
+}

@@ -1,0 +1,214 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLastValue(t *testing.T) {
+	f := LastValue{}
+	if _, ok := f.Predict(nil); ok {
+		t.Error("empty history should not predict")
+	}
+	v, ok := f.Predict([]float64{1, 2, 3})
+	if !ok || v != 3 {
+		t.Errorf("Predict=%g,%v", v, ok)
+	}
+	if f.Name() != "last" {
+		t.Errorf("Name=%q", f.Name())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := RunningMean{}
+	if _, ok := f.Predict(nil); ok {
+		t.Error("empty history should not predict")
+	}
+	v, ok := f.Predict([]float64{1, 2, 3, 4})
+	if !ok || v != 2.5 {
+		t.Errorf("Predict=%g,%v", v, ok)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	f := WindowMean{W: 2}
+	if _, ok := f.Predict([]float64{1}); ok {
+		t.Error("short history should not predict")
+	}
+	v, ok := f.Predict([]float64{10, 1, 3})
+	if !ok || v != 2 {
+		t.Errorf("Predict=%g,%v", v, ok)
+	}
+	if _, ok := (WindowMean{W: 0}).Predict([]float64{1}); ok {
+		t.Error("W=0 should not predict")
+	}
+	if (WindowMean{W: 7}).Name() != "mean-7" {
+		t.Error("name format")
+	}
+}
+
+func TestWindowMedian(t *testing.T) {
+	f := WindowMedian{W: 3}
+	v, ok := f.Predict([]float64{100, 5, 1, 9})
+	if !ok || v != 5 {
+		t.Errorf("odd median=%g,%v", v, ok)
+	}
+	f4 := WindowMedian{W: 4}
+	v, ok = f4.Predict([]float64{1, 2, 3, 100})
+	if !ok || v != 2.5 {
+		t.Errorf("even median=%g,%v", v, ok)
+	}
+	if _, ok := f.Predict([]float64{1, 2}); ok {
+		t.Error("short history should not predict")
+	}
+	// Median must not mutate the history.
+	hist := []float64{3, 1, 2}
+	f3 := WindowMedian{W: 3}
+	f3.Predict(hist)
+	if hist[0] != 3 || hist[1] != 1 {
+		t.Error("Predict mutated history")
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	f := ExpSmoothing{Alpha: 0.5}
+	v, ok := f.Predict([]float64{0, 4})
+	if !ok || v != 2 {
+		t.Errorf("Predict=%g,%v", v, ok)
+	}
+	if _, ok := f.Predict(nil); ok {
+		t.Error("empty history should not predict")
+	}
+	if _, ok := (ExpSmoothing{Alpha: 0}).Predict([]float64{1}); ok {
+		t.Error("alpha=0 should not predict")
+	}
+	if _, ok := (ExpSmoothing{Alpha: 1.5}).Predict([]float64{1}); ok {
+		t.Error("alpha>1 should not predict")
+	}
+	// Alpha=1 degenerates to last value.
+	v, ok = (ExpSmoothing{Alpha: 1}).Predict([]float64{3, 9})
+	if !ok || v != 9 {
+		t.Errorf("alpha=1 Predict=%g", v)
+	}
+}
+
+func TestDefaultBatteryPredictsEventually(t *testing.T) {
+	hist := []float64{0.5, 0.52, 0.48, 0.49, 0.5, 0.51, 0.5, 0.49,
+		0.5, 0.52, 0.48, 0.49, 0.5, 0.51, 0.5, 0.49,
+		0.5, 0.52, 0.48, 0.49, 0.5, 0.51, 0.5, 0.49,
+		0.5, 0.52, 0.48, 0.49, 0.5, 0.51}
+	for _, f := range DefaultBattery() {
+		if _, ok := f.Predict(hist); !ok {
+			t.Errorf("forecaster %s cannot predict from 30 samples", f.Name())
+		}
+	}
+}
+
+func TestMixSelectsBestForecaster(t *testing.T) {
+	// On a constant series with one old spike, window median and means beat
+	// last-value; on a pure random walk, last-value wins. Feed a noisy
+	// mean-reverting series: running mean should dominate last value.
+	mix := NewMix([]Forecaster{LastValue{}, RunningMean{}})
+	rng := rand.New(rand.NewSource(5))
+	hist := []float64{}
+	for i := 0; i < 500; i++ {
+		next := 0.5 + 0.1*rng.NormFloat64() // iid around 0.5
+		if len(hist) > 0 {
+			mix.Update(hist, next)
+		}
+		hist = append(hist, next)
+	}
+	f, err := mix.Forecast(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Best != "running-mean" {
+		t.Errorf("best=%s want running-mean (RMSEs %v)", f.Best, mix.RMSEs())
+	}
+	if !almostEqual(f.Value, 0.5, 0.05) {
+		t.Errorf("forecast=%g want ~0.5", f.Value)
+	}
+	// The winner's RMSE should approximate the iid sigma (for the mean
+	// predictor, ~sigma).
+	if f.RMSE < 0.05 || f.RMSE > 0.15 {
+		t.Errorf("RMSE=%g want ~0.1", f.RMSE)
+	}
+}
+
+func TestMixPrefersLastValueOnRandomWalk(t *testing.T) {
+	mix := NewMix([]Forecaster{LastValue{}, RunningMean{}})
+	rng := rand.New(rand.NewSource(6))
+	hist := []float64{0}
+	x := 0.0
+	for i := 0; i < 500; i++ {
+		x += rng.NormFloat64()
+		mix.Update(hist, x)
+		hist = append(hist, x)
+	}
+	f, err := mix.Forecast(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Best != "last" {
+		t.Errorf("best=%s want last", f.Best)
+	}
+}
+
+func TestMixForecastWithNoHistory(t *testing.T) {
+	mix := NewMix(nil)
+	if _, err := mix.Forecast(nil); err == nil {
+		t.Error("empty history should fail")
+	}
+}
+
+func TestMixUnscoredFallback(t *testing.T) {
+	// With history but no postmortem updates, the forecast must still
+	// return, with a conservative non-zero RMSE.
+	mix := NewMix(nil)
+	f, err := mix.Forecast([]float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE <= 0 {
+		t.Errorf("fallback RMSE=%g want >0", f.RMSE)
+	}
+	// Degenerate constant history: falls back to a fraction of the value.
+	f2, err := mix.Forecast([]float64{0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.RMSE <= 0 {
+		t.Errorf("degenerate fallback RMSE=%g", f2.RMSE)
+	}
+}
+
+func TestForecastStochastic(t *testing.T) {
+	f := Forecast{Value: 0.48, RMSE: 0.025}
+	v := f.Stochastic()
+	if !almostEqual(v.Mean, 0.48, 1e-12) || !almostEqual(v.Spread, 0.05, 1e-12) {
+		t.Errorf("Stochastic=%v", v)
+	}
+}
+
+func TestRMSEs(t *testing.T) {
+	mix := NewMix([]Forecaster{LastValue{}})
+	m := mix.RMSEs()
+	if !math.IsNaN(m["last"]) {
+		t.Error("unscored forecaster should report NaN")
+	}
+	mix.Update([]float64{1}, 3) // error 2
+	m = mix.RMSEs()
+	if !almostEqual(m["last"], 2, 1e-12) {
+		t.Errorf("RMSE=%g want 2", m["last"])
+	}
+}
+
+func TestMixDefaultBatteryUsedWhenNil(t *testing.T) {
+	mix := NewMix(nil)
+	if len(mix.RMSEs()) != len(DefaultBattery()) {
+		t.Error("nil battery should default")
+	}
+}

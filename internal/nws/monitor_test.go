@@ -1,0 +1,180 @@
+package nws
+
+import (
+	"math"
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/load"
+	"prodpred/internal/simenv"
+)
+
+func platform1Env(t *testing.T, seed int64) *simenv.Env {
+	t.Helper()
+	p := cluster.Platform1()
+	proc, err := load.Platform1CenterMode(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ded := load.Dedicated()
+	env, err := simenv.New(p, []load.Process{proc, ded, ded, ded}, ded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewCPUMonitorValidation(t *testing.T) {
+	env := platform1Env(t, 1)
+	if _, err := NewCPUMonitor(nil, 0, 5, 10); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := NewCPUMonitor(env, 9, 5, 10); err == nil {
+		t.Error("bad machine should fail")
+	}
+	if _, err := NewCPUMonitor(env, 0, 0, 10); err == nil {
+		t.Error("zero period should fail")
+	}
+	if _, err := NewCPUMonitor(env, 0, 5, 0); err == nil {
+		t.Error("zero history should fail")
+	}
+}
+
+func TestMonitorRunUntilCadence(t *testing.T) {
+	env := platform1Env(t, 2)
+	m, err := NewCPUMonitor(env, 0, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(24); err != nil {
+		t.Fatal(err)
+	}
+	// Measurements at t=0,5,10,15,20 -> 5 samples.
+	if m.Len() != 5 {
+		t.Errorf("Len=%d want 5", m.Len())
+	}
+	// Idempotent.
+	if err := m.RunUntil(24); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 5 {
+		t.Errorf("re-run Len=%d want 5", m.Len())
+	}
+	if err := m.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 6 {
+		t.Errorf("after t=25 Len=%d want 6", m.Len())
+	}
+	last, ok := m.Last()
+	if !ok || last.T != 25 {
+		t.Errorf("Last=%+v,%v", last, ok)
+	}
+	if m.Period() != 5 {
+		t.Errorf("Period=%g", m.Period())
+	}
+}
+
+func TestMonitorForecastTracksLoad(t *testing.T) {
+	env := platform1Env(t, 3)
+	m, err := NewCPUMonitor(env, 0, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Report(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center mode is 0.48 ± 0.05; the forecast must land in that vicinity
+	// and carry a usable non-zero spread.
+	if math.Abs(v.Mean-0.48) > 0.06 {
+		t.Errorf("forecast mean=%g want ~0.48", v.Mean)
+	}
+	if v.Spread <= 0 || v.Spread > 0.3 {
+		t.Errorf("forecast spread=%g", v.Spread)
+	}
+}
+
+func TestMonitorForecastBeforeMeasurements(t *testing.T) {
+	env := platform1Env(t, 4)
+	m, _ := NewCPUMonitor(env, 0, 5, 10)
+	if _, err := m.Forecast(); err == nil {
+		t.Error("forecast with no data should fail")
+	}
+}
+
+func TestMonitorHistoryBounded(t *testing.T) {
+	env := platform1Env(t, 5)
+	m, _ := NewCPUMonitor(env, 0, 5, 10)
+	if err := m.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 10 {
+		t.Errorf("history len=%d want bounded at 10", m.Len())
+	}
+	if len(m.History()) != 10 {
+		t.Errorf("History len=%d", len(m.History()))
+	}
+}
+
+func TestBandwidthMonitor(t *testing.T) {
+	p := cluster.Platform1()
+	ded := load.Dedicated()
+	contention, err := load.EthernetContention(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := simenv.New(p, []load.Process{ded, ded, ded, ded}, contention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewBandwidthMonitor(env, 0, 1, 12500, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Report(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5.25 Mbit/s = 656 kB/s mean achieved bandwidth.
+	if v.Mean < 5e5 || v.Mean > 7.5e5 {
+		t.Errorf("bandwidth forecast=%g B/s want ~6.5e5", v.Mean)
+	}
+	if v.Spread <= 0 {
+		t.Errorf("spread=%g", v.Spread)
+	}
+}
+
+func TestBandwidthMonitorValidation(t *testing.T) {
+	env := platform1Env(t, 7)
+	if _, err := NewBandwidthMonitor(nil, 0, 1, 100, 5, 10); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := NewBandwidthMonitor(env, 0, 0, 100, 5, 10); err == nil {
+		t.Error("self link should fail")
+	}
+	if _, err := NewBandwidthMonitor(env, 0, 1, 0, 5, 10); err == nil {
+		t.Error("zero probe should fail")
+	}
+}
+
+func TestMonitorMixImproves(t *testing.T) {
+	// After enough postmortems, the winning forecaster's RMSE should be
+	// small relative to the load sigma (0.025) — NWS forecasting beats the
+	// naive half-range fallback.
+	env := platform1Env(t, 8)
+	m, _ := NewCPUMonitor(env, 0, 5, 500)
+	if err := m.RunUntil(5000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE > 0.05 {
+		t.Errorf("RMSE=%g want < 0.05 (mix=%v)", f.RMSE, m.Mix().RMSEs())
+	}
+	if f.Best == "" {
+		t.Error("no winner recorded")
+	}
+}

@@ -1,0 +1,51 @@
+package readmecheck
+
+// This test compiles the README quickstart snippet (lightly adapted: real
+// values filled in) to keep the documentation honest.
+
+import (
+	"testing"
+
+	"prodpred"
+)
+
+func TestReadmeQuickstartCompiles(t *testing.T) {
+	measurements := []float64{11.2, 10.8, 11.5, 11.0, 10.9}
+	cpu := prodpred.FromPercent(0.48, 10.4)
+	bench, err := prodpred.FromSample(measurements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodTime := bench.DivUnrelated(cpu)
+	lo, hi := prodTime.Interval()
+	if !(lo < hi) {
+		t.Fatalf("interval [%g,%g]", lo, hi)
+	}
+
+	plat := prodpred.Platform1()
+	machines := make([]prodpred.Machine, plat.Size())
+	weights := make([]float64, plat.Size())
+	for i := range machines {
+		machines[i] = plat.Machine(i)
+		weights[i] = machines[i].ElemRate
+	}
+	part, err := prodpred.NewWeightedPartition(1600, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := plat.Link(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &prodpred.SORConfig{N: 1600, Iterations: 10, Partition: part,
+		Machines: machines, Link: link, MaxStrategy: prodpred.LargestMean}
+	params := cfg.DedicatedParams()
+	params[prodpred.LoadParam(0)] = cpu
+	pred, err := cfg.Predict(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Mean <= 0 {
+		t.Fatalf("pred=%v", pred)
+	}
+}

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"prodpred/internal/stochastic"
+)
+
+// Objective scores a stochastic makespan prediction; lower is better. This
+// is the paper's "scheduling strategy tuned to the user's performance
+// metric": different metrics over the same stochastic prediction yield
+// different best allocations.
+type Objective func(stochastic.Value) float64
+
+// MeanObjective minimizes the expected makespan.
+func MeanObjective(v stochastic.Value) float64 { return v.Mean }
+
+// UpperBoundObjective minimizes the pessimistic end of the interval
+// (Mean + Spread) — for callers who pay for overruns.
+func UpperBoundObjective(v stochastic.Value) float64 { return v.Hi() }
+
+// QuantileObjective returns an objective minimizing the q-th quantile of
+// the makespan (e.g. 0.95 for a 5%-miss service promise).
+func QuantileObjective(q float64) Objective {
+	return func(v stochastic.Value) float64 { return v.Quantile(q) }
+}
+
+// OptimizeAllocation searches for the unit allocation minimizing
+// objective(PredictMakespan(alloc)) by steepest-descent unit moves from a
+// mean-balanced start: repeatedly move one unit between the pair of
+// machines that improves the objective most, until no single move helps.
+// The objective is evaluated through the Probabilistic group Max so that
+// spread differences between machines are visible to the search.
+func OptimizeAllocation(total int, unitTimes []stochastic.Value, objective Objective) ([]int, stochastic.Value, error) {
+	if objective == nil {
+		return nil, stochastic.Value{}, errors.New("sched: nil objective")
+	}
+	alloc, err := UnitAllocation(total, unitTimes, MeanBalanced)
+	if err != nil {
+		return nil, stochastic.Value{}, err
+	}
+	score := func(a []int) (float64, stochastic.Value, error) {
+		v, err := PredictMakespan(a, unitTimes, stochastic.Probabilistic)
+		if err != nil {
+			return 0, stochastic.Value{}, err
+		}
+		return objective(v), v, nil
+	}
+	best, bestV, err := score(alloc)
+	if err != nil {
+		return nil, stochastic.Value{}, err
+	}
+	n := len(alloc)
+	const maxMoves = 100000 // termination backstop far above any real search
+	for move := 0; move < maxMoves; move++ {
+		improved := false
+		bestFrom, bestTo := -1, -1
+		bestScore := best
+		var bestVal stochastic.Value
+		for from := 0; from < n; from++ {
+			if alloc[from] == 0 {
+				continue
+			}
+			for to := 0; to < n; to++ {
+				if to == from {
+					continue
+				}
+				alloc[from]--
+				alloc[to]++
+				s, v, err := score(alloc)
+				alloc[from]++
+				alloc[to]--
+				if err != nil {
+					return nil, stochastic.Value{}, err
+				}
+				if s < bestScore-1e-12 {
+					bestScore, bestVal = s, v
+					bestFrom, bestTo = from, to
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+		alloc[bestFrom]--
+		alloc[bestTo]++
+		best, bestV = bestScore, bestVal
+	}
+	return alloc, bestV, nil
+}
+
+// CompareObjectives runs OptimizeAllocation under each named objective and
+// returns the allocations and predictions, for the tuned-metric comparison
+// the paper sketches in §1.2.
+type ObjectiveResult struct {
+	Name     string
+	Alloc    []int
+	Makespan stochastic.Value
+}
+
+// CompareObjectives evaluates the standard objective set on one problem.
+func CompareObjectives(total int, unitTimes []stochastic.Value) ([]ObjectiveResult, error) {
+	objectives := []struct {
+		name string
+		obj  Objective
+	}{
+		{"mean", MeanObjective},
+		{"upper-bound", UpperBoundObjective},
+		{"p95", QuantileObjective(0.95)},
+	}
+	out := make([]ObjectiveResult, 0, len(objectives))
+	for _, o := range objectives {
+		alloc, v, err := OptimizeAllocation(total, unitTimes, o.obj)
+		if err != nil {
+			return nil, fmt.Errorf("sched: objective %s: %w", o.name, err)
+		}
+		out = append(out, ObjectiveResult{Name: o.name, Alloc: alloc, Makespan: v})
+	}
+	return out, nil
+}

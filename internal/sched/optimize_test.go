@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"prodpred/internal/stochastic"
+)
+
+func TestOptimizeAllocationDedicated(t *testing.T) {
+	// Point unit times 10 and 5: the optimum is the 1:2 split, makespan
+	// ~300 for 90 units.
+	unit := []stochastic.Value{stochastic.Point(10), stochastic.Point(5)}
+	alloc, v, err := OptimizeAllocation(90, unit, MeanObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 30 || alloc[1] != 60 {
+		t.Errorf("alloc=%v want [30 60]", alloc)
+	}
+	if v.Mean != 300 {
+		t.Errorf("makespan=%v", v)
+	}
+}
+
+func TestOptimizeAllocationVarianceAware(t *testing.T) {
+	// Equal means, unequal variance (Table 1). Minimizing the upper bound
+	// shifts work to the stable machine relative to minimizing the mean.
+	unit := []stochastic.Value{
+		stochastic.FromPercent(12, 5),
+		stochastic.FromPercent(12, 30),
+	}
+	allocMean, _, err := OptimizeAllocation(100, unit, MeanObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocUB, vUB, err := OptimizeAllocation(100, unit, UpperBoundObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocUB[0] <= allocMean[0] {
+		t.Errorf("upper-bound objective should favor stable machine: %v vs %v",
+			allocUB, allocMean)
+	}
+	// The upper-bound optimum must not be worse than the mean optimum on
+	// its own objective.
+	vMean, err := PredictMakespan(allocMean, unit, stochastic.Probabilistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vUB.Hi() > vMean.Hi()+1e-9 {
+		t.Errorf("optimized Hi %g worse than mean-optimal Hi %g", vUB.Hi(), vMean.Hi())
+	}
+}
+
+func TestOptimizeAllocationBeatsHeuristics(t *testing.T) {
+	// On a random heterogeneous problem, the search should never lose to
+	// the closed-form heuristics on its own objective.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(3)
+		unit := make([]stochastic.Value, m)
+		for i := range unit {
+			unit[i] = stochastic.FromPercent(2+rng.Float64()*20, rng.Float64()*40)
+		}
+		obj := QuantileObjective(0.95)
+		alloc, v, err := OptimizeAllocation(60, unit, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, a := range alloc {
+			if a < 0 {
+				t.Fatalf("negative allocation %v", alloc)
+			}
+			total += a
+		}
+		if total != 60 {
+			t.Fatalf("allocation total %d", total)
+		}
+		for _, s := range []Strategy{MeanBalanced, Conservative, Optimistic} {
+			h, err := UnitAllocation(60, unit, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hv, err := PredictMakespan(h, unit, stochastic.Probabilistic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj(v) > obj(hv)+1e-9 {
+				t.Errorf("trial %d: optimizer %g lost to heuristic %s %g",
+					trial, obj(v), s, obj(hv))
+			}
+		}
+	}
+}
+
+func TestOptimizeAllocationValidation(t *testing.T) {
+	unit := []stochastic.Value{stochastic.Point(1)}
+	if _, _, err := OptimizeAllocation(10, unit, nil); err == nil {
+		t.Error("nil objective should fail")
+	}
+	if _, _, err := OptimizeAllocation(10, nil, MeanObjective); err == nil {
+		t.Error("no machines should fail")
+	}
+	// Single machine: everything lands there.
+	alloc, v, err := OptimizeAllocation(10, unit, MeanObjective)
+	if err != nil || alloc[0] != 10 || v.Mean != 10 {
+		t.Errorf("single machine alloc=%v v=%v err=%v", alloc, v, err)
+	}
+	// Zero work: zero makespan.
+	alloc, v, err = OptimizeAllocation(0, unit, MeanObjective)
+	if err != nil || alloc[0] != 0 || v.Mean != 0 {
+		t.Errorf("zero work alloc=%v v=%v err=%v", alloc, v, err)
+	}
+}
+
+func TestCompareObjectives(t *testing.T) {
+	unit := []stochastic.Value{
+		stochastic.FromPercent(12, 5),
+		stochastic.FromPercent(12, 30),
+	}
+	res, err := CompareObjectives(100, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results=%d", len(res))
+	}
+	names := map[string]bool{}
+	for _, r := range res {
+		names[r.Name] = true
+		if r.Makespan.Mean <= 0 {
+			t.Errorf("%s makespan=%v", r.Name, r.Makespan)
+		}
+	}
+	for _, want := range []string{"mean", "upper-bound", "p95"} {
+		if !names[want] {
+			t.Errorf("missing objective %s", want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package sched implements schedulers that consume stochastic performance
+// predictions — the application of stochastic values the paper motivates in
+// §1.2: "If the accuracy of the prediction is a priority ... more work
+// could be assigned to the small variance machine. If there is little
+// penalty for poor predictions, we might optimistically assign a greater
+// portion of the work to the often faster machine."
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+)
+
+// Strategy selects how a scheduler reads a stochastic prediction.
+type Strategy int
+
+const (
+	// MeanBalanced plans against the mean — the conventional point-value
+	// policy.
+	MeanBalanced Strategy = iota
+	// Conservative plans against the pessimistic end of each interval
+	// (unit times at Hi, capacities at Lo), favouring low-variance
+	// machines when a missed prediction is costly.
+	Conservative
+	// Optimistic plans against the optimistic end (unit times at Lo,
+	// capacities at Hi), chasing the best case when misses are cheap.
+	Optimistic
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case MeanBalanced:
+		return "mean"
+	case Conservative:
+		return "conservative"
+	case Optimistic:
+		return "optimistic"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// effectiveUnitTime reads the per-unit execution time a strategy plans
+// against. Unit times must be positive throughout their interval.
+func effectiveUnitTime(t stochastic.Value, s Strategy) (float64, error) {
+	var v float64
+	switch s {
+	case MeanBalanced:
+		v = t.Mean
+	case Conservative:
+		v = t.Hi()
+	case Optimistic:
+		v = t.Lo()
+	default:
+		return 0, fmt.Errorf("sched: unknown strategy %d", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("sched: non-positive effective unit time %g (value %v)", v, t)
+	}
+	return v, nil
+}
+
+// UnitAllocation splits `total` indivisible units of work across machines
+// whose per-unit execution times are the given stochastic values, balancing
+// predicted completion times under the strategy: machine i receives work
+// proportional to 1/t_i. Every machine receives at least zero units;
+// largest-remainder rounding preserves the total.
+func UnitAllocation(total int, unitTimes []stochastic.Value, s Strategy) ([]int, error) {
+	if total < 0 {
+		return nil, errors.New("sched: negative work")
+	}
+	if len(unitTimes) == 0 {
+		return nil, errors.New("sched: no machines")
+	}
+	rates := make([]float64, len(unitTimes))
+	sum := 0.0
+	for i, t := range unitTimes {
+		v, err := effectiveUnitTime(t, s)
+		if err != nil {
+			return nil, err
+		}
+		rates[i] = 1 / v
+		sum += rates[i]
+	}
+	alloc := make([]int, len(rates))
+	fracs := make([]float64, len(rates))
+	assigned := 0
+	for i, r := range rates {
+		exact := float64(total) * r / sum
+		alloc[i] = int(exact)
+		fracs[i] = exact - float64(alloc[i])
+		assigned += alloc[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := range fracs {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		alloc[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return alloc, nil
+}
+
+// PredictMakespan returns the stochastic completion-time prediction of an
+// allocation: Max_i of alloc_i * unitTime_i, resolved with the given group
+// strategy (§2.3.3).
+func PredictMakespan(alloc []int, unitTimes []stochastic.Value, max stochastic.MaxStrategy) (stochastic.Value, error) {
+	if len(alloc) != len(unitTimes) {
+		return stochastic.Value{}, errors.New("sched: allocation length mismatch")
+	}
+	if len(alloc) == 0 {
+		return stochastic.Value{}, errors.New("sched: empty allocation")
+	}
+	vals := make([]stochastic.Value, len(alloc))
+	for i, n := range alloc {
+		if n < 0 {
+			return stochastic.Value{}, fmt.Errorf("sched: negative allocation %d", n)
+		}
+		vals[i] = unitTimes[i].MulPoint(float64(n))
+	}
+	return stochastic.Max(max, vals...)
+}
+
+// SimulateMakespan draws one realization of the allocation's completion
+// time: each machine's unit time is sampled once per run (machine-wide
+// system state) and its strip completes after alloc_i * t_i.
+func SimulateMakespan(alloc []int, unitTimes []stochastic.Value, rng *rand.Rand) (float64, error) {
+	if len(alloc) != len(unitTimes) {
+		return 0, errors.New("sched: allocation length mismatch")
+	}
+	worst := 0.0
+	for i, n := range alloc {
+		t := unitTimes[i].Sample(rng)
+		if t < 1e-9 {
+			t = 1e-9 // availability cannot make work finish instantly
+		}
+		if v := float64(n) * t; v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// PenaltyFn scores one run: given the scheduler's promised completion time
+// and the achieved one, it returns the cost of the miss (0 for a run that
+// met its promise).
+type PenaltyFn func(promised, actual float64) float64
+
+// OverrunPenalty returns a PenaltyFn charging `rate` per second of overrun
+// beyond the promise — the "considerable penalty for an inaccurate
+// prediction" regime of §1.2.
+func OverrunPenalty(rate float64) PenaltyFn {
+	return func(promised, actual float64) float64 {
+		if actual <= promised {
+			return 0
+		}
+		return rate * (actual - promised)
+	}
+}
+
+// EvaluatePolicy Monte-Carlo-evaluates a strategy: it allocates, promises
+// the strategy's effective makespan, and averages actual makespan and
+// penalty over `trials` sampled runs.
+type PolicyReport struct {
+	Alloc        []int
+	Promised     float64
+	MeanMakespan float64
+	MeanPenalty  float64
+}
+
+// EvaluatePolicy runs the full loop for one strategy.
+func EvaluatePolicy(total int, unitTimes []stochastic.Value, s Strategy, penalty PenaltyFn, rng *rand.Rand, trials int) (PolicyReport, error) {
+	if trials <= 0 {
+		return PolicyReport{}, errors.New("sched: trials must be positive")
+	}
+	alloc, err := UnitAllocation(total, unitTimes, s)
+	if err != nil {
+		return PolicyReport{}, err
+	}
+	promised := 0.0
+	for i, n := range alloc {
+		v, err := effectiveUnitTime(unitTimes[i], s)
+		if err != nil {
+			return PolicyReport{}, err
+		}
+		if m := float64(n) * v; m > promised {
+			promised = m
+		}
+	}
+	rep := PolicyReport{Alloc: alloc, Promised: promised}
+	for k := 0; k < trials; k++ {
+		actual, err := SimulateMakespan(alloc, unitTimes, rng)
+		if err != nil {
+			return PolicyReport{}, err
+		}
+		rep.MeanMakespan += actual
+		rep.MeanPenalty += penalty(promised, actual)
+	}
+	rep.MeanMakespan /= float64(trials)
+	rep.MeanPenalty /= float64(trials)
+	return rep, nil
+}
+
+// SORPartition builds a strip decomposition for an NxN SOR across the given
+// machines, weighting strips by predicted effective capacity
+// ElemRate * load under the strategy (capacities read at Lo for
+// Conservative, Hi for Optimistic).
+func SORPartition(n int, machines []cluster.Machine, loads []stochastic.Value, s Strategy) (*sor.Partition, error) {
+	if len(machines) != len(loads) {
+		return nil, errors.New("sched: machines/loads length mismatch")
+	}
+	weights := make([]float64, len(machines))
+	for i, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		var avail float64
+		switch s {
+		case MeanBalanced:
+			avail = loads[i].Mean
+		case Conservative:
+			avail = loads[i].Lo()
+		case Optimistic:
+			avail = loads[i].Hi()
+		default:
+			return nil, fmt.Errorf("sched: unknown strategy %d", s)
+		}
+		weights[i] = m.ElemRate * math.Max(avail, 0)
+	}
+	return sor.NewWeightedPartition(n, weights)
+}

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/stochastic"
+)
+
+// table1UnitTimes returns the production unit-work times of the paper's
+// Table 1: both machines at 12 s mean, A at ±5%, B at ±30%.
+func table1UnitTimes() []stochastic.Value {
+	return []stochastic.Value{
+		stochastic.FromPercent(12, 5),
+		stochastic.FromPercent(12, 30),
+	}
+}
+
+func TestUnitAllocationMeanBalancedEqualMeans(t *testing.T) {
+	alloc, err := UnitAllocation(100, table1UnitTimes(), MeanBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal means -> equal split, the paper's point-value conclusion.
+	if alloc[0] != 50 || alloc[1] != 50 {
+		t.Errorf("alloc=%v want [50 50]", alloc)
+	}
+}
+
+func TestUnitAllocationDedicated(t *testing.T) {
+	// Dedicated times 10 s and 5 s: "machine B should receive twice as
+	// much work as machine A" (Table 1 discussion).
+	unit := []stochastic.Value{stochastic.Point(10), stochastic.Point(5)}
+	alloc, err := UnitAllocation(90, unit, MeanBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 30 || alloc[1] != 60 {
+		t.Errorf("alloc=%v want [30 60]", alloc)
+	}
+}
+
+func TestUnitAllocationConservativeFavorsStableMachine(t *testing.T) {
+	alloc, err := UnitAllocation(100, table1UnitTimes(), Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Errorf("conservative alloc=%v should favor the ±5%% machine", alloc)
+	}
+	if alloc[0]+alloc[1] != 100 {
+		t.Errorf("total %d", alloc[0]+alloc[1])
+	}
+}
+
+func TestUnitAllocationOptimisticFavorsVolatileMachine(t *testing.T) {
+	alloc, err := UnitAllocation(100, table1UnitTimes(), Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B's best case (8.4 s/unit) beats A's (11.4 s/unit).
+	if alloc[1] <= alloc[0] {
+		t.Errorf("optimistic alloc=%v should favor the ±30%% machine", alloc)
+	}
+}
+
+func TestUnitAllocationErrors(t *testing.T) {
+	unit := table1UnitTimes()
+	if _, err := UnitAllocation(-1, unit, MeanBalanced); err == nil {
+		t.Error("negative work should fail")
+	}
+	if _, err := UnitAllocation(10, nil, MeanBalanced); err == nil {
+		t.Error("no machines should fail")
+	}
+	if _, err := UnitAllocation(10, unit, Strategy(99)); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	// A unit time whose Lo is negative breaks Optimistic.
+	bad := []stochastic.Value{stochastic.New(1, 2)}
+	if _, err := UnitAllocation(10, bad, Optimistic); err == nil {
+		t.Error("non-positive effective time should fail")
+	}
+	if _, err := UnitAllocation(10, []stochastic.Value{stochastic.Point(0)}, MeanBalanced); err == nil {
+		t.Error("zero unit time should fail")
+	}
+}
+
+func TestUnitAllocationConservesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(6)
+		unit := make([]stochastic.Value, m)
+		for i := range unit {
+			mean := 1 + rng.Float64()*20
+			unit[i] = stochastic.FromPercent(mean, rng.Float64()*40)
+		}
+		total := rng.Intn(1000)
+		for _, s := range []Strategy{MeanBalanced, Conservative, Optimistic} {
+			alloc, err := UnitAllocation(total, unit, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0
+			for _, a := range alloc {
+				if a < 0 {
+					t.Fatalf("negative allocation %v", alloc)
+				}
+				sum += a
+			}
+			if sum != total {
+				t.Fatalf("strategy %v: sum=%d want %d", s, sum, total)
+			}
+		}
+	}
+}
+
+func TestPredictMakespan(t *testing.T) {
+	unit := table1UnitTimes()
+	v, err := PredictMakespan([]int{50, 50}, unit, stochastic.LargestMagnitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B's 50 units: 600 ± 180 dominates in magnitude.
+	if !v.ApproxEqual(stochastic.New(600, 180), 1e-9) {
+		t.Errorf("makespan=%v", v)
+	}
+	if _, err := PredictMakespan([]int{1}, unit, stochastic.LargestMean); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PredictMakespan(nil, nil, stochastic.LargestMean); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := PredictMakespan([]int{-1, 1}, unit, stochastic.LargestMean); err == nil {
+		t.Error("negative alloc should fail")
+	}
+}
+
+func TestSimulateMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	unit := []stochastic.Value{stochastic.Point(2), stochastic.Point(3)}
+	m, err := SimulateMakespan([]int{10, 5}, unit, rng)
+	if err != nil || m != 20 {
+		t.Errorf("makespan=%g err=%v want 20", m, err)
+	}
+	if _, err := SimulateMakespan([]int{1}, unit, rng); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestOverrunPenalty(t *testing.T) {
+	p := OverrunPenalty(10)
+	if p(100, 90) != 0 {
+		t.Error("early finish should cost nothing")
+	}
+	if p(100, 103) != 30 {
+		t.Errorf("overrun penalty=%g want 30", p(100, 103))
+	}
+}
+
+func TestConservativeBeatsMeanUnderPenalty(t *testing.T) {
+	// The §1.2 thesis: when misses are expensive, planning against the
+	// interval (conservative) outperforms planning against the mean.
+	rng := rand.New(rand.NewSource(11))
+	penalty := OverrunPenalty(100)
+	unit := table1UnitTimes()
+	mean, err := EvaluatePolicy(100, unit, MeanBalanced, penalty, rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := EvaluatePolicy(100, unit, Conservative, penalty, rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.MeanPenalty >= mean.MeanPenalty {
+		t.Errorf("conservative penalty %g should beat mean %g",
+			cons.MeanPenalty, mean.MeanPenalty)
+	}
+	// Conservative promises later but keeps its promises far more often.
+	if cons.Promised <= mean.Promised {
+		t.Errorf("conservative promise %g should exceed mean promise %g",
+			cons.Promised, mean.Promised)
+	}
+}
+
+func TestOptimisticFastestOnAverageMakespan(t *testing.T) {
+	// With no penalty, pushing work to the often-faster volatile machine
+	// should not be worse on mean makespan than conservative.
+	rng := rand.New(rand.NewSource(13))
+	unit := []stochastic.Value{
+		stochastic.FromPercent(12, 5),
+		stochastic.FromPercent(10, 30), // faster on average AND volatile
+	}
+	opt, err := EvaluatePolicy(100, unit, Optimistic, OverrunPenalty(0), rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := EvaluatePolicy(100, unit, Conservative, OverrunPenalty(0), rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MeanMakespan > cons.MeanMakespan*1.1 {
+		t.Errorf("optimistic makespan %g much worse than conservative %g",
+			opt.MeanMakespan, cons.MeanMakespan)
+	}
+}
+
+func TestEvaluatePolicyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := EvaluatePolicy(10, table1UnitTimes(), MeanBalanced, OverrunPenalty(1), rng, 0); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := EvaluatePolicy(10, nil, MeanBalanced, OverrunPenalty(1), rng, 10); err == nil {
+		t.Error("no machines should fail")
+	}
+}
+
+func TestSORPartitionStrategies(t *testing.T) {
+	machines := []cluster.Machine{cluster.Sparc2("slow"), cluster.Sparc10("fast")}
+	loads := []stochastic.Value{
+		stochastic.New(0.9, 0.05), // slow machine, lightly loaded
+		stochastic.New(0.4, 0.3),  // fast machine, heavily and noisily loaded
+	}
+	n := 102
+	mean, err := SORPartition(n, machines, loads, MeanBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := SORPartition(n, machines, loads, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SORPartition(n, machines, loads, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservative trusts the volatile fast machine least; optimistic most.
+	if !(cons.Rows[1] < mean.Rows[1] && mean.Rows[1] < opt.Rows[1]) {
+		t.Errorf("fast-machine rows: cons=%d mean=%d opt=%d",
+			cons.Rows[1], mean.Rows[1], opt.Rows[1])
+	}
+	if err := mean.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSORPartitionErrors(t *testing.T) {
+	machines := []cluster.Machine{cluster.Sparc2("a")}
+	loads := []stochastic.Value{stochastic.Point(0.5)}
+	if _, err := SORPartition(100, machines, loads[:0], MeanBalanced); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := SORPartition(100, machines, loads, Strategy(42)); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	bad := []cluster.Machine{{Name: "x"}}
+	if _, err := SORPartition(100, bad, loads, MeanBalanced); err == nil {
+		t.Error("invalid machine should fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if MeanBalanced.String() != "mean" || Conservative.String() != "conservative" ||
+		Optimistic.String() != "optimistic" {
+		t.Error("strategy names")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func TestNegativeLoadLoClampedInPartition(t *testing.T) {
+	machines := []cluster.Machine{cluster.Sparc2("a"), cluster.Sparc2("b")}
+	loads := []stochastic.Value{
+		stochastic.New(0.1, 0.5), // Lo() < 0: clamped to 0 weight, floor gives 1 row
+		stochastic.New(0.9, 0.05),
+	}
+	pt, err := SORPartition(50, machines, loads, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Rows[0] < 1 {
+		t.Errorf("clamped machine rows=%d", pt.Rows[0])
+	}
+	if math.Abs(float64(pt.Rows[0]+pt.Rows[1])-48) > 0 {
+		t.Errorf("rows=%v", pt.Rows)
+	}
+}

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"prodpred/internal/simenv"
+)
+
+// Dynamic self-scheduling: instead of fixing the work division up front
+// from predictions, workers pull chunks of units from a central bag as they
+// finish — the classic adaptive alternative the paper's conclusion points
+// toward ("sophisticated strategies for scheduling"). Static allocation
+// commits to a forecast; self-scheduling tracks the load as it shifts, at
+// the price of a dispatch overhead per chunk. Both run against the same
+// simulated environment so the strategies are directly comparable.
+
+// StaticResult reports a simulated static-allocation run.
+type StaticResult struct {
+	Makespan float64
+	// Finish[p] is machine p's completion time relative to start.
+	Finish []float64
+}
+
+// SimulateStatic executes a fixed allocation on the environment: machine p
+// performs alloc[p]*unitElems element-equivalents starting at start.
+func SimulateStatic(env *simenv.Env, alloc []int, unitElems, start float64) (StaticResult, error) {
+	if env == nil {
+		return StaticResult{}, errors.New("sched: nil environment")
+	}
+	if len(alloc) != env.Platform().Size() {
+		return StaticResult{}, fmt.Errorf("sched: %d allocations for %d machines",
+			len(alloc), env.Platform().Size())
+	}
+	if !(unitElems > 0) {
+		return StaticResult{}, errors.New("sched: unitElems must be positive")
+	}
+	res := StaticResult{Finish: make([]float64, len(alloc))}
+	for p, units := range alloc {
+		if units < 0 {
+			return StaticResult{}, fmt.Errorf("sched: negative allocation %d", units)
+		}
+		d, err := env.WorkDuration(p, float64(units)*unitElems, start)
+		if err != nil {
+			return StaticResult{}, err
+		}
+		res.Finish[p] = d
+		if d > res.Makespan {
+			res.Makespan = d
+		}
+	}
+	return res, nil
+}
+
+// SelfSchedResult reports a simulated self-scheduling run.
+type SelfSchedResult struct {
+	Makespan float64
+	// UnitsDone[p] counts the units machine p ended up executing.
+	UnitsDone []int
+	// Chunks is the total number of dispatches.
+	Chunks int
+}
+
+// SimulateSelfScheduling executes totalUnits units with dynamic
+// self-scheduling: whenever a machine goes idle it pulls the next chunk of
+// units from the bag, paying dispatchCost seconds per pull (the
+// request/response on the shared network). Smaller chunks adapt faster but
+// pay more dispatch overhead.
+func SimulateSelfScheduling(env *simenv.Env, totalUnits, chunk int, unitElems, dispatchCost, start float64) (SelfSchedResult, error) {
+	if env == nil {
+		return SelfSchedResult{}, errors.New("sched: nil environment")
+	}
+	if totalUnits < 0 {
+		return SelfSchedResult{}, errors.New("sched: negative work")
+	}
+	if chunk <= 0 {
+		return SelfSchedResult{}, errors.New("sched: chunk must be positive")
+	}
+	if !(unitElems > 0) {
+		return SelfSchedResult{}, errors.New("sched: unitElems must be positive")
+	}
+	if dispatchCost < 0 {
+		return SelfSchedResult{}, errors.New("sched: negative dispatch cost")
+	}
+	p := env.Platform().Size()
+	clocks := make([]float64, p)
+	for i := range clocks {
+		clocks[i] = start
+	}
+	res := SelfSchedResult{UnitsDone: make([]int, p)}
+	remaining := totalUnits
+	for remaining > 0 {
+		// The next idle machine pulls work.
+		m := 0
+		for i := 1; i < p; i++ {
+			if clocks[i] < clocks[m] {
+				m = i
+			}
+		}
+		take := chunk
+		if take > remaining {
+			take = remaining
+		}
+		remaining -= take
+		clocks[m] += dispatchCost
+		d, err := env.WorkDuration(m, float64(take)*unitElems, clocks[m])
+		if err != nil {
+			return SelfSchedResult{}, err
+		}
+		clocks[m] += d
+		res.UnitsDone[m] += take
+		res.Chunks++
+	}
+	for _, c := range clocks {
+		if c-start > res.Makespan {
+			res.Makespan = c - start
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/load"
+	"prodpred/internal/simenv"
+	"prodpred/internal/stochastic"
+)
+
+func twoMachineEnv(t *testing.T, loadA, loadB load.Process) *simenv.Env {
+	t.Helper()
+	env, err := simenv.New(cluster.TwoMachineExample(),
+		[]load.Process{loadA, loadB}, load.Dedicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestSimulateStaticDedicated(t *testing.T) {
+	env := twoMachineEnv(t, load.Dedicated(), load.Dedicated())
+	// A: 30 units at 10 s; B: 60 at 5 s -> both 300 s.
+	res, err := SimulateStatic(env, []int{30, 60}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	if res.Makespan < 300-tol || res.Makespan > 300+tol ||
+		res.Finish[0] < 300-tol || res.Finish[1] < 300-tol {
+		t.Errorf("res=%+v", res)
+	}
+}
+
+func TestSimulateStaticValidation(t *testing.T) {
+	env := twoMachineEnv(t, load.Dedicated(), load.Dedicated())
+	if _, err := SimulateStatic(nil, []int{1, 1}, 1, 0); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := SimulateStatic(env, []int{1}, 1, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := SimulateStatic(env, []int{1, -1}, 1, 0); err == nil {
+		t.Error("negative alloc should fail")
+	}
+	if _, err := SimulateStatic(env, []int{1, 1}, 0, 0); err == nil {
+		t.Error("zero unitElems should fail")
+	}
+}
+
+func TestSimulateSelfSchedulingDedicated(t *testing.T) {
+	env := twoMachineEnv(t, load.Dedicated(), load.Dedicated())
+	res, err := SimulateSelfScheduling(env, 90, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B is twice as fast, so it should take ~2/3 of the units; makespan
+	// near the optimal 300 s (within one unit granularity).
+	if res.UnitsDone[1] < 55 || res.UnitsDone[1] > 65 {
+		t.Errorf("fast machine did %d units want ~60", res.UnitsDone[1])
+	}
+	if res.Makespan < 295 || res.Makespan > 310 {
+		t.Errorf("makespan=%g want ~300", res.Makespan)
+	}
+	if res.Chunks != 90 {
+		t.Errorf("chunks=%d", res.Chunks)
+	}
+}
+
+func TestSimulateSelfSchedulingValidation(t *testing.T) {
+	env := twoMachineEnv(t, load.Dedicated(), load.Dedicated())
+	if _, err := SimulateSelfScheduling(nil, 10, 1, 1, 0, 0); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := SimulateSelfScheduling(env, -1, 1, 1, 0, 0); err == nil {
+		t.Error("negative work should fail")
+	}
+	if _, err := SimulateSelfScheduling(env, 10, 0, 1, 0, 0); err == nil {
+		t.Error("zero chunk should fail")
+	}
+	if _, err := SimulateSelfScheduling(env, 10, 1, 0, 0, 0); err == nil {
+		t.Error("zero unitElems should fail")
+	}
+	if _, err := SimulateSelfScheduling(env, 10, 1, 1, -1, 0); err == nil {
+		t.Error("negative dispatch cost should fail")
+	}
+	// Zero work: zero makespan.
+	res, err := SimulateSelfScheduling(env, 0, 5, 1, 0, 0)
+	if err != nil || res.Makespan != 0 || res.Chunks != 0 {
+		t.Errorf("zero-work res=%+v err=%v", res, err)
+	}
+}
+
+func TestSelfSchedulingAdaptsToBurstyLoad(t *testing.T) {
+	// Under volatile load, self-scheduling should beat a static
+	// mean-balanced split on makespan.
+	mkEnv := func(seed int64) *simenv.Env {
+		la, err := load.NewSingleMode(10.0/12.0, 0.02, 0.8, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := load.NewMarkovModal(
+			[]load.ModeSpec{{Mean: 0.15, Sigma: 0.03}, {Mean: 0.75, Sigma: 0.03}},
+			[]float64{0.5, 0.5}, 0.02, 0.7, 1, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return twoMachineEnv(t, la, lb)
+	}
+	const units = 120
+	staticWins, dynamicWins := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		env := mkEnv(100 + seed*13)
+		// Static split from the §1.2 point-value logic (equal means).
+		alloc, err := UnitAllocation(units,
+			[]stochastic.Value{stochastic.Point(12), stochastic.Point(12)}, MeanBalanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := SimulateStatic(env, alloc, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dy, err := SimulateSelfScheduling(env, units, 2, 1, 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dy.Makespan < st.Makespan {
+			dynamicWins++
+		} else {
+			staticWins++
+		}
+	}
+	if dynamicWins <= staticWins {
+		t.Errorf("self-scheduling won %d/%d runs against static under bursty load",
+			dynamicWins, dynamicWins+staticWins)
+	}
+}
+
+func TestSelfSchedulingChunkTradeoff(t *testing.T) {
+	// With a real dispatch cost, tiny chunks pay overhead and huge chunks
+	// lose adaptivity; both should lose to a moderate chunk under
+	// volatile load.
+	lb, err := load.NewMarkovModal(
+		[]load.ModeSpec{{Mean: 0.2, Sigma: 0.02}, {Mean: 0.9, Sigma: 0.02}},
+		[]float64{0.5, 0.5}, 0.05, 0.7, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := twoMachineEnv(t, load.Dedicated(), lb)
+	const units = 200
+	const dispatch = 2.0 // expensive dispatches make chunk=1 hurt
+	mk := func(chunk int) float64 {
+		res, err := SimulateSelfScheduling(env, units, chunk, 1, dispatch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	tiny := mk(1)
+	moderate := mk(10)
+	huge := mk(units)
+	if moderate >= tiny {
+		t.Errorf("moderate chunk %g should beat tiny %g with dispatch cost", moderate, tiny)
+	}
+	if moderate >= huge {
+		t.Errorf("moderate chunk %g should beat one-shot %g under volatile load", moderate, huge)
+	}
+}

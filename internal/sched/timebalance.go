@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+)
+
+// Time-balanced partitioning, after the AppLeS scheduler the paper's group
+// built around these predictions: instead of cutting strips proportional to
+// raw capacity (which ignores communication), iteratively refine the strip
+// sizes until every strip's *predicted iteration time* — compute under the
+// forecast load plus its own ghost-row exchanges — is equal. Edge strips
+// have one neighbour and interior strips two, so the refinement shifts rows
+// outward; on communication-heavy problems this beats capacity-proportional
+// cuts.
+
+// StripTime predicts one full iteration's time for a strip of `rows` rows
+// in an n x n grid on the given machine: compute for both colors at the
+// mean forecast availability, plus send+receive of one ghost row per
+// neighbour per color phase.
+func StripTime(rows, n, neighbors int, m cluster.Machine, loadMean float64, link cluster.Link) float64 {
+	if loadMean < 0.01 {
+		loadMean = 0.01
+	}
+	compute := float64(rows*(n-2)) / (m.ElemRate * loadMean)
+	ghost := float64(n-2) * 8
+	perTransfer := ghost/link.DedBW + link.Latency
+	// Two color phases, each with a send and a receive per neighbour.
+	comm := float64(4*neighbors) * perTransfer
+	return compute + comm
+}
+
+// TimeBalancedPartition builds a strip decomposition whose predicted
+// per-iteration strip times are equalized by fixed-point refinement. loads
+// are the stochastic availability forecasts; the mean is planned against
+// (use Conservative/Optimistic reads upstream by shifting the loads).
+// refinements bounds the fixed-point iterations; 8 is plenty in practice.
+func TimeBalancedPartition(n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link, refinements int) (*sor.Partition, error) {
+	p := len(machines)
+	if p == 0 {
+		return nil, errors.New("sched: no machines")
+	}
+	if len(loads) != p {
+		return nil, errors.New("sched: machines/loads length mismatch")
+	}
+	if refinements < 0 {
+		return nil, errors.New("sched: negative refinement count")
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	for i, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: machine %d: %w", i, err)
+		}
+	}
+	// Start from capacity-proportional weights.
+	weights := make([]float64, p)
+	for i, m := range machines {
+		weights[i] = m.ElemRate * math.Max(loads[i].Mean, 0.01)
+	}
+	part, err := sor.NewWeightedPartition(n, weights)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < refinements; r++ {
+		times := stripTimes(part, n, machines, loads, link)
+		// Fixed point: rows_new ∝ rows / t  (a strip running long sheds
+		// rows to strips running short).
+		changed := false
+		for i := range weights {
+			w := float64(part.Rows[i]) / times[i]
+			if math.Abs(w-weights[i]) > 1e-12 {
+				changed = true
+			}
+			weights[i] = w
+		}
+		next, err := sor.NewWeightedPartition(n, weights)
+		if err != nil {
+			return nil, err
+		}
+		same := true
+		for i := range next.Rows {
+			if next.Rows[i] != part.Rows[i] {
+				same = false
+				break
+			}
+		}
+		part = next
+		if same || !changed {
+			break
+		}
+	}
+	return part, nil
+}
+
+func stripTimes(part *sor.Partition, n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link) []float64 {
+	p := part.P()
+	out := make([]float64, p)
+	for i := 0; i < p; i++ {
+		neighbors := 2
+		if i == 0 {
+			neighbors--
+		}
+		if i == p-1 {
+			neighbors--
+		}
+		out[i] = StripTime(part.Rows[i], n, neighbors, machines[i], loads[i].Mean, link)
+	}
+	return out
+}
+
+// Imbalance returns the ratio of the slowest to fastest predicted strip
+// time under the given decomposition (1.0 = perfectly balanced).
+func Imbalance(part *sor.Partition, n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link) (float64, error) {
+	if part == nil {
+		return 0, errors.New("sched: nil partition")
+	}
+	if len(machines) != part.P() || len(loads) != part.P() {
+		return 0, errors.New("sched: machines/loads length mismatch")
+	}
+	times := stripTimes(part, n, machines, loads, link)
+	lo, hi := times[0], times[0]
+	for _, t := range times[1:] {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	if lo <= 0 {
+		return 0, errors.New("sched: non-positive predicted strip time")
+	}
+	return hi / lo, nil
+}
+
+// PromiseFor converts a stochastic completion-time prediction into a
+// service promise with the given miss probability: the time t such that
+// P(completion > t) <= missProb under the normal interpretation. This is
+// the paper's "service range" alternative to hard QoS guarantees —
+// "probabilities associated with values in the service range could be used
+// in instances where poor performance can be tolerated a small percentage
+// of the time."
+func PromiseFor(v stochastic.Value, missProb float64) (float64, error) {
+	if missProb <= 0 || missProb >= 1 {
+		return 0, fmt.Errorf("sched: miss probability %g outside (0,1)", missProb)
+	}
+	return v.Quantile(1 - missProb), nil
+}

@@ -1,0 +1,213 @@
+package sor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(2); err == nil {
+		t.Error("n=2 should fail")
+	}
+	g, err := NewGrid(5)
+	if err != nil || g.N != 5 || len(g.U) != 25 {
+		t.Fatalf("NewGrid: %+v err=%v", g, err)
+	}
+	if math.Abs(g.H-0.25) > 1e-15 {
+		t.Errorf("H=%g want 0.25", g.H)
+	}
+}
+
+func TestSetBoundaryAndAccessors(t *testing.T) {
+	g, _ := NewGrid(4)
+	g.SetBoundary(func(x, y float64) float64 { return x + 10*y })
+	if got := g.At(0, 3); math.Abs(got-1) > 1e-12 { // x=1, y=0
+		t.Errorf("top-right boundary=%g want 1", got)
+	}
+	if got := g.At(3, 0); math.Abs(got-10) > 1e-12 { // x=0, y=1
+		t.Errorf("bottom-left boundary=%g want 10", got)
+	}
+	g.Set(1, 2, 42)
+	if g.At(1, 2) != 42 {
+		t.Error("Set/At mismatch")
+	}
+}
+
+func TestSolveLaplaceLinearBoundaryIsExact(t *testing.T) {
+	// u(x,y) = 1 + 2x + 3y is harmonic and linear, so the 5-point stencil
+	// reproduces it exactly: SOR must converge to it to round-off.
+	fn := func(x, y float64) float64 { return 1 + 2*x + 3*y }
+	g, _ := NewGrid(33)
+	g.SetBoundary(fn)
+	iters, err := g.Solve(DefaultOmega, 1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters >= 10000 {
+		t.Fatalf("did not converge, residual=%g", g.Residual())
+	}
+	if e := g.MaxErrorAgainst(fn); e > 1e-9 {
+		t.Errorf("max error=%g", e)
+	}
+}
+
+func TestSolveLaplaceHarmonicQuadratic(t *testing.T) {
+	// u = x^2 - y^2 is harmonic; the stencil is exact for quadratics too.
+	fn := func(x, y float64) float64 { return x*x - y*y }
+	g, _ := NewGrid(25)
+	g.SetBoundary(fn)
+	if _, err := g.Solve(DefaultOmega, 1e-12, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.MaxErrorAgainst(fn); e > 1e-8 {
+		t.Errorf("max error=%g", e)
+	}
+}
+
+func TestSolvePoissonWithSource(t *testing.T) {
+	// u = x^2 + y^2 has Laplacian 4; with f = 4 the discrete solution is
+	// exact for this quadratic.
+	fn := func(x, y float64) float64 { return x*x + y*y }
+	g, _ := NewGrid(21)
+	g.SetBoundary(fn)
+	g.SetSource(func(x, y float64) float64 { return 4 })
+	if _, err := g.Solve(DefaultOmega, 1e-12, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.MaxErrorAgainst(fn); e > 1e-8 {
+		t.Errorf("max error=%g", e)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g, _ := NewGrid(5)
+	if _, err := g.Solve(0, 1e-6, 10); err == nil {
+		t.Error("omega=0 should fail")
+	}
+	if _, err := g.Solve(2, 1e-6, 10); err == nil {
+		t.Error("omega=2 should fail")
+	}
+	if _, err := g.Solve(1.5, 1e-6, 0); err == nil {
+		t.Error("maxIters=0 should fail")
+	}
+}
+
+func TestOptimalOmega(t *testing.T) {
+	if got := OptimalOmega(2); got != DefaultOmega {
+		t.Errorf("tiny grid omega=%g", got)
+	}
+	om := OptimalOmega(129)
+	if om <= 1.9 || om >= 2 {
+		t.Errorf("OptimalOmega(129)=%g want ~1.95", om)
+	}
+	// Larger grids need omega closer to 2.
+	if OptimalOmega(500) <= OptimalOmega(50) {
+		t.Error("omega should increase with N")
+	}
+	// The optimal omega converges dramatically faster than a generic one.
+	fn := func(x, y float64) float64 { return x*x - y*y }
+	run := func(omega float64) int {
+		g, _ := NewGrid(65)
+		g.SetBoundary(fn)
+		iters, err := g.Solve(omega, 1e-10, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iters
+	}
+	generic := run(DefaultOmega)
+	optimal := run(OptimalOmega(65))
+	if optimal*3 > generic {
+		t.Errorf("optimal omega took %d iters vs generic %d", optimal, generic)
+	}
+}
+
+func TestSweepPhaseCountsAndColors(t *testing.T) {
+	g, _ := NewGrid(5) // interior 3x3 = 9 points: 5 of one color, 4 of the other
+	red := g.SweepPhase(Red, 1, 4, 1.0)
+	black := g.SweepPhase(Black, 1, 4, 1.0)
+	if red+black != 9 {
+		t.Fatalf("red=%d black=%d sum should be 9", red, black)
+	}
+	if red != 4 && red != 5 {
+		t.Errorf("red=%d", red)
+	}
+	// Clamped bounds.
+	if got := g.SweepPhase(Red, -10, 100, 1.0); got != red {
+		t.Errorf("clamped sweep=%d want %d", got, red)
+	}
+	// Empty range.
+	if got := g.SweepPhase(Red, 2, 2, 1.0); got != 0 {
+		t.Errorf("empty sweep=%d", got)
+	}
+}
+
+func TestRedBlackIndependenceWithinPhase(t *testing.T) {
+	// Sweeping the red half in two strips (in either order) must equal a
+	// single full red sweep: red points never read red points.
+	mk := func() *Grid {
+		g, _ := NewGrid(17)
+		g.SetBoundary(func(x, y float64) float64 { return math.Sin(3*x) + y })
+		// Seed the interior deterministically.
+		for i := 1; i < 16; i++ {
+			for j := 1; j < 16; j++ {
+				g.Set(i, j, float64(i*31+j*7%13)/10)
+			}
+		}
+		return g
+	}
+	whole := mk()
+	whole.SweepPhase(Red, 1, 16, 1.4)
+	split := mk()
+	split.SweepPhase(Red, 8, 16, 1.4) // bottom strip first
+	split.SweepPhase(Red, 1, 8, 1.4)
+	for i := range whole.U {
+		if whole.U[i] != split.U[i] {
+			t.Fatalf("strip order changed red sweep at %d: %g vs %g", i, whole.U[i], split.U[i])
+		}
+	}
+}
+
+func TestResidualZeroForExactSolution(t *testing.T) {
+	fn := func(x, y float64) float64 { return 2 + x - y }
+	g, _ := NewGrid(9)
+	g.SetBoundary(fn)
+	for i := 1; i < 8; i++ {
+		for j := 1; j < 8; j++ {
+			g.Set(i, j, fn(float64(j)*g.H, float64(i)*g.H))
+		}
+	}
+	if r := g.Residual(); r > 1e-12 {
+		t.Errorf("residual=%g want ~0", r)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, _ := NewGrid(5)
+	g.SetSource(func(x, y float64) float64 { return 1 })
+	g.Set(2, 2, 7)
+	c := g.Clone()
+	c.Set(2, 2, 9)
+	c.F[0] = 5
+	if g.At(2, 2) != 7 || g.F[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	gn, _ := NewGrid(5)
+	cn := gn.Clone()
+	if cn.F != nil {
+		t.Error("Clone of nil source should stay nil")
+	}
+}
+
+func TestInteriorPoints(t *testing.T) {
+	g, _ := NewGrid(10)
+	if g.InteriorPoints() != 64 {
+		t.Errorf("InteriorPoints=%d", g.InteriorPoints())
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Red.String() != "red" || Black.String() != "black" {
+		t.Error("phase strings")
+	}
+}

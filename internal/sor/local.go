@@ -1,0 +1,105 @@
+package sor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LocalResult reports a LocalBackend run.
+type LocalResult struct {
+	Iterations int
+	Residual   float64
+	Elapsed    time.Duration
+}
+
+// LocalBackend executes the strip-decomposed red-black SOR with one
+// goroutine per strip on the host machine — a real shared-memory parallel
+// SOR. Red and black half-sweeps are separated by barriers; within a
+// half-sweep the strips are independent because red points only read black
+// neighbors and vice versa, so workers may touch adjacent ghost rows
+// without racing.
+type LocalBackend struct {
+	part *Partition
+}
+
+// NewLocalBackend validates the partition and returns a backend.
+func NewLocalBackend(part *Partition) (*LocalBackend, error) {
+	if part == nil {
+		return nil, errors.New("sor: nil partition")
+	}
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	return &LocalBackend{part: part}, nil
+}
+
+// Run performs iterations full red-black sweeps on g (or stops early when
+// the residual drops below tol; pass tol <= 0 to run all iterations).
+func (b *LocalBackend) Run(g *Grid, omega float64, iterations int, tol float64) (LocalResult, error) {
+	if g == nil {
+		return LocalResult{}, errors.New("sor: nil grid")
+	}
+	if g.N != b.part.N {
+		return LocalResult{}, fmt.Errorf("sor: grid size %d does not match partition %d", g.N, b.part.N)
+	}
+	if omega <= 0 || omega >= 2 {
+		return LocalResult{}, fmt.Errorf("sor: omega %g outside (0,2)", omega)
+	}
+	if iterations <= 0 {
+		return LocalResult{}, errors.New("sor: iterations must be positive")
+	}
+	start := time.Now()
+	p := b.part.P()
+	var wg sync.WaitGroup
+	sweep := func(phase Phase) {
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			lo, hi := b.part.Bounds(w)
+			go func(lo, hi int) {
+				defer wg.Done()
+				g.SweepPhase(phase, lo, hi, omega)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	res := LocalResult{}
+	for it := 1; it <= iterations; it++ {
+		sweep(Red)
+		sweep(Black)
+		res.Iterations = it
+		if tol > 0 {
+			if r := g.Residual(); r < tol {
+				res.Residual = r
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+		}
+	}
+	res.Residual = g.Residual()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BenchmarkElement measures the host's time per element update in seconds
+// by timing full sweeps over an n x n grid — the BM(Elt) model parameter of
+// §2.2.1's benchmark-based computation component.
+func BenchmarkElement(n, sweeps int) (float64, error) {
+	g, err := NewGrid(n)
+	if err != nil {
+		return 0, err
+	}
+	if sweeps <= 0 {
+		return 0, errors.New("sor: sweeps must be positive")
+	}
+	g.SetBoundary(func(x, y float64) float64 { return x + y })
+	start := time.Now()
+	elems := 0
+	for s := 0; s < sweeps; s++ {
+		elems += g.SweepPhase(Red, 1, n-1, DefaultOmega)
+		elems += g.SweepPhase(Black, 1, n-1, DefaultOmega)
+	}
+	el := time.Since(start).Seconds()
+	return el / float64(elems), nil
+}

@@ -1,0 +1,243 @@
+package sor
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNewTCPBackendValidation(t *testing.T) {
+	if _, err := NewTCPBackend(nil); err == nil {
+		t.Error("nil partition should fail")
+	}
+	bad, _ := NewEqualPartition(10, 2)
+	bad.Rows[0] = 0
+	if _, err := NewTCPBackend(bad); err == nil {
+		t.Error("invalid partition should fail")
+	}
+	good, _ := NewEqualPartition(10, 2)
+	if _, err := NewTCPBackend(good); err != nil {
+		t.Errorf("valid partition failed: %v", err)
+	}
+}
+
+func TestTCPBackendRunValidation(t *testing.T) {
+	part, _ := NewEqualPartition(10, 2)
+	b, _ := NewTCPBackend(part)
+	g12, _ := NewGrid(12)
+	if _, err := b.Run(nil, DefaultOmega, 5); err == nil {
+		t.Error("nil grid should fail")
+	}
+	if _, err := b.Run(g12, DefaultOmega, 5); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	g10, _ := NewGrid(10)
+	if _, err := b.Run(g10, 0, 5); err == nil {
+		t.Error("bad omega should fail")
+	}
+	if _, err := b.Run(g10, DefaultOmega, 0); err == nil {
+		t.Error("zero iterations should fail")
+	}
+}
+
+func TestTCPBackendMatchesSequential(t *testing.T) {
+	n := 65
+	iters := 30
+	seq := laplaceProblem(t, n)
+	for it := 0; it < iters; it++ {
+		seq.SweepPhase(Red, 1, n-1, DefaultOmega)
+		seq.SweepPhase(Black, 1, n-1, DefaultOmega)
+	}
+
+	dist := laplaceProblem(t, n)
+	part, err := NewEqualPartition(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPBackend(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(dist, DefaultOmega, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.U {
+		if seq.U[i] != dist.U[i] {
+			t.Fatalf("TCP run differs from sequential at %d: %g vs %g",
+				i, seq.U[i], dist.U[i])
+		}
+	}
+	if res.Iterations != iters {
+		t.Errorf("iterations=%d", res.Iterations)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed=%v", res.Elapsed)
+	}
+}
+
+func TestTCPBackendWithSourceTerm(t *testing.T) {
+	n := 33
+	fn := func(x, y float64) float64 { return x*x + y*y }
+	mk := func() *Grid {
+		g, _ := NewGrid(n)
+		g.SetBoundary(fn)
+		g.SetSource(func(x, y float64) float64 { return 4 })
+		return g
+	}
+	seq := mk()
+	for it := 0; it < 25; it++ {
+		seq.SweepPhase(Red, 1, n-1, DefaultOmega)
+		seq.SweepPhase(Black, 1, n-1, DefaultOmega)
+	}
+	dist := mk()
+	part, _ := NewEqualPartition(n, 3)
+	b, _ := NewTCPBackend(part)
+	if _, err := b.Run(dist, DefaultOmega, 25); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.U {
+		if seq.U[i] != dist.U[i] {
+			t.Fatalf("Poisson TCP run differs at %d", i)
+		}
+	}
+}
+
+func TestTCPBackendSingleWorker(t *testing.T) {
+	// Degenerate one-strip case: no connections at all.
+	n := 20
+	part, err := NewEqualPartition(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPBackend(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := laplaceProblem(t, n)
+	res, err := b.Run(g, DefaultOmega, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesSent[0] != 0 {
+		t.Errorf("single worker sent %d bytes", res.BytesSent[0])
+	}
+	if res.CommTime[0] > res.Elapsed {
+		t.Errorf("comm %v exceeds elapsed %v", res.CommTime[0], res.Elapsed)
+	}
+}
+
+func TestTCPBackendAccounting(t *testing.T) {
+	n := 42
+	iters := 8
+	part, _ := NewEqualPartition(n, 3)
+	b, _ := NewTCPBackend(part)
+	g := laplaceProblem(t, n)
+	res, err := b.Run(g, DefaultOmega, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge workers exchange with one neighbour, interior with two. Each
+	// phase sends one ghost row (n float64s) per neighbour.
+	rowBytes := int64(8 * n)
+	perPhase := []int64{1, 2, 1} // neighbours per worker
+	for i, nb := range perPhase {
+		want := rowBytes * nb * int64(2*iters) // red + black phases
+		if res.BytesSent[i] != want {
+			t.Errorf("worker %d sent %d bytes want %d", i, res.BytesSent[i], want)
+		}
+		if res.CompTime[i] <= 0 {
+			t.Errorf("worker %d comp time %v", i, res.CompTime[i])
+		}
+	}
+	if res.Residual <= 0 {
+		t.Errorf("residual=%g (should still be relaxing after %d iters)", res.Residual, iters)
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	row := []float64{1.5, -2.25, 0, 1e300, -1e-300}
+	done := make(chan error, 1)
+	go func() { done <- writeRow(a, row) }()
+	got := make([]float64, len(row))
+	if err := readRow(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if got[i] != row[i] {
+			t.Fatalf("round trip[%d]=%g want %g", i, got[i], row[i])
+		}
+	}
+}
+
+func TestRowCodecErrorsOnClosedConn(t *testing.T) {
+	a, b := net.Pipe()
+	a.Close()
+	b.Close()
+	if err := writeRow(a, []float64{1}); err == nil {
+		t.Error("write to closed conn should fail")
+	}
+	if err := readRow(b, make([]float64, 1)); err == nil {
+		t.Error("read from closed conn should fail")
+	}
+}
+
+// TestWorkerExchangeFailureCascades injects a mid-run connection failure
+// and verifies the error surfaces instead of deadlocking the peers.
+func TestWorkerExchangeFailureCascades(t *testing.T) {
+	n := 10
+	w1 := &tcpWorker{idx: 0, lo: 1, hi: 5, n: n, h: 1.0 / float64(n-1)}
+	w2 := &tcpWorker{idx: 1, lo: 5, hi: 9, n: n, h: w1.h}
+	w1.slab = make([]float64, w1.rows()*n)
+	w2.slab = make([]float64, w2.rows()*n)
+	c1, c2 := net.Pipe()
+	w1.down = c1
+	w2.up = c2
+
+	// First exchange succeeds.
+	errs := make(chan error, 2)
+	go func() { errs <- w1.exchange() }()
+	go func() { errs <- w2.exchange() }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("healthy exchange failed: %v", err)
+		}
+	}
+	// Kill the pipe; the next exchange must error out promptly on both
+	// sides rather than hang.
+	c1.Close()
+	c2.Close()
+	go func() { errs <- w1.exchange() }()
+	go func() { errs <- w2.exchange() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("exchange over dead pipe should fail")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("exchange deadlocked on dead pipe")
+		}
+	}
+}
+
+func TestTCPBackendConvergesToAnalytic(t *testing.T) {
+	n := 33
+	fn := func(x, y float64) float64 { return 1 + 2*x - y }
+	g, _ := NewGrid(n)
+	g.SetBoundary(fn)
+	part, _ := NewEqualPartition(n, 4)
+	b, _ := NewTCPBackend(part)
+	if _, err := b.Run(g, DefaultOmega, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.MaxErrorAgainst(fn); e > 1e-8 {
+		t.Errorf("max error after distributed solve=%g", e)
+	}
+}

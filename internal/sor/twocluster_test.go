@@ -1,0 +1,55 @@
+package sor
+
+import (
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/simenv"
+)
+
+// TestBridgeCrossingDominatesComm verifies the metacomputing scenario the
+// AppLeS line of work targets: on a two-cluster platform, strips that
+// straddle the slow inter-site bridge pay dramatically more communication
+// than a decomposition confined to one site.
+func TestBridgeCrossingDominatesComm(t *testing.T) {
+	plat := cluster.TwoClusterPlatform()
+	env, err := simenv.NewDedicated(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 130
+	part, err := NewEqualPartition(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mapping []int) SimResult {
+		g, err := NewGrid(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetBoundary(func(x, y float64) float64 { return x + y })
+		b, err := NewSimBackend(env, part, mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(g, DefaultOmega, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Natural order: strips 0,1 at site A and 2,3 at site B — one bridge
+	// crossing between strips 1 and 2.
+	oneCrossing := run([]int{0, 1, 2, 3})
+	// Interleaved: every adjacent pair crosses the bridge.
+	threeCrossings := run([]int{0, 2, 1, 3})
+	if threeCrossings.ExecTime <= oneCrossing.ExecTime {
+		t.Errorf("interleaved mapping %g should be slower than clustered %g",
+			threeCrossings.ExecTime, oneCrossing.ExecTime)
+	}
+	commOne := oneCrossing.Phases.RedComm + oneCrossing.Phases.BlackComm
+	commThree := threeCrossings.Phases.RedComm + threeCrossings.Phases.BlackComm
+	if commThree < commOne*1.5 {
+		t.Errorf("interleaved comm %g should dwarf clustered %g", commThree, commOne)
+	}
+}

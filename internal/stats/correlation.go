@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PearsonCorrelation returns the linear correlation coefficient of the
+// paired samples. It requires equal lengths >= 2 and non-degenerate
+// variance on both sides.
+func PearsonCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: correlation length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: correlation needs at least 2 pairs")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: correlation of a constant sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanCorrelation returns the rank correlation coefficient — Pearson on
+// ranks, robust to the monotone-but-nonlinear couplings typical of system
+// metrics (e.g. latency vs bandwidth under shared congestion).
+func SpearmanCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: correlation length mismatch")
+	}
+	return PearsonCorrelation(ranks(xs), ranks(ys))
+}
+
+// ranks returns fractional ranks (ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Perfect positive and negative linear relationships.
+	if r, err := PearsonCorrelation(xs, []float64{2, 4, 6, 8, 10}); err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("r=%g err=%v want 1", r, err)
+	}
+	if r, err := PearsonCorrelation(xs, []float64{5, 4, 3, 2, 1}); err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Errorf("r=%g err=%v want -1", r, err)
+	}
+	// Independent noise: near zero.
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if r, _ := PearsonCorrelation(a, b); math.Abs(r) > 0.05 {
+		t.Errorf("independent r=%g", r)
+	}
+}
+
+func TestPearsonCorrelationErrors(t *testing.T) {
+	if _, err := PearsonCorrelation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PearsonCorrelation([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair should fail")
+	}
+	if _, err := PearsonCorrelation([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+	if _, err := PearsonCorrelation([]float64{1, 3}, []float64{2, 2}); err == nil {
+		t.Error("constant y should fail")
+	}
+}
+
+func TestSpearmanCatchesMonotoneNonlinear(t *testing.T) {
+	// y = exp(x): weakly linear but perfectly monotone.
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = math.Exp(xs[i])
+	}
+	rho, err := SpearmanCorrelation(xs, ys)
+	if err != nil || !almostEqual(rho, 1, 1e-9) {
+		t.Errorf("rho=%g err=%v want 1", rho, err)
+	}
+	pear, _ := PearsonCorrelation(xs, ys)
+	if pear >= rho {
+		t.Errorf("pearson %g should be below spearman %g here", pear, rho)
+	}
+}
+
+func TestSpearmanHandlesTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	rho, err := SpearmanCorrelation(xs, ys)
+	if err != nil || !almostEqual(rho, 1, 1e-9) {
+		t.Errorf("tied rho=%g err=%v", rho, err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks=%v want %v", got, want)
+		}
+	}
+	// Ties share the average rank.
+	got = ranks([]float64{5, 5, 1})
+	if got[0] != 2.5 || got[1] != 2.5 || got[2] != 1 {
+		t.Errorf("tied ranks=%v", got)
+	}
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalCDFWith(mu, sigma float64) func(float64) float64 {
+	return func(x float64) float64 { return NormalCDF((x - mu) / sigma) }
+}
+
+func TestKolmogorovSmirnovAcceptsTrueDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 5 + 2*rng.NormFloat64()
+	}
+	res, err := KolmogorovSmirnov(xs, normalCDFWith(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("K-S rejected true distribution: D=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestKolmogorovSmirnovRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() // strongly non-normal
+	}
+	res, err := KolmogorovSmirnov(xs, normalCDFWith(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("K-S failed to reject: D=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestKolmogorovSmirnovEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, normalCDFWith(0, 1)); err != ErrEmpty {
+		t.Errorf("err=%v want ErrEmpty", err)
+	}
+}
+
+func TestKSStatisticBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		res, err := KolmogorovSmirnov(xs, func(x float64) float64 {
+			switch {
+			case x < 0:
+				return 0
+			case x > 1:
+				return 1
+			}
+			return x
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Statistic < 0 || res.Statistic > 1 {
+			t.Fatalf("D out of [0,1]: %g", res.Statistic)
+		}
+		if res.PValue < 0 || res.PValue > 1 {
+			t.Fatalf("p out of [0,1]: %g", res.PValue)
+		}
+	}
+}
+
+func TestChiSquareGOFAcceptsTrueDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = 10 + 3*rng.NormFloat64()
+	}
+	h, _ := NewHistogram(xs, 0, 20, 20)
+	res, err := ChiSquareGOF(h, normalCDFWith(10, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.005) {
+		t.Errorf("chi-square rejected true distribution: stat=%g p=%g df=%d",
+			res.Statistic, res.PValue, res.DF)
+	}
+}
+
+func TestChiSquareGOFRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 3
+	}
+	h, _ := NewHistogram(xs, 0, 20, 20)
+	res, err := ChiSquareGOF(h, normalCDFWith(3, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("chi-square failed to reject: stat=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestChiSquareGOFErrors(t *testing.T) {
+	empty := &Histogram{Lo: 0, Hi: 1, Counts: []int{0, 0}, N: 0}
+	if _, err := ChiSquareGOF(empty, normalCDFWith(0, 1), 0); err != ErrEmpty {
+		t.Errorf("empty err=%v", err)
+	}
+	// A single usable bin leaves no degrees of freedom.
+	tiny := &Histogram{Lo: 0, Hi: 1, Counts: []int{6}, N: 6}
+	if _, err := ChiSquareGOF(tiny, normalCDFWith(0.5, 0.2), 0); err == nil {
+		t.Error("df<1 should error")
+	}
+}
+
+func TestChiSquareGOFSparseBinMerging(t *testing.T) {
+	// Heavily skewed histogram: most bins sparse; merging must still give a
+	// valid df >= 1 result.
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 8 + 0.5*rng.NormFloat64()
+	}
+	h, _ := NewHistogram(xs, 0, 16, 64) // mostly empty bins
+	res, err := ChiSquareGOF(h, normalCDFWith(8, 0.5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF < 1 {
+		t.Errorf("df=%d", res.DF)
+	}
+	if res.Reject(0.005) {
+		t.Errorf("rejected true dist after merging: p=%g", res.PValue)
+	}
+}
+
+func TestJarqueBera(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	normal := make([]float64, 1000)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	res, err := JarqueBera(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.005) {
+		t.Errorf("JB rejected normal sample: p=%g", res.PValue)
+	}
+	skewed := make([]float64, 1000)
+	for i := range skewed {
+		skewed[i] = rng.ExpFloat64()
+	}
+	res, err = JarqueBera(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("JB failed to reject exponential sample: p=%g", res.PValue)
+	}
+	if _, err := JarqueBera([]float64{1, 2, 3}); err == nil {
+		t.Error("JB on tiny sample should error")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly autocorrelated AR(1) series.
+	rng := rand.New(rand.NewSource(41))
+	n := 2000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.9*xs[i-1] + rng.NormFloat64()
+	}
+	ac := Autocorrelation(xs, []int{1, 5, 0, n})
+	if ac[0] < 0.8 {
+		t.Errorf("lag-1 autocorr=%g want >0.8", ac[0])
+	}
+	if ac[1] < 0.4 {
+		t.Errorf("lag-5 autocorr=%g want >0.4", ac[1])
+	}
+	if !math.IsNaN(ac[2]) || !math.IsNaN(ac[3]) {
+		t.Errorf("invalid lags should be NaN: %v", ac)
+	}
+	// White noise should have near-zero lag-1 autocorrelation.
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ac = Autocorrelation(xs, []int{1})
+	if math.Abs(ac[0]) > 0.1 {
+		t.Errorf("white-noise lag-1 autocorr=%g", ac[0])
+	}
+	// Constant series: zero denominator -> NaN.
+	ac = Autocorrelation([]float64{2, 2, 2, 2, 2}, []int{1})
+	if !math.IsNaN(ac[0]) {
+		t.Errorf("constant series autocorr=%g want NaN", ac[0])
+	}
+}
+
+func TestGOFResultReject(t *testing.T) {
+	r := GOFResult{PValue: 0.04}
+	if !r.Reject(0.05) || r.Reject(0.01) {
+		t.Errorf("Reject thresholds wrong")
+	}
+}

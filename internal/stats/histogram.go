@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi). The final
+// bin is closed on the right so the sample maximum is counted.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int // total observations binned
+}
+
+// BinRule selects an automatic bin-count rule for NewHistogramAuto.
+type BinRule int
+
+const (
+	// Sturges uses ceil(log2 n) + 1 bins.
+	Sturges BinRule = iota
+	// Scott uses bin width 3.49*sigma*n^(-1/3).
+	Scott
+	// FreedmanDiaconis uses bin width 2*IQR*n^(-1/3).
+	FreedmanDiaconis
+)
+
+// NewHistogram bins xs into bins equal-width bins spanning [lo, hi]. Values
+// outside the range are clamped into the first or last bin, matching how the
+// paper's load histograms treat occasional out-of-range spikes.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, errors.New("stats: histogram range must have hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+		h.N++
+	}
+	return h, nil
+}
+
+// NewHistogramAuto bins xs using the given automatic rule over the sample's
+// own range. It returns an error for an empty sample.
+func NewHistogramAuto(xs []float64, rule BinRule) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if hi == lo {
+		hi = lo + 1 // degenerate sample: single bin of width 1
+		return NewHistogram(xs, lo, hi, 1)
+	}
+	n := float64(len(xs))
+	var bins int
+	switch rule {
+	case Sturges:
+		bins = int(math.Ceil(math.Log2(n))) + 1
+	case Scott:
+		w := 3.49 * StdDev(xs) * math.Pow(n, -1.0/3.0)
+		bins = widthToBins(lo, hi, w)
+	case FreedmanDiaconis:
+		q25, _ := Quantile(xs, 0.25)
+		q75, _ := Quantile(xs, 0.75)
+		w := 2 * (q75 - q25) * math.Pow(n, -1.0/3.0)
+		bins = widthToBins(lo, hi, w)
+	default:
+		return nil, fmt.Errorf("stats: unknown bin rule %d", rule)
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	return NewHistogram(xs, lo, hi, bins)
+}
+
+func widthToBins(lo, hi, w float64) int {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return 1
+	}
+	return int(math.Ceil((hi - lo) / w))
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// BinEdges returns the low and high edge of bin i.
+func (h *Histogram) BinEdges(i int) (lo, hi float64) {
+	w := h.BinWidth()
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Density returns the probability-density estimate for bin i, i.e.
+// count / (N * width), so that the histogram integrates to 1.
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.N) * h.BinWidth())
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Densities returns the per-bin density estimates.
+func (h *Histogram) Densities() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		out[i] = h.Density(i)
+	}
+	return out
+}
+
+// Peaks returns the indices of local maxima of the histogram counts that are
+// at least minFrac of the total sample, in ascending bin order. A bin is a
+// local maximum if its count is >= both neighbors (plateaus report their
+// leftmost bin). This is the first-pass mode detector used on load
+// histograms like the paper's Figures 5 and 10.
+func (h *Histogram) Peaks(minFrac float64) []int {
+	var peaks []int
+	c := h.Counts
+	for i := range c {
+		if h.Fraction(i) < minFrac || c[i] == 0 {
+			continue
+		}
+		left := i == 0 || c[i-1] < c[i]
+		// Walk right over any plateau.
+		j := i
+		for j+1 < len(c) && c[j+1] == c[i] {
+			j++
+		}
+		right := j == len(c)-1 || c[j+1] < c[i]
+		// Leftmost bin of a plateau only.
+		if i > 0 && c[i-1] == c[i] {
+			continue
+		}
+		if left && right {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// Render draws the histogram as ASCII art, one row per bin, scaled to width
+// columns. It is used by cmd/experiments to present the paper's histogram
+// figures in a terminal.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo, hi := h.BinEdges(i)
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

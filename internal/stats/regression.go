@@ -1,0 +1,55 @@
+package stats
+
+import "errors"
+
+// LinearFit returns the least-squares line y = intercept + slope*x through
+// the points. It requires at least two points with distinct x values.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, errors.New("stats: LinearFit needs at least 2 points")
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: LinearFit with constant x")
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, nil
+}
+
+// TrimmedMean returns the mean of xs after removing the trim fraction of
+// observations from each end (0 <= trim < 0.5). trim = 0 is the plain mean.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if trim < 0 || trim >= 0.5 {
+		return 0, errors.New("stats: trim fraction outside [0, 0.5)")
+	}
+	k := int(trim * float64(len(xs)))
+	if 2*k >= len(xs) {
+		k = (len(xs) - 1) / 2
+	}
+	s := append([]float64(nil), xs...)
+	sortFloats(s)
+	return Mean(s[k : len(s)-k]), nil
+}
+
+// sortFloats is a tiny insertion sort used where samples are small windows;
+// it avoids re-importing sort in hot paths with 5-30 elements.
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) {
+		t.Errorf("fit: slope=%g intercept=%g", slope, intercept)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3 - 0.5*xs[i] + rng.NormFloat64()
+	}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+0.5) > 0.01 || math.Abs(intercept-3) > 1 {
+		t.Errorf("fit: slope=%g intercept=%g", slope, intercept)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{100, 1, 2, 3, -50}
+	v, err := TrimmedMean(xs, 0.2) // drops -50 and 100
+	if err != nil || v != 2 {
+		t.Errorf("TrimmedMean=%g err=%v want 2", v, err)
+	}
+	// trim=0 is the plain mean.
+	v, err = TrimmedMean([]float64{1, 2, 3}, 0)
+	if err != nil || v != 2 {
+		t.Errorf("untrimmed=%g err=%v", v, err)
+	}
+	if _, err := TrimmedMean(nil, 0.1); err != ErrEmpty {
+		t.Errorf("empty err=%v", err)
+	}
+	if _, err := TrimmedMean([]float64{1}, -0.1); err == nil {
+		t.Error("negative trim should fail")
+	}
+	if _, err := TrimmedMean([]float64{1}, 0.5); err == nil {
+		t.Error("trim >= 0.5 should fail")
+	}
+	// Aggressive trim on a tiny sample keeps at least one value.
+	v, err = TrimmedMean([]float64{1, 2, 3}, 0.49)
+	if err != nil || v != 2 {
+		t.Errorf("aggressive trim=%g err=%v", v, err)
+	}
+	// Must not mutate its input.
+	xs2 := []float64{3, 1, 2}
+	TrimmedMean(xs2, 0.34)
+	if xs2[0] != 3 {
+		t.Error("TrimmedMean mutated input")
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2, 0.9772498680518208},
+		{-2, 0.02275013194817921},
+		{1.959963984540054, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%g)=%.15g want %.15g", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); !almostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Errorf("NormalPDF(0)=%g", got)
+	}
+	if got := NormalPDF(3); got >= NormalPDF(0) {
+		t.Errorf("PDF not unimodal: f(3)=%g f(0)=%g", got, NormalPDF(0))
+	}
+	if !almostEqual(NormalPDF(1.3), NormalPDF(-1.3), 1e-15) {
+		t.Error("PDF not symmetric")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-4, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.99, 1 - 1e-6} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almostEqual(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%g))=%g", p, got)
+		}
+	}
+	if got := NormalQuantile(0.975); !almostEqual(got, 1.959963984540054, 1e-8) {
+		t.Errorf("Quantile(0.975)=%.12g", got)
+	}
+	if got := NormalQuantile(0.5); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Quantile(0.5)=%g", got)
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.5)) || !math.IsNaN(NormalQuantile(1.5)) || !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("out-of-range p should be NaN")
+	}
+}
+
+func TestRegIncGammaLower(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegIncGammaLower(1, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(1,%g)=%g want %g", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegIncGammaLower(0.5, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(0.5,%g)=%g want %g", x, got, want)
+		}
+	}
+	if got := RegIncGammaLower(2, 0); got != 0 {
+		t.Errorf("P(a,0)=%g", got)
+	}
+	if !math.IsNaN(RegIncGammaLower(-1, 1)) || !math.IsNaN(RegIncGammaLower(1, -1)) {
+		t.Error("invalid args should be NaN")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with k=2 is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 2, 5.991} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); !almostEqual(got, want, 1e-9) {
+			t.Errorf("ChiSquareCDF(%g,2)=%g want %g", x, got, want)
+		}
+	}
+	// 95th percentile of chi-square(3) is about 7.815.
+	if got := ChiSquareCDF(7.815, 3); !almostEqual(got, 0.95, 1e-3) {
+		t.Errorf("ChiSquareCDF(7.815,3)=%g want ~0.95", got)
+	}
+	if got := ChiSquareCDF(-1, 4); got != 0 {
+		t.Errorf("negative x CDF=%g", got)
+	}
+	if got := ChiSquareSurvival(-1, 4); got != 1 {
+		t.Errorf("negative x survival=%g", got)
+	}
+	if got := ChiSquareCDF(3, 3) + ChiSquareSurvival(3, 3); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("CDF+survival=%g", got)
+	}
+}
+
+func TestKolmogorovSurvival(t *testing.T) {
+	if got := KolmogorovSurvival(0); got != 1 {
+		t.Errorf("Q(0)=%g", got)
+	}
+	if got := KolmogorovSurvival(-1); got != 1 {
+		t.Errorf("Q(-1)=%g", got)
+	}
+	// Known value: Q(1.36) ~= 0.0505 (the classic 5% critical point).
+	if got := KolmogorovSurvival(1.36); math.Abs(got-0.0505) > 0.002 {
+		t.Errorf("Q(1.36)=%g want ~0.0505", got)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := KolmogorovSurvival(l)
+		if q > prev+1e-12 || q < 0 || q > 1 {
+			t.Fatalf("Q not monotone in [0,1] at lambda=%g: %g > %g", l, q, prev)
+		}
+		prev = q
+	}
+	if got := KolmogorovSurvival(10); got > 1e-12 {
+		t.Errorf("Q(10)=%g want ~0", got)
+	}
+}
+
+func TestGammaLn(t *testing.T) {
+	if got := GammaLn(1); !almostEqual(got, 0, 1e-14) {
+		t.Errorf("lnGamma(1)=%g", got)
+	}
+	if got := GammaLn(5); !almostEqual(got, math.Log(24), 1e-12) {
+		t.Errorf("lnGamma(5)=%g want ln24", got)
+	}
+}

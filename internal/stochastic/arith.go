@@ -1,0 +1,188 @@
+package stochastic
+
+import (
+	"math"
+)
+
+// Table 2 arithmetic. All operations are pure; spreads are kept
+// non-negative by construction. Since normal distributions are closed under
+// linear combination, sums and point-scalings of stochastic values remain
+// exactly normal; products are long-tailed but are approximated as normal
+// per §2.3.2 (the tail is ignored when the relative spreads are modest).
+
+// AddPoint returns (X ± a) + p = (X + p) ± a.
+func (v Value) AddPoint(p float64) Value {
+	return Value{Mean: v.Mean + p, Spread: v.Spread}
+}
+
+// SubPoint returns (X ± a) - p = (X - p) ± a.
+func (v Value) SubPoint(p float64) Value { return v.AddPoint(-p) }
+
+// MulPoint returns p * (X ± a) = pX ± |p|a (Table 2, point multiplication).
+func (v Value) MulPoint(p float64) Value {
+	return Value{Mean: p * v.Mean, Spread: math.Abs(p) * v.Spread}
+}
+
+// DivPoint returns (X ± a) / p for p != 0. Division by zero yields ±Inf
+// mean, matching float semantics; callers validating input should check p.
+func (v Value) DivPoint(p float64) Value { return v.MulPoint(1 / p) }
+
+// Neg returns -(X ± a) = -X ± a.
+func (v Value) Neg() Value { return Value{Mean: -v.Mean, Spread: v.Spread} }
+
+// AddRelated returns the conservative sum for related distributions
+// (Table 2): sum of means ± sum of |spreads|. Use when the operands'
+// fluctuations are causally coupled and may peak together.
+func (v Value) AddRelated(w Value) Value {
+	return Value{Mean: v.Mean + w.Mean, Spread: v.Spread + w.Spread}
+}
+
+// AddUnrelated returns the root-sum-square sum for unrelated (independent)
+// distributions (Table 2): sum of means ± sqrt(a_i^2 + a_j^2). This is
+// exact for independent normals.
+func (v Value) AddUnrelated(w Value) Value {
+	return Value{Mean: v.Mean + w.Mean, Spread: math.Hypot(v.Spread, w.Spread)}
+}
+
+// SubRelated returns v - w under the related rule (§2.3.1: subtraction has
+// the same form as addition with a negated mean — spreads still accumulate).
+func (v Value) SubRelated(w Value) Value { return v.AddRelated(w.Neg()) }
+
+// SubUnrelated returns v - w under the unrelated rule.
+func (v Value) SubUnrelated(w Value) Value { return v.AddUnrelated(w.Neg()) }
+
+// SumRelated returns the related sum of values (conservative).
+func SumRelated(vs ...Value) Value {
+	var out Value
+	for _, v := range vs {
+		out = out.AddRelated(v)
+	}
+	return out
+}
+
+// SumUnrelated returns the unrelated (RSS) sum of values.
+func SumUnrelated(vs ...Value) Value {
+	var mean, ss float64
+	for _, v := range vs {
+		mean += v.Mean
+		ss += v.Spread * v.Spread
+	}
+	return Value{Mean: mean, Spread: math.Sqrt(ss)}
+}
+
+// MulRelated returns the related product (Table 2):
+//
+//	(Xi ± ai)(Xj ± aj) = XiXj ± (ai|Xj| + aj|Xi| + ai*aj)
+//
+// The spread expression is the standard first-order error propagation plus
+// the conservative second-order ai*aj term. Absolute values on the means
+// keep the spread non-negative for negative operands (the paper's operands
+// are all positive capacities/counts; we generalize safely).
+func (v Value) MulRelated(w Value) Value {
+	spread := v.Spread*math.Abs(w.Mean) + w.Spread*math.Abs(v.Mean) + v.Spread*w.Spread
+	return Value{Mean: v.Mean * w.Mean, Spread: spread}
+}
+
+// MulUnrelated returns the unrelated product (Table 2):
+//
+//	(Xi ± ai)(Xj ± aj) ≈ XiXj ± |XiXj| sqrt((ai/Xi)^2 + (aj/Xj)^2)
+//
+// When either mean is zero the paper defines the product to be zero (the
+// relative-error form is undefined there).
+func (v Value) MulUnrelated(w Value) Value {
+	if v.Mean == 0 || w.Mean == 0 {
+		return Value{}
+	}
+	rel := math.Hypot(v.Spread/v.Mean, w.Spread/w.Mean)
+	mean := v.Mean * w.Mean
+	return Value{Mean: mean, Spread: math.Abs(mean) * rel}
+}
+
+// Recip returns the first-order reciprocal 1/(X ± a) = (1/X) ± a/X^2.
+// The paper's footnote 5 reduces division to multiplication by the
+// reciprocal; first-order propagation of the reciprocal preserves the
+// relative spread (a/|X|), which is the property both product rules consume.
+// The mean must be non-zero.
+func (v Value) Recip() Value {
+	if v.Mean == 0 {
+		return Value{Mean: math.Inf(1), Spread: math.Inf(1)}
+	}
+	return Value{Mean: 1 / v.Mean, Spread: v.Spread / (v.Mean * v.Mean)}
+}
+
+// DivRelated returns v / w for related distributions, via v * Recip(w).
+func (v Value) DivRelated(w Value) Value { return v.MulRelated(w.Recip()) }
+
+// DivUnrelated returns v / w for unrelated distributions, via
+// v * Recip(w); the relative errors combine in quadrature.
+func (v Value) DivUnrelated(w Value) Value { return v.MulUnrelated(w.Recip()) }
+
+// WeightedCombine implements the multi-modal combination of §2.1.2:
+//
+//	P1(M1 ± SD1) + P2(M2 ± SD2) + ... with Pi >= 0, sum Pi = 1
+//
+// where Pi is the fraction of time spent in mode i. Each term is a point
+// multiplication, and the terms are summed with the related rule (the modes
+// belong to the same underlying quantity). Weights are normalized; an
+// all-zero weight vector or a length mismatch returns an error.
+//
+// Note this is the paper's formula: it averages mode distributions and
+// deliberately ignores *between*-mode variance. MixtureSummary provides the
+// variance-complete alternative for comparison (see the ablation bench).
+func WeightedCombine(modes []Value, weights []float64) (Value, error) {
+	ws, err := normalizeWeights(len(modes), weights)
+	if err != nil {
+		return Value{}, err
+	}
+	var out Value
+	for i, m := range modes {
+		out = out.AddRelated(m.MulPoint(ws[i]))
+	}
+	return out, nil
+}
+
+// MixtureSummary summarizes the exact Gaussian mixture defined by the modes
+// and weights as mean ± 2*sigma_mixture, where sigma_mixture includes
+// between-mode variance by the law of total variance. This is wider than
+// WeightedCombine whenever mode means differ.
+func MixtureSummary(modes []Value, weights []float64) (Value, error) {
+	ws, err := normalizeWeights(len(modes), weights)
+	if err != nil {
+		return Value{}, err
+	}
+	var mean float64
+	for i, m := range modes {
+		mean += ws[i] * m.Mean
+	}
+	var variance float64
+	for i, m := range modes {
+		s := m.Sigma()
+		d := m.Mean - mean
+		variance += ws[i] * (s*s + d*d)
+	}
+	return Value{Mean: mean, Spread: 2 * math.Sqrt(variance)}, nil
+}
+
+func normalizeWeights(n int, weights []float64) ([]float64, error) {
+	if n == 0 {
+		return nil, errEmptyModes
+	}
+	if len(weights) != n {
+		return nil, errWeightMismatch
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, errBadWeight
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errZeroWeights
+	}
+	out := make([]float64, n)
+	for i, w := range weights {
+		out[i] = w / total
+	}
+	return out, nil
+}

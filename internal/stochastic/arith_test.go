@@ -1,0 +1,437 @@
+package stochastic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prodpred/internal/stats"
+)
+
+// genValue maps three arbitrary float64s to a well-formed stochastic value
+// with bounded magnitude, for property tests.
+func genValue(meanRaw, spreadRaw float64) Value {
+	mean := math.Mod(meanRaw, 1e3)
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		mean = 1
+	}
+	spread := math.Abs(math.Mod(spreadRaw, 1e2))
+	if math.IsNaN(spread) || math.IsInf(spread, 0) {
+		spread = 0.5
+	}
+	return Value{Mean: mean, Spread: spread}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	v := New(10, 2)
+	if got := v.AddPoint(5); got != New(15, 2) {
+		t.Errorf("AddPoint=%v", got)
+	}
+	if got := v.SubPoint(3); got != New(7, 2) {
+		t.Errorf("SubPoint=%v", got)
+	}
+	if got := v.MulPoint(3); got != New(30, 6) {
+		t.Errorf("MulPoint=%v", got)
+	}
+	if got := v.MulPoint(-3); got != New(-30, 6) {
+		t.Errorf("MulPoint negative=%v", got)
+	}
+	if got := v.DivPoint(2); got != New(5, 1) {
+		t.Errorf("DivPoint=%v", got)
+	}
+	if got := v.Neg(); got != New(-10, 2) {
+		t.Errorf("Neg=%v", got)
+	}
+}
+
+func TestAddRelatedIsConservative(t *testing.T) {
+	// Table 2 row 2: sum of means, sum of |spreads|.
+	a := New(3, 1)
+	b := New(4, 2)
+	got := a.AddRelated(b)
+	if got != New(7, 3) {
+		t.Errorf("AddRelated=%v want 7±3", got)
+	}
+}
+
+func TestAddUnrelatedIsRSS(t *testing.T) {
+	// Table 2 row 3: sum of means, sqrt(sum of spreads^2).
+	a := New(3, 3)
+	b := New(4, 4)
+	got := a.AddUnrelated(b)
+	if !got.ApproxEqual(New(7, 5), 1e-12) {
+		t.Errorf("AddUnrelated=%v want 7±5", got)
+	}
+}
+
+func TestSubtraction(t *testing.T) {
+	a := New(10, 1)
+	b := New(4, 2)
+	if got := a.SubRelated(b); got != New(6, 3) {
+		t.Errorf("SubRelated=%v", got)
+	}
+	if got := a.SubUnrelated(b); !got.ApproxEqual(New(6, math.Sqrt(5)), 1e-12) {
+		t.Errorf("SubUnrelated=%v", got)
+	}
+}
+
+func TestSumVariadic(t *testing.T) {
+	vs := []Value{New(1, 1), New(2, 2), New(3, 2)}
+	if got := SumRelated(vs...); got != New(6, 5) {
+		t.Errorf("SumRelated=%v", got)
+	}
+	if got := SumUnrelated(vs...); !got.ApproxEqual(New(6, 3), 1e-12) {
+		t.Errorf("SumUnrelated=%v", got)
+	}
+	if got := SumRelated(); got != Point(0) {
+		t.Errorf("empty SumRelated=%v", got)
+	}
+	if got := SumUnrelated(); got != Point(0) {
+		t.Errorf("empty SumUnrelated=%v", got)
+	}
+}
+
+func TestMulRelatedTable2(t *testing.T) {
+	// Table 2: (Xi±ai)(Xj±aj) = XiXj ± (aiXj + ajXi + aiaj).
+	a := New(10, 1)
+	b := New(5, 2)
+	want := New(50, 1*5+2*10+1*2) // 50 ± 27
+	if got := a.MulRelated(b); got != want {
+		t.Errorf("MulRelated=%v want %v", got, want)
+	}
+	// Commutative.
+	if got := b.MulRelated(a); got != want {
+		t.Errorf("MulRelated not commutative: %v", got)
+	}
+}
+
+func TestMulUnrelatedTable2(t *testing.T) {
+	a := New(10, 1) // rel 0.1
+	b := New(5, 2)  // rel 0.4
+	rel := math.Hypot(0.1, 0.4)
+	want := New(50, 50*rel)
+	if got := a.MulUnrelated(b); !got.ApproxEqual(want, 1e-9) {
+		t.Errorf("MulUnrelated=%v want %v", got, want)
+	}
+	// Zero-mean operand: defined as zero (paper §2.3.2).
+	if got := New(0, 1).MulUnrelated(b); got != Point(0) {
+		t.Errorf("zero-mean product=%v want 0", got)
+	}
+	if got := a.MulUnrelated(Point(0)); got != Point(0) {
+		t.Errorf("times zero point=%v want 0", got)
+	}
+}
+
+func TestMulWithPointDegeneratesToMulPoint(t *testing.T) {
+	// Multiplying by a point value must agree with MulPoint under both
+	// rules (point values have zero spread, so ai terms vanish).
+	v := New(8, 1.5)
+	p := Point(3)
+	if got := v.MulRelated(p); got != v.MulPoint(3) {
+		t.Errorf("MulRelated by point=%v want %v", got, v.MulPoint(3))
+	}
+	if got := v.MulUnrelated(p); !got.ApproxEqual(v.MulPoint(3), 1e-12) {
+		t.Errorf("MulUnrelated by point=%v want %v", got, v.MulPoint(3))
+	}
+}
+
+func TestRecip(t *testing.T) {
+	v := New(4, 0.4) // rel spread 0.1
+	r := v.Recip()
+	if !almostEqual(r.Mean, 0.25, 1e-12) {
+		t.Errorf("recip mean=%g", r.Mean)
+	}
+	// First-order reciprocal preserves relative spread.
+	if !almostEqual(r.RelativeSpread(), v.RelativeSpread(), 1e-12) {
+		t.Errorf("recip rel spread=%g want %g", r.RelativeSpread(), v.RelativeSpread())
+	}
+	z := Point(0).Recip()
+	if !math.IsInf(z.Mean, 1) {
+		t.Errorf("recip of zero mean=%v", z)
+	}
+}
+
+func TestDivision(t *testing.T) {
+	// Comp / load, the paper's computation component: benchmark time
+	// divided by a stochastic CPU-availability value.
+	comp := Point(100)
+	load := New(0.5, 0.05) // rel 0.1
+	got := comp.DivUnrelated(load)
+	if !almostEqual(got.Mean, 200, 1e-9) {
+		t.Errorf("div mean=%g", got.Mean)
+	}
+	if !almostEqual(got.RelativeSpread(), 0.1, 1e-9) {
+		t.Errorf("div rel spread=%g", got.RelativeSpread())
+	}
+	gotR := comp.DivRelated(load)
+	if !almostEqual(gotR.Mean, 200, 1e-9) {
+		t.Errorf("divRelated mean=%g", gotR.Mean)
+	}
+	// Related division of a point by a stochastic keeps the same first-order
+	// spread (ai = 0 kills the cross terms).
+	if !almostEqual(gotR.Spread, 20, 1e-9) {
+		t.Errorf("divRelated spread=%g", gotR.Spread)
+	}
+}
+
+func TestWeightedCombine(t *testing.T) {
+	// §2.1.2: P1(M1±SD1) + P2(M2±SD2) + P3(M3±SD3).
+	modes := []Value{New(0.33, 0.06), New(0.49, 0.10), New(0.94, 0.04)}
+	ws := []float64{0.25, 0.5, 0.25}
+	got, err := WeightedCombine(modes, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.25*0.33 + 0.5*0.49 + 0.25*0.94
+	wantSpread := 0.25*0.06 + 0.5*0.10 + 0.25*0.04
+	if !got.ApproxEqual(New(wantMean, wantSpread), 1e-12) {
+		t.Errorf("WeightedCombine=%v want %g±%g", got, wantMean, wantSpread)
+	}
+	// Weights normalize.
+	got2, err := WeightedCombine(modes, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.ApproxEqual(got, 1e-12) {
+		t.Errorf("unnormalized weights gave %v want %v", got2, got)
+	}
+}
+
+func TestWeightedCombineErrors(t *testing.T) {
+	if _, err := WeightedCombine(nil, nil); err == nil {
+		t.Error("empty modes should fail")
+	}
+	if _, err := WeightedCombine([]Value{Point(1)}, []float64{1, 2}); err == nil {
+		t.Error("mismatched weights should fail")
+	}
+	if _, err := WeightedCombine([]Value{Point(1)}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := WeightedCombine([]Value{Point(1)}, []float64{0}); err == nil {
+		t.Error("zero weights should fail")
+	}
+	if _, err := WeightedCombine([]Value{Point(1)}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestMixtureSummaryWiderThanWeightedCombine(t *testing.T) {
+	// With separated mode means, the true mixture spread must exceed the
+	// paper's within-mode average (the basis for the modal ablation).
+	modes := []Value{New(0.2, 0.05), New(0.9, 0.05)}
+	ws := []float64{0.5, 0.5}
+	wc, err := WeightedCombine(modes, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MixtureSummary(modes, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ms.Mean, wc.Mean, 1e-12) {
+		t.Errorf("means differ: %g vs %g", ms.Mean, wc.Mean)
+	}
+	if ms.Spread <= wc.Spread {
+		t.Errorf("mixture spread %g should exceed combined %g", ms.Spread, wc.Spread)
+	}
+	// With identical mode means they coincide.
+	same := []Value{New(0.5, 0.1), New(0.5, 0.1)}
+	wc2, _ := WeightedCombine(same, ws)
+	ms2, _ := MixtureSummary(same, ws)
+	if !ms2.ApproxEqual(wc2, 1e-12) {
+		t.Errorf("identical modes: %v vs %v", ms2, wc2)
+	}
+}
+
+func TestMixtureSummaryMatchesSampling(t *testing.T) {
+	modes := []Value{New(0.33, 0.06), New(0.94, 0.04)}
+	ws := []float64{0.7, 0.3}
+	ms, err := MixtureSummary(modes, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		m := 0
+		if rng.Float64() > 0.7 {
+			m = 1
+		}
+		xs[i] = modes[m].Sample(rng)
+	}
+	if !almostEqual(stats.Mean(xs), ms.Mean, 0.01) {
+		t.Errorf("sample mean %g vs %g", stats.Mean(xs), ms.Mean)
+	}
+	if !almostEqual(2*stats.StdDev(xs), ms.Spread, 0.02) {
+		t.Errorf("sample spread %g vs %g", 2*stats.StdDev(xs), ms.Spread)
+	}
+}
+
+// --- Monte Carlo cross-checks of the Table 2 rules ------------------------
+
+// TestAddUnrelatedMatchesMonteCarlo verifies that the RSS rule is exact for
+// independent normals: the sampled sum's 2-sigma spread matches the rule.
+func TestAddUnrelatedMatchesMonteCarlo(t *testing.T) {
+	a := New(8, 2)
+	b := New(5, 1.5)
+	pred := a.AddUnrelated(b)
+	rng := rand.New(rand.NewSource(61))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = a.Sample(rng) + b.Sample(rng)
+	}
+	if !almostEqual(stats.Mean(xs), pred.Mean, 0.02) {
+		t.Errorf("MC mean %g vs rule %g", stats.Mean(xs), pred.Mean)
+	}
+	if !almostEqual(2*stats.StdDev(xs), pred.Spread, 0.03) {
+		t.Errorf("MC spread %g vs rule %g", 2*stats.StdDev(xs), pred.Spread)
+	}
+}
+
+// TestAddRelatedBoundsPerfectlyCorrelated verifies the conservative rule
+// equals the spread of a perfectly correlated (comonotone) sum — its worst
+// case — and therefore upper-bounds the independent case.
+func TestAddRelatedBoundsPerfectlyCorrelated(t *testing.T) {
+	a := New(8, 2)
+	b := New(5, 1.5)
+	pred := a.AddRelated(b)
+	rng := rand.New(rand.NewSource(62))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		z := rng.NormFloat64()
+		xs[i] = (a.Mean + a.Sigma()*z) + (b.Mean + b.Sigma()*z)
+	}
+	if !almostEqual(2*stats.StdDev(xs), pred.Spread, 0.03) {
+		t.Errorf("comonotone MC spread %g vs related rule %g", 2*stats.StdDev(xs), pred.Spread)
+	}
+	if pred.Spread < a.AddUnrelated(b).Spread {
+		t.Error("related spread should dominate unrelated spread")
+	}
+}
+
+// TestMulUnrelatedMatchesMonteCarlo verifies the product rule's first-order
+// accuracy for small relative spreads.
+func TestMulUnrelatedMatchesMonteCarlo(t *testing.T) {
+	a := New(10, 0.8) // rel 0.08
+	b := New(4, 0.4)  // rel 0.10
+	pred := a.MulUnrelated(b)
+	rng := rand.New(rand.NewSource(63))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = a.Sample(rng) * b.Sample(rng)
+	}
+	if !almostEqual(stats.Mean(xs), pred.Mean, 0.05) {
+		t.Errorf("MC mean %g vs rule %g", stats.Mean(xs), pred.Mean)
+	}
+	// First-order rule; allow a few percent slack.
+	if math.Abs(2*stats.StdDev(xs)-pred.Spread)/pred.Spread > 0.05 {
+		t.Errorf("MC spread %g vs rule %g", 2*stats.StdDev(xs), pred.Spread)
+	}
+}
+
+// --- Properties ------------------------------------------------------------
+
+func TestArithmeticProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	// Commutativity of all four binary ops.
+	comm := func(m1, s1, m2, s2 float64) bool {
+		a, b := genValue(m1, s1), genValue(m2, s2)
+		return a.AddRelated(b).ApproxEqual(b.AddRelated(a), 1e-9) &&
+			a.AddUnrelated(b).ApproxEqual(b.AddUnrelated(a), 1e-9) &&
+			a.MulRelated(b).ApproxEqual(b.MulRelated(a), 1e-9) &&
+			a.MulUnrelated(b).ApproxEqual(b.MulUnrelated(a), 1e-9)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	// Identity: adding Point(0), multiplying by Point(1).
+	ident := func(m, s float64) bool {
+		v := genValue(m, s)
+		return v.AddRelated(Point(0)) == v &&
+			v.AddUnrelated(Point(0)).ApproxEqual(v, 1e-12) &&
+			v.MulRelated(Point(1)) == v &&
+			(v.Mean == 0 || v.MulUnrelated(Point(1)).ApproxEqual(v, 1e-9))
+	}
+	if err := quick.Check(ident, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+
+	// Spread is never negative, and related >= unrelated spreads.
+	width := func(m1, s1, m2, s2 float64) bool {
+		a, b := genValue(m1, s1), genValue(m2, s2)
+		ar, au := a.AddRelated(b), a.AddUnrelated(b)
+		mr, mu := a.MulRelated(b), a.MulUnrelated(b)
+		if ar.Spread < 0 || au.Spread < 0 || mr.Spread < 0 || mu.Spread < 0 {
+			return false
+		}
+		if ar.Spread+1e-9 < au.Spread {
+			return false
+		}
+		return mr.Spread+1e-9*(1+mr.Spread) >= mu.Spread
+	}
+	if err := quick.Check(width, cfg); err != nil {
+		t.Errorf("width ordering: %v", err)
+	}
+
+	// Point values degenerate correctly: combining two points yields the
+	// ordinary arithmetic result under every rule.
+	points := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		a, b := Point(x), Point(y)
+		if a.AddRelated(b) != Point(x+y) || a.AddUnrelated(b) != Point(x+y) {
+			return false
+		}
+		if a.MulRelated(b) != Point(x*y) {
+			return false
+		}
+		mu := a.MulUnrelated(b)
+		if x == 0 || y == 0 {
+			return mu == Point(0)
+		}
+		return mu.ApproxEqual(Point(x*y), 1e-9*math.Abs(x*y))
+	}
+	if err := quick.Check(points, cfg); err != nil {
+		t.Errorf("point degeneration: %v", err)
+	}
+
+	// Associativity of related addition (exact) and unrelated addition
+	// (RSS is associative too).
+	assoc := func(m1, s1, m2, s2, m3, s3 float64) bool {
+		a, b, c := genValue(m1, s1), genValue(m2, s2), genValue(m3, s3)
+		tol := 1e-6
+		if !a.AddRelated(b).AddRelated(c).ApproxEqual(a.AddRelated(b.AddRelated(c)), tol) {
+			return false
+		}
+		return a.AddUnrelated(b).AddUnrelated(c).ApproxEqual(a.AddUnrelated(b.AddUnrelated(c)), tol)
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+
+	// MulPoint distributes over both additions.
+	distrib := func(m1, s1, m2, s2, kRaw float64) bool {
+		a, b := genValue(m1, s1), genValue(m2, s2)
+		k := math.Mod(kRaw, 50)
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			k = 2
+		}
+		tol := 1e-6 * (1 + math.Abs(k))
+		lhs := a.AddRelated(b).MulPoint(k)
+		rhs := a.MulPoint(k).AddRelated(b.MulPoint(k))
+		if !lhs.ApproxEqual(rhs, tol) {
+			return false
+		}
+		lhs = a.AddUnrelated(b).MulPoint(k)
+		rhs = a.MulPoint(k).AddUnrelated(b.MulPoint(k))
+		return lhs.ApproxEqual(rhs, tol)
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package stochastic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// coupledHistories simulates latency/bandwidth-style coupling: both driven
+// by a shared congestion signal.
+func coupledHistories(rng *rand.Rand, n int) (lat, bw []float64) {
+	lat = make([]float64, n)
+	bw = make([]float64, n)
+	for i := range lat {
+		congestion := rng.Float64()
+		lat[i] = 0.01 + 0.05*congestion + 0.002*rng.NormFloat64()
+		bw[i] = 8 - 5*congestion + 0.2*rng.NormFloat64()
+	}
+	return lat, bw
+}
+
+func TestDetectRelationCoupled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lat, bw := coupledHistories(rng, 300)
+	kind, rho, err := DetectRelation(lat, bw, DefaultRelationThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RelatedKind {
+		t.Errorf("coupled histories detected as %v (rho=%g)", kind, rho)
+	}
+	if rho >= 0 {
+		t.Errorf("latency/bandwidth coupling should be negative: rho=%g", rho)
+	}
+}
+
+func TestDetectRelationIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	kind, rho, err := DetectRelation(a, b, DefaultRelationThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != UnrelatedKind {
+		t.Errorf("independent histories detected as %v (rho=%g)", kind, rho)
+	}
+}
+
+func TestDetectRelationValidation(t *testing.T) {
+	ok := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, _, err := DetectRelation(ok, ok, 0); err == nil {
+		t.Error("threshold 0 should fail")
+	}
+	if _, _, err := DetectRelation(ok, ok, 1); err == nil {
+		t.Error("threshold 1 should fail")
+	}
+	if _, _, err := DetectRelation(ok[:4], ok[:4], 0.5); err == nil {
+		t.Error("short histories should fail")
+	}
+	if _, _, err := DetectRelation(ok, ok[:7], 0.5); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	constant := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if _, _, err := DetectRelation(constant, ok, 0.5); err == nil {
+		t.Error("constant history should fail")
+	}
+}
+
+func TestAddAutoPicksRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := New(3, 1)
+	w := New(4, 2)
+	lat, bw := coupledHistories(rng, 200)
+	got, kind, err := AddAuto(v, w, lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RelatedKind || got != v.AddRelated(w) {
+		t.Errorf("coupled AddAuto=%v kind=%v", got, kind)
+	}
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	got, kind, err = AddAuto(v, w, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != UnrelatedKind || !got.ApproxEqual(v.AddUnrelated(w), 1e-12) {
+		t.Errorf("independent AddAuto=%v kind=%v", got, kind)
+	}
+	if _, _, err := AddAuto(v, w, a[:2], b[:2]); err == nil {
+		t.Error("short histories should fail")
+	}
+}
+
+func TestMulAutoPicksRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := New(3, 1)
+	w := New(4, 2)
+	lat, bw := coupledHistories(rng, 200)
+	got, kind, err := MulAuto(v, w, lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RelatedKind || got != v.MulRelated(w) {
+		t.Errorf("coupled MulAuto=%v kind=%v", got, kind)
+	}
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	got, kind, err = MulAuto(v, w, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != UnrelatedKind || !got.ApproxEqual(v.MulUnrelated(w), 1e-12) {
+		t.Errorf("independent MulAuto=%v kind=%v", got, kind)
+	}
+	if _, _, err := MulAuto(v, w, a[:2], b[:2]); err == nil {
+		t.Error("short histories should fail")
+	}
+}
+
+func TestRelationKindString(t *testing.T) {
+	if RelatedKind.String() != "related" || UnrelatedKind.String() != "unrelated" {
+		t.Error("kind strings")
+	}
+}

@@ -1,0 +1,203 @@
+// Package stochastic implements the paper's primary contribution: stochastic
+// values — quantities represented as a normal distribution summarized by a
+// mean and a range of two standard deviations — together with the arithmetic
+// combination rules of Table 2, the group operators of §2.3.3, and the
+// interval-error metric used in the evaluation.
+//
+// A Value is written "X ± a" where X is the mean and a is two standard
+// deviations, so the interval [X-a, X+a] nominally covers ~95% of the
+// underlying behaviour. A point value is the degenerate case a == 0
+// (footnote 1 of the paper: probability 1 at X).
+//
+// Combination rules distinguish *related* distributions (causally coupled,
+// e.g. latency and bandwidth under shared congestion) from *unrelated* ones
+// (independent). Related combinations use conservative absolute-error
+// accumulation; unrelated combinations use root-sum-square error
+// propagation. Relatedness is a modeling judgement the caller makes; it is
+// not inferable from the values themselves, which is why the API exposes
+// explicit method pairs (AddRelated/AddUnrelated, ...).
+package stochastic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodpred/internal/dist"
+	"prodpred/internal/stats"
+)
+
+// Value is a stochastic value X ± a: mean X and spread a = two standard
+// deviations (a >= 0). The zero Value is the point value 0.
+type Value struct {
+	Mean   float64
+	Spread float64 // two standard deviations; 0 for a point value
+}
+
+// Point returns the point value x (spread zero).
+func Point(x float64) Value { return Value{Mean: x} }
+
+// New returns the stochastic value mean ± spread. It panics if spread is
+// negative or either argument is NaN; use TryNew for validated construction
+// from untrusted input.
+func New(mean, spread float64) Value {
+	v, err := TryNew(mean, spread)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryNew validates and returns the stochastic value mean ± spread.
+func TryNew(mean, spread float64) (Value, error) {
+	if math.IsNaN(mean) || math.IsNaN(spread) {
+		return Value{}, errors.New("stochastic: NaN parameter")
+	}
+	if spread < 0 {
+		return Value{}, fmt.Errorf("stochastic: negative spread %g", spread)
+	}
+	return Value{Mean: mean, Spread: spread}, nil
+}
+
+// FromPercent returns mean ± pct% of mean, the paper's percentage notation
+// (e.g. "12 sec ± 30%" -> 12 ± 3.6). The spread is |mean| * pct / 100.
+func FromPercent(mean, pct float64) Value {
+	return Value{Mean: mean, Spread: math.Abs(mean) * math.Abs(pct) / 100}
+}
+
+// FromMeanSigma returns mean ± 2*sigma.
+func FromMeanSigma(mean, sigma float64) Value {
+	return Value{Mean: mean, Spread: 2 * math.Abs(sigma)}
+}
+
+// FromSample summarizes a data sample as a stochastic value: sample mean ±
+// two sample standard deviations. This is how the paper turns benchmark or
+// sensor histories into model parameters.
+func FromSample(xs []float64) (Value, error) {
+	if len(xs) == 0 {
+		return Value{}, stats.ErrEmpty
+	}
+	m, s := stats.MeanStd(xs)
+	return Value{Mean: m, Spread: 2 * s}, nil
+}
+
+// FromNormal summarizes a normal distribution as mean ± 2 sigma.
+func FromNormal(n dist.Normal) Value {
+	return Value{Mean: n.Mu, Spread: 2 * n.Sigma}
+}
+
+// IsPoint reports whether v is a point value (zero spread).
+func (v Value) IsPoint() bool { return v.Spread == 0 }
+
+// Sigma returns one standard deviation (Spread / 2).
+func (v Value) Sigma() float64 { return v.Spread / 2 }
+
+// Interval returns the nominal ~95% interval [Mean-Spread, Mean+Spread].
+func (v Value) Interval() (lo, hi float64) {
+	return v.Mean - v.Spread, v.Mean + v.Spread
+}
+
+// Lo returns Mean - Spread.
+func (v Value) Lo() float64 { return v.Mean - v.Spread }
+
+// Hi returns Mean + Spread.
+func (v Value) Hi() float64 { return v.Mean + v.Spread }
+
+// Contains reports whether x lies within the closed interval of v.
+func (v Value) Contains(x float64) bool {
+	return x >= v.Lo() && x <= v.Hi()
+}
+
+// RelativeSpread returns Spread/|Mean|, or +Inf for a zero mean with
+// non-zero spread, or 0 for the point value 0.
+func (v Value) RelativeSpread() float64 {
+	if v.Mean == 0 {
+		if v.Spread == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return v.Spread / math.Abs(v.Mean)
+}
+
+// ErrorOutside returns the paper's error metric for an observation x against
+// the prediction v (footnote 6): the minimum distance between x and the
+// interval (Mean-Spread, Mean+Spread), which is zero when x falls inside.
+func (v Value) ErrorOutside(x float64) float64 {
+	lo, hi := v.Interval()
+	switch {
+	case x < lo:
+		return lo - x
+	case x > hi:
+		return x - hi
+	}
+	return 0
+}
+
+// RelativeErrorOutside returns ErrorOutside(x)/|x|, the percentage form the
+// evaluation section reports (e.g. "maximum error of approximately 14%").
+// It returns +Inf when x is 0 but lies outside the interval.
+func (v Value) RelativeErrorOutside(x float64) float64 {
+	e := v.ErrorOutside(x)
+	if e == 0 {
+		return 0
+	}
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return e / math.Abs(x)
+}
+
+// Distribution returns the normal distribution this value summarizes. It
+// returns an error for point values, which have no spread to define sigma.
+func (v Value) Distribution() (dist.Normal, error) {
+	if v.IsPoint() {
+		return dist.Normal{}, errors.New("stochastic: point value has no distribution")
+	}
+	return dist.NewNormal(v.Mean, v.Sigma())
+}
+
+// Sample draws one realization. Point values return their mean exactly.
+func (v Value) Sample(rng *rand.Rand) float64 {
+	if v.IsPoint() {
+		return v.Mean
+	}
+	return v.Mean + v.Sigma()*rng.NormFloat64()
+}
+
+// CDF returns P(X <= x) under the normal interpretation. A point value is a
+// step function at its mean.
+func (v Value) CDF(x float64) float64 {
+	if v.IsPoint() {
+		if x >= v.Mean {
+			return 1
+		}
+		return 0
+	}
+	return stats.NormalCDF((x - v.Mean) / v.Sigma())
+}
+
+// Quantile returns the p-quantile under the normal interpretation. Point
+// values return the mean for every p in (0,1).
+func (v Value) Quantile(p float64) float64 {
+	if v.IsPoint() {
+		return v.Mean
+	}
+	return v.Mean + v.Sigma()*stats.NormalQuantile(p)
+}
+
+// String renders the value in the paper's notation: "X ± a" or a bare
+// number for point values.
+func (v Value) String() string {
+	if v.IsPoint() {
+		return fmt.Sprintf("%.6g", v.Mean)
+	}
+	return fmt.Sprintf("%.6g ± %.6g", v.Mean, v.Spread)
+}
+
+// ApproxEqual reports whether two values agree within tol on both mean and
+// spread.
+func (v Value) ApproxEqual(w Value, tol float64) bool {
+	return math.Abs(v.Mean-w.Mean) <= tol && math.Abs(v.Spread-w.Spread) <= tol
+}

@@ -1,0 +1,232 @@
+package stochastic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prodpred/internal/dist"
+	"prodpred/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestPointAndNew(t *testing.T) {
+	p := Point(12)
+	if !p.IsPoint() || p.Mean != 12 || p.Spread != 0 {
+		t.Errorf("Point(12)=%+v", p)
+	}
+	v := New(12, 3.6)
+	if v.IsPoint() || v.Sigma() != 1.8 {
+		t.Errorf("New=%+v sigma=%g", v, v.Sigma())
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with negative spread should panic")
+		}
+	}()
+	New(1, -1)
+}
+
+func TestTryNew(t *testing.T) {
+	if _, err := TryNew(1, -0.5); err == nil {
+		t.Error("negative spread should fail")
+	}
+	if _, err := TryNew(math.NaN(), 1); err == nil {
+		t.Error("NaN mean should fail")
+	}
+	if _, err := TryNew(1, math.NaN()); err == nil {
+		t.Error("NaN spread should fail")
+	}
+	v, err := TryNew(2, 0.5)
+	if err != nil || v.Mean != 2 || v.Spread != 0.5 {
+		t.Errorf("TryNew=%+v err=%v", v, err)
+	}
+}
+
+func TestFromPercent(t *testing.T) {
+	// The paper's Table 1: 12 sec ± 30% -> [8.4, 15.6].
+	v := FromPercent(12, 30)
+	lo, hi := v.Interval()
+	if !almostEqual(lo, 8.4, 1e-12) || !almostEqual(hi, 15.6, 1e-12) {
+		t.Errorf("interval [%g,%g] want [8.4,15.6]", lo, hi)
+	}
+	// 12 ± 5% -> [11.4, 12.6].
+	v = FromPercent(12, 5)
+	lo, hi = v.Interval()
+	if !almostEqual(lo, 11.4, 1e-12) || !almostEqual(hi, 12.6, 1e-12) {
+		t.Errorf("interval [%g,%g] want [11.4,12.6]", lo, hi)
+	}
+	// Negative mean or percent still yields non-negative spread.
+	if FromPercent(-10, 20).Spread != 2 {
+		t.Errorf("negative mean spread=%g", FromPercent(-10, 20).Spread)
+	}
+	if FromPercent(10, -20).Spread != 2 {
+		t.Errorf("negative pct spread=%g", FromPercent(10, -20).Spread)
+	}
+}
+
+func TestFromMeanSigma(t *testing.T) {
+	v := FromMeanSigma(0.48, 0.025)
+	if !almostEqual(v.Spread, 0.05, 1e-12) {
+		t.Errorf("spread=%g", v.Spread)
+	}
+	if FromMeanSigma(1, -0.5).Spread != 1 {
+		t.Error("negative sigma should be absolute-valued")
+	}
+}
+
+func TestFromSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := dist.Normal{Mu: 5.25, Sigma: 0.4}
+	xs := dist.SampleN(n, rng, 4000)
+	v, err := FromSample(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v.Mean, 5.25, 0.05) || !almostEqual(v.Spread, 0.8, 0.05) {
+		t.Errorf("FromSample=%v", v)
+	}
+	if _, err := FromSample(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestFromNormalAndDistributionRoundTrip(t *testing.T) {
+	n := dist.Normal{Mu: 12, Sigma: 0.6}
+	v := FromNormal(n)
+	if v.Mean != 12 || v.Spread != 1.2 {
+		t.Errorf("FromNormal=%v", v)
+	}
+	back, err := v.Distribution()
+	if err != nil || back.Mu != 12 || back.Sigma != 0.6 {
+		t.Errorf("round trip=%+v err=%v", back, err)
+	}
+	if _, err := Point(3).Distribution(); err == nil {
+		t.Error("point value should have no distribution")
+	}
+}
+
+func TestIntervalQueries(t *testing.T) {
+	v := New(10, 2)
+	if v.Lo() != 8 || v.Hi() != 12 {
+		t.Errorf("Lo/Hi = %g/%g", v.Lo(), v.Hi())
+	}
+	for _, c := range []struct {
+		x    float64
+		in   bool
+		eOut float64
+	}{
+		{8, true, 0}, {12, true, 0}, {10, true, 0},
+		{7, false, 1}, {13.5, false, 1.5},
+	} {
+		if got := v.Contains(c.x); got != c.in {
+			t.Errorf("Contains(%g)=%v", c.x, got)
+		}
+		if got := v.ErrorOutside(c.x); !almostEqual(got, c.eOut, 1e-12) {
+			t.Errorf("ErrorOutside(%g)=%g want %g", c.x, got, c.eOut)
+		}
+	}
+}
+
+func TestRelativeErrorOutside(t *testing.T) {
+	v := New(100, 10)
+	if got := v.RelativeErrorOutside(120); !almostEqual(got, 10.0/120.0, 1e-12) {
+		t.Errorf("rel err=%g", got)
+	}
+	if got := v.RelativeErrorOutside(105); got != 0 {
+		t.Errorf("inside rel err=%g", got)
+	}
+	w := New(5, 1)
+	if !math.IsInf(w.RelativeErrorOutside(0), 1) {
+		t.Error("x=0 outside should be +Inf")
+	}
+}
+
+func TestRelativeSpread(t *testing.T) {
+	if got := New(12, 3.6).RelativeSpread(); !almostEqual(got, 0.3, 1e-12) {
+		t.Errorf("RelativeSpread=%g", got)
+	}
+	if got := Point(0).RelativeSpread(); got != 0 {
+		t.Errorf("Point(0)=%g", got)
+	}
+	if !math.IsInf(New(0, 1).RelativeSpread(), 1) {
+		t.Error("zero mean nonzero spread should be Inf")
+	}
+}
+
+func TestSamplePointIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Point(7)
+	for i := 0; i < 100; i++ {
+		if p.Sample(rng) != 7 {
+			t.Fatal("point sample not exact")
+		}
+	}
+}
+
+func TestSampleMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	v := New(12, 1.2) // sigma 0.6
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = v.Sample(rng)
+	}
+	if m := stats.Mean(xs); !almostEqual(m, 12, 0.02) {
+		t.Errorf("sample mean=%g", m)
+	}
+	if s := stats.StdDev(xs); !almostEqual(s, 0.6, 0.02) {
+		t.Errorf("sample sigma=%g", s)
+	}
+	// ~95% inside the stochastic interval: the defining property.
+	if c := stats.Coverage(xs, v.Lo(), v.Hi()); math.Abs(c-0.9545) > 0.01 {
+		t.Errorf("interval coverage=%g", c)
+	}
+}
+
+func TestCDFAndQuantile(t *testing.T) {
+	v := New(10, 2) // sigma 1
+	if got := v.CDF(10); got != 0.5 {
+		t.Errorf("CDF(mean)=%g", got)
+	}
+	if got := v.CDF(12); !almostEqual(got, 0.9772498680518208, 1e-9) {
+		t.Errorf("CDF(+2sigma)=%g", got)
+	}
+	if got := v.Quantile(0.5); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("median=%g", got)
+	}
+	p := Point(5)
+	if p.CDF(4.999) != 0 || p.CDF(5) != 1 {
+		t.Error("point CDF should be a step at the mean")
+	}
+	if p.Quantile(0.3) != 5 {
+		t.Error("point quantile should be the mean")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(12, 3.6).String(); got != "12 ± 3.6" {
+		t.Errorf("String=%q", got)
+	}
+	if got := Point(7.5).String(); got != "7.5" {
+		t.Errorf("point String=%q", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := New(1, 0.5)
+	if !a.ApproxEqual(New(1.0001, 0.5001), 0.001) {
+		t.Error("should be approx equal")
+	}
+	if a.ApproxEqual(New(1.1, 0.5), 0.001) {
+		t.Error("should not be approx equal")
+	}
+}

@@ -1,0 +1,117 @@
+package structural
+
+import (
+	"errors"
+	"fmt"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/stochastic"
+)
+
+// MasterWorkerConfig is the structural model of the embarrassingly parallel
+// application class from the paper's §1.2 example: a fixed number of
+// independent work units distributed to machines, with per-unit results
+// collected back over a shared link. Structural models are meant to be
+// adaptable across applications (§2.2); this is the second instantiation
+// beside the SOR model:
+//
+//	ExTime = Max_p{ Comp_p } + Sum_p{ Collect_p }
+//	Comp_p    = Units_p * UnitElems * BM_p / load_p
+//	Collect_p = Units_p * ResultBytes / (DedBW * BWAvail) + Latency
+//
+// Collections share the medium, so they combine with the related rule.
+type MasterWorkerConfig struct {
+	// Units[p] is the number of work units assigned to machine p.
+	Units    []int
+	Machines []cluster.Machine
+	// UnitElems is the compute cost of one unit in element-equivalents
+	// (the unit of Machine.ElemRate).
+	UnitElems float64
+	// ResultBytes is the size of one unit's result sent back to the
+	// master. Zero disables the collection term.
+	ResultBytes float64
+	Link        cluster.Link
+	MaxStrategy stochastic.MaxStrategy
+}
+
+func (c *MasterWorkerConfig) validate() error {
+	if len(c.Units) == 0 {
+		return errors.New("structural: no workers")
+	}
+	if len(c.Units) != len(c.Machines) {
+		return errors.New("structural: units/machines length mismatch")
+	}
+	for i, u := range c.Units {
+		if u < 0 {
+			return fmt.Errorf("structural: negative units for worker %d", i)
+		}
+	}
+	for _, m := range c.Machines {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	if !(c.UnitElems > 0) {
+		return errors.New("structural: UnitElems must be positive")
+	}
+	if c.ResultBytes < 0 {
+		return errors.New("structural: negative ResultBytes")
+	}
+	if c.ResultBytes > 0 {
+		return c.Link.Validate()
+	}
+	return nil
+}
+
+// CompComponent returns worker p's computation component.
+func (c *MasterWorkerConfig) CompComponent(p int) Component {
+	work := float64(c.Units[p]) * c.UnitElems / c.Machines[p].ElemRate
+	return Div{Rel: Unrelated, A: PointConst(work), B: Param(LoadParam(p))}
+}
+
+// CollectComponent returns worker p's result-collection component.
+func (c *MasterWorkerConfig) CollectComponent(p int) Component {
+	if c.ResultBytes == 0 || c.Units[p] == 0 {
+		return PointConst(0)
+	}
+	bytes := float64(c.Units[p]) * c.ResultBytes
+	return Sum{Rel: Related, Terms: []Component{
+		Div{Rel: Unrelated, A: PointConst(bytes / c.Link.DedBW), B: Param(BWAvailParam)},
+		PointConst(c.Link.Latency),
+	}}
+}
+
+// Build assembles the model.
+func (c *MasterWorkerConfig) Build() (Component, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	comps := make([]Component, len(c.Units))
+	collects := make([]Component, len(c.Units))
+	for p := range c.Units {
+		comps[p] = c.CompComponent(p)
+		collects[p] = c.CollectComponent(p)
+	}
+	return Sum{Rel: Related, Terms: []Component{
+		MaxOver{Strategy: c.MaxStrategy, Terms: comps},
+		Sum{Rel: Related, Terms: collects},
+	}}, nil
+}
+
+// Predict builds and evaluates the model.
+func (c *MasterWorkerConfig) Predict(params Params) (stochastic.Value, error) {
+	model, err := c.Build()
+	if err != nil {
+		return stochastic.Value{}, err
+	}
+	return model.Eval(params)
+}
+
+// DedicatedParams returns point parameters for an unloaded system.
+func (c *MasterWorkerConfig) DedicatedParams() Params {
+	params := Params{BWAvailParam: stochastic.Point(1)}
+	for p := range c.Units {
+		params[LoadParam(p)] = stochastic.Point(1)
+	}
+	return params
+}

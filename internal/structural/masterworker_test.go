@@ -1,0 +1,193 @@
+package structural
+
+import (
+	"math"
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/simenv"
+	"prodpred/internal/stochastic"
+)
+
+// twoMachineMW models the §1.2 example: machine A does a unit of work in
+// 10 s dedicated, machine B in 5 s.
+func twoMachineMW(unitsA, unitsB int) *MasterWorkerConfig {
+	plat := cluster.TwoMachineExample()
+	return &MasterWorkerConfig{
+		Units:       []int{unitsA, unitsB},
+		Machines:    []cluster.Machine{plat.Machine(0), plat.Machine(1)},
+		UnitElems:   1, // one "element" per unit; rates are units/second
+		ResultBytes: 0,
+		MaxStrategy: stochastic.LargestMean,
+	}
+}
+
+func TestMasterWorkerValidation(t *testing.T) {
+	good := twoMachineMW(10, 20)
+	if _, err := good.Build(); err != nil {
+		t.Fatalf("valid config failed: %v", err)
+	}
+	bad := *good
+	bad.Units = nil
+	if _, err := bad.Build(); err == nil {
+		t.Error("no workers should fail")
+	}
+	bad = *good
+	bad.Units = []int{1}
+	if _, err := bad.Build(); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	bad = *good
+	bad.Units = []int{-1, 2}
+	if _, err := bad.Build(); err == nil {
+		t.Error("negative units should fail")
+	}
+	bad = *good
+	bad.UnitElems = 0
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero UnitElems should fail")
+	}
+	bad = *good
+	bad.ResultBytes = -1
+	if _, err := bad.Build(); err == nil {
+		t.Error("negative ResultBytes should fail")
+	}
+	bad = *good
+	bad.ResultBytes = 100 // now the link matters
+	if _, err := bad.Build(); err == nil {
+		t.Error("invalid link with collection should fail")
+	}
+	bad = *good
+	bad.Machines = []cluster.Machine{{Name: "x"}, good.Machines[1]}
+	if _, err := bad.Build(); err == nil {
+		t.Error("invalid machine should fail")
+	}
+}
+
+func TestMasterWorkerDedicatedPrediction(t *testing.T) {
+	// 30 units on A at 10 s each vs 60 on B at 5 s each: both finish in
+	// 300 s, the balanced dedicated split from Table 1's discussion.
+	cfg := twoMachineMW(30, 60)
+	pred, err := cfg.Predict(cfg.DedicatedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.IsPoint() || math.Abs(pred.Mean-300) > 1e-9 {
+		t.Errorf("prediction=%v want point 300", pred)
+	}
+}
+
+func TestMasterWorkerProductionPrediction(t *testing.T) {
+	// Table 1 production: both machines average 12 s/unit. With equal
+	// 50/50 split, B's ±30% dominates the interval under
+	// LargestMagnitude.
+	cfg := twoMachineMW(50, 50)
+	params := Params{
+		BWAvailParam: stochastic.Point(1),
+		// loads such that unit times are 12 s: avail = ded/12.
+		LoadParam(0): stochastic.FromPercent(10.0/12.0, 5),
+		LoadParam(1): stochastic.FromPercent(5.0/12.0, 30),
+	}
+	cfg.MaxStrategy = stochastic.LargestMagnitude
+	pred, err := cfg.Predict(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 units * 12 s = 600 s mean; first-order spread ~ ±30% -> ~180.
+	if math.Abs(pred.Mean-600) > 1 {
+		t.Errorf("mean=%g want ~600", pred.Mean)
+	}
+	if pred.Spread < 120 || pred.Spread > 240 {
+		t.Errorf("spread=%g want ~180", pred.Spread)
+	}
+}
+
+func TestMasterWorkerCollectionTerm(t *testing.T) {
+	cfg := twoMachineMW(10, 10)
+	cfg.ResultBytes = 1.25e6 // 1 s per unit-result at dedicated bandwidth
+	cfg.Link = cluster.Ethernet10Mbit()
+	pred, err := cfg.Predict(cfg.DedicatedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute: max(10*10, 10*5) = 100 s. Collection: 20 units * 1 s + 2
+	// latencies.
+	want := 100.0 + 20 + 2*1e-3
+	if math.Abs(pred.Mean-want) > 1e-9 {
+		t.Errorf("mean=%g want %g", pred.Mean, want)
+	}
+	// Zero-unit worker has a zero collection component.
+	cfg2 := twoMachineMW(0, 10)
+	cfg2.ResultBytes = 100
+	cfg2.Link = cluster.Ethernet10Mbit()
+	v, err := cfg2.CollectComponent(0).Eval(cfg2.DedicatedParams())
+	if err != nil || v != stochastic.Point(0) {
+		t.Errorf("zero-unit collect=%v err=%v", v, err)
+	}
+}
+
+func TestMasterWorkerAgainstSimulation(t *testing.T) {
+	// The model's dedicated prediction matches a simulated execution:
+	// each machine computes its units, then results drain over the shared
+	// link sequentially.
+	plat := cluster.TwoMachineExample()
+	env, err := simenv.NewDedicated(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoMachineMW(30, 60)
+	cfg.ResultBytes = 125e3 // 0.1 s per unit result
+	cfg.Link = cluster.Ethernet10Mbit()
+	pred, err := cfg.Predict(cfg.DedicatedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate: compute in parallel; collection serialized on the medium.
+	var maxComp float64
+	for p, units := range cfg.Units {
+		d, err := env.WorkDuration(p, float64(units)*cfg.UnitElems, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > maxComp {
+			maxComp = d
+		}
+	}
+	tNow := maxComp
+	for p, units := range cfg.Units {
+		if units == 0 {
+			continue
+		}
+		d, err := env.TransferDuration(p, (p+1)%2, float64(units)*cfg.ResultBytes, tNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tNow += d
+	}
+	actual := tNow
+	if math.Abs(pred.Mean-actual)/actual > 0.02 {
+		t.Errorf("model %g vs simulated %g (>2%%)", pred.Mean, actual)
+	}
+}
+
+func TestMasterWorkerLoadWidensInterval(t *testing.T) {
+	cfg := twoMachineMW(50, 50)
+	// Under LargestMean a mean-tie would pick the point-valued machine and
+	// silently drop the spread — the §2.3.3 subtlety. Use the magnitude
+	// strategy, which sees B's wider range.
+	cfg.MaxStrategy = stochastic.LargestMagnitude
+	base := cfg.DedicatedParams()
+	noisy := cfg.DedicatedParams()
+	noisy[LoadParam(1)] = stochastic.New(0.5, 0.2)
+	vb, err := cfg.Predict(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, err := cfg.Predict(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vn.Spread <= vb.Spread {
+		t.Errorf("noisy load should widen: %v vs %v", vn, vb)
+	}
+}

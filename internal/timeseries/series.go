@@ -1,0 +1,261 @@
+// Package timeseries provides timestamped measurement series: append-only
+// series, bounded ring-buffer histories (the storage behind the NWS
+// sensors), sliding windows, resampling, and CSV interchange.
+//
+// Time is virtual simulation time in float64 seconds, matching the
+// discrete-event clock in internal/simenv; nothing here touches wall-clock
+// time.
+package timeseries
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Point is one timestamped measurement.
+type Point struct {
+	T float64 // seconds of virtual time
+	V float64
+}
+
+// Series is an append-only measurement series ordered by time.
+type Series struct {
+	pts []Point
+}
+
+// NewSeries returns an empty series with the given capacity hint.
+func NewSeries(capHint int) *Series {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Series{pts: make([]Point, 0, capHint)}
+}
+
+// FromSlices builds a series from parallel time/value slices, which must be
+// equal-length and time-ordered.
+func FromSlices(ts, vs []float64) (*Series, error) {
+	if len(ts) != len(vs) {
+		return nil, errors.New("timeseries: slice length mismatch")
+	}
+	s := NewSeries(len(ts))
+	for i := range ts {
+		if err := s.Append(ts[i], vs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Append adds a measurement; timestamps must be non-decreasing.
+func (s *Series) Append(t, v float64) error {
+	if n := len(s.pts); n > 0 && t < s.pts[n-1].T {
+		return fmt.Errorf("timeseries: non-monotonic timestamp %g after %g", t, s.pts[n-1].T)
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+	return nil
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.pts) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) Point { return s.pts[i] }
+
+// Values returns a copy of the measurement values in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns a copy of the timestamps in order.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Span returns the first and last timestamps; ok is false for an empty
+// series.
+func (s *Series) Span() (t0, t1 float64, ok bool) {
+	if len(s.pts) == 0 {
+		return 0, 0, false
+	}
+	return s.pts[0].T, s.pts[len(s.pts)-1].T, true
+}
+
+// Window returns the values with timestamps in the half-open interval
+// [from, to).
+func (s *Series) Window(from, to float64) []float64 {
+	lo := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T >= from })
+	hi := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T >= to })
+	out := make([]float64, 0, hi-lo)
+	for _, p := range s.pts[lo:hi] {
+		out = append(out, p.V)
+	}
+	return out
+}
+
+// ValueAt returns the measurement in force at time t: the value of the
+// latest point with timestamp <= t. ok is false before the first point.
+func (s *Series) ValueAt(t float64) (v float64, ok bool) {
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.pts[i-1].V, true
+}
+
+// Resample returns the series sampled every dt from t0 to t1 inclusive
+// using last-observation-carried-forward, the convention for load signals
+// reported at fixed sensor intervals.
+func (s *Series) Resample(t0, t1, dt float64) (*Series, error) {
+	if dt <= 0 {
+		return nil, errors.New("timeseries: non-positive resample step")
+	}
+	if t1 < t0 {
+		return nil, errors.New("timeseries: resample range reversed")
+	}
+	out := NewSeries(int((t1-t0)/dt) + 1)
+	for t := t0; t <= t1+1e-12; t += dt {
+		v, ok := s.ValueAt(t)
+		if !ok {
+			continue
+		}
+		if err := out.Append(t, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV writes "time,value" rows (with a header) to w.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "value"}); err != nil {
+		return err
+	}
+	for _, p := range s.pts {
+		rec := []string{
+			strconv.FormatFloat(p.T, 'g', -1, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a series written by WriteCSV.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("timeseries: empty CSV")
+	}
+	s := NewSeries(len(recs) - 1)
+	for i, rec := range recs {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("timeseries: row %d has %d fields", i, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d time: %w", i, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d value: %w", i, err)
+		}
+		if err := s.Append(t, v); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Ring is a bounded measurement history that discards the oldest point when
+// full — the storage discipline of an NWS sensor.
+type Ring struct {
+	buf   []Point
+	start int
+	n     int
+}
+
+// NewRing returns a ring holding at most size points; size must be positive.
+func NewRing(size int) (*Ring, error) {
+	if size <= 0 {
+		return nil, errors.New("timeseries: ring size must be positive")
+	}
+	return &Ring{buf: make([]Point, size)}, nil
+}
+
+// Push appends a measurement, evicting the oldest if the ring is full.
+func (r *Ring) Push(t, v float64) {
+	idx := (r.start + r.n) % len(r.buf)
+	r.buf[idx] = Point{T: t, V: v}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.start = (r.start + 1) % len(r.buf)
+	}
+}
+
+// Len returns the number of stored points.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// At returns the i-th stored point, oldest first.
+func (r *Ring) At(i int) Point {
+	return r.buf[(r.start+i)%len(r.buf)]
+}
+
+// Last returns the most recent point; ok is false when empty.
+func (r *Ring) Last() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.At(r.n - 1), true
+}
+
+// Values returns the stored values oldest-first.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i).V
+	}
+	return out
+}
+
+// Tail returns the most recent k values oldest-first (all values when
+// k >= Len).
+func (r *Ring) Tail(k int) []float64 {
+	if k > r.n {
+		k = r.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.At(r.n - k + i).V
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAppendAndAccessors(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(float64(i), float64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if p := s.At(2); p.T != 2 || p.V != 20 {
+		t.Errorf("At(2)=%+v", p)
+	}
+	if vs := s.Values(); len(vs) != 5 || vs[3] != 30 {
+		t.Errorf("Values=%v", vs)
+	}
+	if ts := s.Times(); ts[4] != 4 {
+		t.Errorf("Times=%v", ts)
+	}
+	t0, t1, ok := s.Span()
+	if !ok || t0 != 0 || t1 != 4 {
+		t.Errorf("Span=%g,%g,%v", t0, t1, ok)
+	}
+	if _, _, ok := NewSeries(0).Span(); ok {
+		t.Error("empty span should be !ok")
+	}
+}
+
+func TestSeriesRejectsNonMonotonic(t *testing.T) {
+	s := NewSeries(0)
+	if err := s.Append(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(4, 1); err == nil {
+		t.Error("decreasing timestamp should fail")
+	}
+	// Equal timestamps are allowed (sensor reporting at the same tick).
+	if err := s.Append(5, 2); err != nil {
+		t.Errorf("equal timestamp should be ok: %v", err)
+	}
+}
+
+func TestFromSlices(t *testing.T) {
+	s, err := FromSlices([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil || s.Len() != 3 {
+		t.Fatalf("FromSlices err=%v len=%d", err, s.Len())
+	}
+	if _, err := FromSlices([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatch should fail")
+	}
+	if _, err := FromSlices([]float64{2, 1}, []float64{0, 0}); err == nil {
+		t.Error("unordered times should fail")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s, _ := FromSlices([]float64{0, 1, 2, 3, 4}, []float64{5, 6, 7, 8, 9})
+	got := s.Window(1, 3)
+	if len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Errorf("Window=%v", got)
+	}
+	if got := s.Window(10, 20); len(got) != 0 {
+		t.Errorf("empty window=%v", got)
+	}
+	if got := s.Window(-5, 100); len(got) != 5 {
+		t.Errorf("full window=%v", got)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	s, _ := FromSlices([]float64{1, 3, 5}, []float64{10, 30, 50})
+	if _, ok := s.ValueAt(0.5); ok {
+		t.Error("before first point should be !ok")
+	}
+	cases := []struct{ t, want float64 }{{1, 10}, {2.9, 10}, {3, 30}, {4, 30}, {99, 50}}
+	for _, c := range cases {
+		v, ok := s.ValueAt(c.t)
+		if !ok || v != c.want {
+			t.Errorf("ValueAt(%g)=%g,%v want %g", c.t, v, ok, c.want)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s, _ := FromSlices([]float64{0, 10}, []float64{1, 2})
+	r, err := s.Resample(0, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := []float64{0, 5, 10, 15, 20}
+	wantV := []float64{1, 1, 2, 2, 2}
+	if r.Len() != len(wantT) {
+		t.Fatalf("resampled len=%d", r.Len())
+	}
+	for i := range wantT {
+		if p := r.At(i); p.T != wantT[i] || p.V != wantV[i] {
+			t.Errorf("point %d = %+v want {%g %g}", i, p, wantT[i], wantV[i])
+		}
+	}
+	if _, err := s.Resample(0, 1, 0); err == nil {
+		t.Error("dt=0 should fail")
+	}
+	if _, err := s.Resample(5, 1, 1); err == nil {
+		t.Error("reversed range should fail")
+	}
+	// Resampling starting before the first observation skips leading ticks.
+	r2, err := s.Resample(-10, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 || r2.At(0).T != 0 {
+		t.Errorf("leading ticks not skipped: len=%d", r2.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, _ := FromSlices([]float64{0, 1.5, 2.25}, []float64{0.1, -3, 42})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("len=%d want %d", back.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if back.At(i) != s.At(i) {
+			t.Errorf("point %d: %+v vs %+v", i, back.At(i), s.At(i))
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,value\nx,1\n")); err == nil {
+		t.Error("bad time should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,value\n1,y\n")); err == nil {
+		t.Error("bad value should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("time,value\n2,1\n1,1\n")); err == nil {
+		t.Error("unordered rows should fail")
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatalf("cap=%d len=%d", r.Cap(), r.Len())
+	}
+	if _, ok := r.Last(); ok {
+		t.Error("empty Last should be !ok")
+	}
+	r.Push(1, 10)
+	r.Push(2, 20)
+	if last, ok := r.Last(); !ok || last.V != 20 {
+		t.Errorf("Last=%+v,%v", last, ok)
+	}
+	r.Push(3, 30)
+	r.Push(4, 40) // evicts (1,10)
+	if r.Len() != 3 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	want := []float64{20, 30, 40}
+	got := r.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Values=%v want %v", got, want)
+		}
+	}
+	if p := r.At(0); p.T != 2 {
+		t.Errorf("oldest=%+v", p)
+	}
+}
+
+func TestRingTail(t *testing.T) {
+	r, _ := NewRing(5)
+	for i := 1; i <= 7; i++ {
+		r.Push(float64(i), float64(i))
+	}
+	got := r.Tail(3)
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("Tail(3)=%v", got)
+	}
+	if got := r.Tail(100); len(got) != 5 {
+		t.Errorf("Tail(100)=%v", got)
+	}
+	if got := r.Tail(-1); len(got) != 0 {
+		t.Errorf("Tail(-1)=%v", got)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := NewRing(-2); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+// Property: a ring holds exactly the last min(n, cap) pushed values in
+// order.
+func TestRingRetentionProperty(t *testing.T) {
+	f := func(valsRaw []float64, capRaw uint8) bool {
+		size := int(capRaw%20) + 1
+		r, err := NewRing(size)
+		if err != nil {
+			return false
+		}
+		for i, v := range valsRaw {
+			r.Push(float64(i), v)
+		}
+		want := valsRaw
+		if len(want) > size {
+			want = want[len(want)-size:]
+		}
+		got := r.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

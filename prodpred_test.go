@@ -1,0 +1,225 @@
+package prodpred
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: build the paper's two-machine example, combine stochastic values,
+// monitor a simulated platform, and predict an SOR run.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Stochastic values and arithmetic.
+	a := FromPercent(12, 5)
+	b := FromPercent(12, 30)
+	if a.Mean != 12 || math.Abs(b.Spread-3.6) > 1e-12 {
+		t.Fatalf("values: %v %v", a, b)
+	}
+	sum := a.AddUnrelated(b)
+	if sum.Mean != 24 {
+		t.Errorf("sum=%v", sum)
+	}
+	m, err := Max(LargestMagnitude, a, b)
+	if err != nil || m != b {
+		t.Errorf("max=%v err=%v", m, err)
+	}
+
+	// Scheduling on the §1.2 example.
+	alloc, err := UnitAllocation(100, []Value{a, b}, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0]+alloc[1] != 100 || alloc[0] <= alloc[1] {
+		t.Errorf("alloc=%v", alloc)
+	}
+
+	// Simulated platform + NWS + structural prediction.
+	plat := Platform1()
+	env, err := NewDedicatedEnv(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewCPUMonitor(env, 0, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mon.Report(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Mean-1) > 1e-9 {
+		t.Errorf("dedicated availability forecast=%v", v)
+	}
+
+	weights := make([]float64, plat.Size())
+	machines := make([]Machine, plat.Size())
+	for i := range weights {
+		machines[i] = plat.Machine(i)
+		weights[i] = machines[i].ElemRate
+	}
+	part, err := NewWeightedPartition(600, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := plat.Link(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &SORConfig{
+		N: 600, Iterations: 10, Partition: part, Machines: machines,
+		Link: link, MaxStrategy: LargestMean,
+	}
+	params := cfg.DedicatedParams()
+	params[LoadParam(0)] = NewValue(0.48, 0.05)
+	pred, err := cfg.Predict(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.IsPoint() || pred.Mean <= 0 {
+		t.Errorf("prediction=%v", pred)
+	}
+
+	// Experiments registry is reachable.
+	if len(Experiments()) < 20 {
+		t.Errorf("experiments=%d", len(Experiments()))
+	}
+	if _, err := LookupExperiment("table1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestFacadeSchedulingExtensions(t *testing.T) {
+	unit := []Value{FromPercent(12, 5), FromPercent(12, 30)}
+
+	// Objective-tuned allocation through the facade.
+	alloc, makespan, err := OptimizeAllocation(60, unit, func(v Value) float64 { return v.Hi() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0]+alloc[1] != 60 || makespan.Mean <= 0 {
+		t.Errorf("alloc=%v makespan=%v", alloc, makespan)
+	}
+
+	// Service-range promise.
+	p, err := PromiseFor(makespan, 0.05)
+	if err != nil || p < makespan.Mean {
+		t.Errorf("promise=%g err=%v", p, err)
+	}
+
+	// Time-balanced partitioning.
+	plat := Platform1()
+	machines := make([]Machine, plat.Size())
+	loads := make([]Value, plat.Size())
+	for i := range machines {
+		machines[i] = plat.Machine(i)
+		loads[i] = Point(1)
+	}
+	link, err := plat.Link(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := TimeBalancedPartition(200, machines, loads, link, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeDistributedAndModal(t *testing.T) {
+	// TCP backend through the facade.
+	part, err := NewWeightedPartition(33, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewTCPBackend(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := NewGrid(33)
+	g.SetBoundary(func(x, y float64) float64 { return x + y })
+	omega := OptimalOmega(33)
+	if omega <= 1 || omega >= 2 {
+		t.Errorf("omega=%g", omega)
+	}
+	res, err := backend.Run(g, omega, 50)
+	if err != nil || res.Iterations != 50 {
+		t.Fatalf("TCP run res=%+v err=%v", res, err)
+	}
+
+	// Relation detection through the facade.
+	xs := make([]float64, 64)
+	ys := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = -float64(i)
+	}
+	kind, rho, err := DetectRelation(xs, ys, 0.35)
+	if err != nil || kind != RelatedKind || rho > -0.9 {
+		t.Errorf("DetectRelation=%v rho=%g err=%v", kind, rho, err)
+	}
+
+	// Empirical values through the facade.
+	e, err := NewEmpirical([]float64{1, 2, 3, 4})
+	if err != nil || e.N() != 4 {
+		t.Fatalf("NewEmpirical err=%v", err)
+	}
+	if s := e.Summary(); s.Mean != 2.5 {
+		t.Errorf("summary=%v", s)
+	}
+
+	// Modal analysis through the facade (reuse a bursty trace).
+	proc, err := BurstyLoad(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vals, err := RecordLoad(proc, 0, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := FitModes(vals, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.K() < 2 {
+		t.Errorf("modes=%d", mm.K())
+	}
+	v, _, err := ModalStochasticValue(mm, vals)
+	if err != nil || v.Spread <= 0 {
+		t.Errorf("modal value=%v err=%v", v, err)
+	}
+	if _, err := AnalyzeBurstiness(mm, vals); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeSampleRoundTrip(t *testing.T) {
+	xs := []float64{11, 12, 13, 12, 11.5, 12.5}
+	v, err := FromSample(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mean < 11.9 || v.Mean > 12.1 {
+		t.Errorf("mean=%g", v.Mean)
+	}
+	if _, err := FromSample(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if p := Point(5); !p.IsPoint() {
+		t.Error("Point should be a point value")
+	}
+	if _, err := Min(LargestMean, Point(1), Point(2)); err != nil {
+		t.Error(err)
+	}
+	g, err := NewGrid(10)
+	if err != nil || g.N != 10 {
+		t.Errorf("grid err=%v", err)
+	}
+	if Platform2().Size() != 4 {
+		t.Error("platform2 size")
+	}
+}
