@@ -236,6 +236,40 @@ func BenchmarkSORLocalParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSORSolveTol exercises the fused convergence path: with tol > 0
+// every iteration needs a residual, which SweepPhaseResidual folds into the
+// black half-sweep so the grid is touched three times per iteration instead
+// of four.
+func BenchmarkSORSolveTol(b *testing.B) {
+	g, err := sor.NewGrid(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		if _, err := g.Solve(sor.OptimalOmega(256), 1e-6, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCMoments measures the sharded Monte Carlo engine on the
+// Table 2 unrelated-add cross-check workload (60k draws).
+func BenchmarkMCMoments(b *testing.B) {
+	x := stochastic.New(8, 2)
+	y := stochastic.New(5, 1.5)
+	mc := stochastic.MC{Seed: 1}
+	f := func(rng *rand.Rand) float64 { return x.Sample(rng) + y.Sample(rng) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Moments(60000, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkStructuralSORPredict(b *testing.B) {
 	plat := Platform1()
 	weights := make([]float64, plat.Size())

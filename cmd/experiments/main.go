@@ -5,7 +5,13 @@
 //	experiments -list             list all experiment IDs
 //	experiments -run fig9         run one experiment
 //	experiments -all              run everything
+//	experiments -all -jobs 4      run everything on 4 workers
 //	experiments -seed 7 -run fig5 override the seed
+//
+// With -jobs N (or -jobs 0 for GOMAXPROCS), -all executes experiments
+// concurrently on a worker pool; every experiment is deterministic given
+// its seed, so the output is identical to a sequential run and is always
+// printed in ID order.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 		run  = flag.String("run", "", "experiment ID to run")
 		all  = flag.Bool("all", false, "run every experiment")
 		seed = flag.Int64("seed", 1, "random seed")
+		jobs = flag.Int("jobs", 0, "workers for -all (0 = GOMAXPROCS)")
 		out  = flag.String("out", "", "also write artifacts (<id>.txt, <id>_metrics.csv) to this directory")
 	)
 	flag.Parse()
@@ -47,8 +54,11 @@ func main() {
 			fatal(err)
 		}
 	case *all:
-		for _, e := range experiments.All() {
-			if err := runOne(e, *seed, *out); err != nil {
+		for _, oc := range experiments.RunAll(*seed, *jobs) {
+			if oc.Err != nil {
+				fatal(fmt.Errorf("%s: %w", oc.Experiment.ID, oc.Err))
+			}
+			if err := printResult(oc.Experiment, oc.Result, *out); err != nil {
 				fatal(err)
 			}
 		}
@@ -59,12 +69,16 @@ func main() {
 }
 
 func runOne(e experiments.Experiment, seed int64, outDir string) error {
-	fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-	fmt.Printf("paper: %s\n\n", e.Paper)
 	res, err := e.Run(seed)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
+	return printResult(e, res, outDir)
+}
+
+func printResult(e experiments.Experiment, res *experiments.Result, outDir string) error {
+	fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+	fmt.Printf("paper: %s\n\n", e.Paper)
 	fmt.Println(res.Text)
 	if len(res.Metrics) > 0 {
 		fmt.Println("metrics:")

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"prodpred/internal/load"
@@ -119,7 +120,14 @@ func runAblationForecaster(seed int64) (*Result, error) {
 		tb := NewTable("forecaster", "RMSE")
 		best, worst := "", ""
 		bestV, worstV := 1e9, -1.0
-		for name, rmse := range mix.RMSEs() {
+		rmses := mix.RMSEs()
+		names := make([]string, 0, len(rmses))
+		for name := range rmses {
+			names = append(names, name)
+		}
+		sort.Strings(names) // map order would shuffle the table run-to-run
+		for _, name := range names {
+			rmse := rmses[name]
 			tb.AddRowf(name, rmse)
 			if rmse < bestV {
 				best, bestV = name, rmse

@@ -277,16 +277,23 @@ func runFig1011(seed int64) (*Result, error) {
 	}, nil
 }
 
-// runLongtail quantifies the §2.1.1 tradeoff across k-sigma bands.
+// runLongtail quantifies the §2.1.1 tradeoff across k-sigma bands. The two
+// coverage sweeps draw their samples on the parallel MC engine, one
+// deterministic stream per distribution.
 func runLongtail(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
 	ln, err := dist.LogNormalFromMoments(5.25, 0.8)
 	if err != nil {
 		return nil, err
 	}
 	normal := dist.Normal{Mu: 5.25, Sigma: 0.8}
-	xsLong := dist.SampleN(ln, rng, 20000)
-	xsNorm := dist.SampleN(normal, rng, 20000)
+	xsLong, err := stochastic.MC{Seed: seed}.Samples(20000, ln.Sample)
+	if err != nil {
+		return nil, err
+	}
+	xsNorm, err := stochastic.MC{Seed: seed + 1}.Samples(20000, normal.Sample)
+	if err != nil {
+		return nil, err
+	}
 
 	tb := NewTable("k-sigma", "normal data", "long-tailed data", "nominal")
 	nominal := map[float64]float64{1: 0.6827, 2: 0.9545, 3: 0.9973}
@@ -306,26 +313,22 @@ func runLongtail(seed int64) (*Result, error) {
 }
 
 // runTable2 renders the Table 2 rules with worked examples and Monte Carlo
-// cross-checks.
+// cross-checks. The spread-error checks sample on the parallel MC engine,
+// one independent seed per cross-check.
 func runTable2(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
 	a := stochastic.New(8, 2)
 	c := stochastic.New(5, 1.5)
 	p := 3.0
 
-	mc := func(f func() float64) stochastic.Value {
-		xs := make([]float64, 60000)
-		for i := range xs {
-			xs[i] = f()
-		}
-		v, err := stochastic.FromSample(xs)
+	mc := func(salt int64, f func(*rand.Rand) float64) stochastic.Value {
+		v, err := stochastic.MC{Seed: seed + salt}.Moments(60000, f)
 		if err != nil {
-			panic(err) // cannot happen: sample is non-empty
+			panic(err) // cannot happen: sample count is positive
 		}
 		return v
 	}
-	addMC := mc(func() float64 { return a.Sample(rng) + c.Sample(rng) })
-	mulMC := mc(func() float64 { return a.Sample(rng) * c.Sample(rng) })
+	addMC := mc(0, func(rng *rand.Rand) float64 { return a.Sample(rng) + c.Sample(rng) })
+	mulMC := mc(1, func(rng *rand.Rand) float64 { return a.Sample(rng) * c.Sample(rng) })
 
 	tb := NewTable("operation", "rule result", "Monte Carlo (indep.)")
 	tb.AddRowf("(8±2) + 3 [point]", a.AddPoint(p).String(), "")
@@ -364,9 +367,9 @@ func relDiff(a, b float64) float64 {
 	return d
 }
 
-// runMaxOps reproduces the §2.3.3 Max example.
+// runMaxOps reproduces the §2.3.3 Max example, with the ground-truth Max
+// distribution sampled on the parallel MC engine.
 func runMaxOps(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
 	A := stochastic.New(4, 0.5)
 	B := stochastic.New(3, 2)
 	C := stochastic.New(3, 1)
@@ -383,8 +386,7 @@ func runMaxOps(seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	xs := make([]float64, 200000)
-	for i := range xs {
+	mcTruth, err := stochastic.MC{Seed: seed}.Moments(200000, func(rng *rand.Rand) float64 {
 		m := A.Sample(rng)
 		if v := B.Sample(rng); v > m {
 			m = v
@@ -392,9 +394,8 @@ func runMaxOps(seed int64) (*Result, error) {
 		if v := C.Sample(rng); v > m {
 			m = v
 		}
-		xs[i] = m
-	}
-	mcTruth, err := stochastic.FromSample(xs)
+		return m
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -155,9 +155,20 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One grid for the whole series: Reset re-zeroes the interior while
+	// keeping the boundary, so every run still starts from the exact state
+	// a fresh allocation would, without an NxN allocation per run.
+	g, err := sor.NewGrid(cfg.n)
+	if err != nil {
+		return nil, err
+	}
+	g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
 
 	var recs []runRecord
 	for run := 0; run < cfg.runs; run++ {
+		if run > 0 {
+			g.Reset()
+		}
 		loads, err = readLoads(t)
 		if err != nil {
 			return nil, err
@@ -184,11 +195,6 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := sor.NewGrid(cfg.n)
-		if err != nil {
-			return nil, err
-		}
-		g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
 		res, err := backend.Run(g, sor.DefaultOmega, cfg.iters, t)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome is the result (or failure) of one experiment in a RunAll batch.
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+}
+
+// RunAll executes every registered experiment with the given seed on a pool
+// of jobs workers (jobs <= 0 means GOMAXPROCS). Each experiment already
+// derives all of its randomness from the seed it is handed, so the batch is
+// embarrassingly parallel; outcomes are returned in ID order regardless of
+// completion order, and their contents are identical for any jobs setting.
+func RunAll(seed int64, jobs int) []Outcome {
+	return runPool(All(), seed, jobs)
+}
+
+// runPool runs the given experiments on a worker pool, preserving order.
+func runPool(exps []Experiment, seed int64, jobs int) []Outcome {
+	out := make([]Outcome, len(exps))
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(exps) {
+					return
+				}
+				res, err := exps[i].Run(seed)
+				out[i] = Outcome{Experiment: exps[i], Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

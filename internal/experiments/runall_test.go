@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+)
+
+// cheapSubset picks a few fast experiments for pool tests.
+func cheapSubset(t *testing.T) []Experiment {
+	t.Helper()
+	var out []Experiment
+	for _, id := range []string{"table2", "maxops", "longtail", "fig1-2"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestRunPoolDeterministicAcrossJobs(t *testing.T) {
+	exps := cheapSubset(t)
+	seq := runPool(exps, 1, 1)
+	par := runPool(exps, 1, 3)
+	if len(seq) != len(exps) || len(par) != len(exps) {
+		t.Fatalf("outcome counts %d/%d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("outcome %d errored: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Experiment.ID != exps[i].ID || par[i].Experiment.ID != exps[i].ID {
+			t.Fatalf("outcome %d out of order: %s / %s", i,
+				seq[i].Experiment.ID, par[i].Experiment.ID)
+		}
+		if seq[i].Result.Text != par[i].Result.Text {
+			t.Errorf("%s: text differs between jobs=1 and jobs=3", exps[i].ID)
+		}
+		for k, v := range seq[i].Result.Metrics {
+			if pv := par[i].Result.Metrics[k]; pv != v {
+				t.Errorf("%s: metric %s = %g sequential vs %g parallel", exps[i].ID, k, v, pv)
+			}
+		}
+	}
+}
+
+func TestRunPoolPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok", Run: func(seed int64) (*Result, error) {
+			return &Result{ID: "ok", Text: "fine"}, nil
+		}},
+		{ID: "bad", Run: func(seed int64) (*Result, error) { return nil, boom }},
+	}
+	out := runPool(exps, 1, 2)
+	if out[0].Err != nil || out[0].Result == nil {
+		t.Errorf("ok outcome: %+v", out[0])
+	}
+	if !errors.Is(out[1].Err, boom) {
+		t.Errorf("bad outcome err=%v", out[1].Err)
+	}
+}
+
+func TestRunAllCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	out := RunAll(1, 0)
+	ids := IDs()
+	if len(out) != len(ids) {
+		t.Fatalf("outcomes=%d registry=%d", len(out), len(ids))
+	}
+	for i, oc := range out {
+		if oc.Experiment.ID != ids[i] {
+			t.Errorf("outcome %d is %s, want %s (ID order)", i, oc.Experiment.ID, ids[i])
+		}
+		if oc.Err != nil {
+			t.Errorf("%s: %v", oc.Experiment.ID, oc.Err)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# check.sh — the repo gate: formatting, vet, and the race-clean test suite.
+# The SOR worker pool and the sharded Monte Carlo engine are concurrent by
+# design, so -race is not optional here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "check.sh: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go test -race ./...
+
+echo "check.sh: gofmt, vet, and race-enabled tests all clean"
