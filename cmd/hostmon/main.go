@@ -37,25 +37,34 @@ func run(samples int, period time.Duration) error {
 	}
 	fmt.Printf("Monitoring this host's CPU availability (%d samples, every %v)\n", samples, period)
 	fmt.Printf("%-6s %-12s %-14s %-12s %s\n", "#", "availability", "forecast", "±2·RMSE", "best forecaster")
+	missed := 0
 	for i := 0; i < samples; i++ {
 		v, err := mon.Sample()
-		if err != nil {
-			return err
-		}
-		f, ferr := mon.Forecast()
-		if ferr != nil {
-			fmt.Printf("%-6d %-12.3f %s\n", i, v, "(warming up)")
-		} else {
-			sv := f.Stochastic()
-			fmt.Printf("%-6d %-12.3f %-14.3f %-12.3f %s\n", i, v, f.Value, sv.Spread, f.Best)
+		switch {
+		case err != nil:
+			// A failed read is a gap, not a fatal condition: skip the tick,
+			// keep forecasting from the surviving history.
+			missed++
+			fmt.Printf("%-6d %-12s (sensor error: %v)\n", i, "-", err)
+		default:
+			f, ferr := mon.Forecast()
+			if ferr != nil {
+				fmt.Printf("%-6d %-12.3f %s\n", i, v, "(warming up)")
+			} else {
+				sv := f.Stochastic()
+				fmt.Printf("%-6d %-12.3f %-14.3f %-12.3f %s\n", i, v, f.Value, sv.Spread, f.Best)
+			}
 		}
 		if i < samples-1 {
 			time.Sleep(period)
 		}
 	}
+	if missed > 0 {
+		fmt.Printf("\nSensor health: %d/%d samples recorded, %d missed\n", samples-missed, samples, missed)
+	}
 	f, err := mon.Forecast()
 	if err != nil {
-		return err
+		return fmt.Errorf("no sample ever succeeded: %w", err)
 	}
 	fmt.Printf("\nFinal stochastic availability value for this host: %s\n", f.Stochastic())
 	return nil

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"prodpred/internal/cluster"
+	"prodpred/internal/faults"
 	"prodpred/internal/load"
 	"prodpred/internal/nws"
 	"prodpred/internal/sched"
@@ -14,6 +15,19 @@ import (
 	"prodpred/internal/stochastic"
 	"prodpred/internal/structural"
 )
+
+// Conservative priors for the graceful-degradation fallback chain: when a
+// monitor has never recorded a single measurement, the pipeline predicts
+// from these rather than erroring. Half availability ± the full range is
+// the weakest defensible claim about a production machine.
+var cpuPrior = stochastic.New(0.5, 0.5)
+
+// pipelineDiag, when attached to a productionConfig, receives per-monitor
+// fault diagnostics after the series completes.
+type pipelineDiag struct {
+	CPUGaps []nws.GapStats // per machine
+	BWGaps  nws.GapStats
+}
 
 // productionConfig describes a monitor->predict->execute series on a
 // simulated production platform — the experimental loop behind Figures 9
@@ -34,6 +48,12 @@ type productionConfig struct {
 	// predictLoad optionally overrides the per-machine stochastic load
 	// parameter; when nil, the NWS monitor report is used.
 	predictLoad func(machine int, mon *nws.Monitor) (stochastic.Value, error)
+	// inject, when non-nil, wraps every CPU sensor with its per-machine
+	// fault schedule — the robustness experiments' knob.
+	inject *faults.Injector
+	// diag, when non-nil, is filled with per-monitor gap counters after
+	// the series completes.
+	diag *pipelineDiag
 }
 
 // runRecord is one production execution and its predictions.
@@ -91,7 +111,14 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 	p := cfg.plat.Size()
 	monitors := make([]*nws.Monitor, p)
 	for i := range monitors {
-		monitors[i], err = nws.NewCPUMonitor(env, i, nws.DefaultPeriod, 512)
+		sensor, err := nws.CPUSensor(env, i)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.inject != nil {
+			sensor = cfg.inject.Sensor(i, sensor)
+		}
+		monitors[i], err = nws.NewSensorMonitor(sensor, nws.DefaultPeriod, 512)
 		if err != nil {
 			return nil, err
 		}
@@ -111,18 +138,21 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 	readLoads := func(t float64) ([]stochastic.Value, error) {
 		loads := make([]stochastic.Value, p)
 		for i, mon := range monitors {
-			if err := mon.RunUntil(t); err != nil {
-				return nil, err
-			}
 			if cfg.predictLoad != nil {
+				if err := mon.RunUntil(t); err != nil {
+					return nil, err
+				}
 				loads[i], err = cfg.predictLoad(i, mon)
+				if err != nil {
+					return nil, err
+				}
 			} else {
-				var f nws.Forecast
-				f, err = mon.Forecast()
-				loads[i] = f.Stochastic()
-			}
-			if err != nil {
-				return nil, err
+				// Graceful degradation: the monitor's staleness-widened
+				// forecast when fresh, the running mean of its surviving
+				// history when stale, a conservative prior when it has
+				// never measured anything. A faulty sensor degrades the
+				// prediction; it no longer aborts the pipeline.
+				loads[i] = mon.RobustReport(t, cpuPrior)
 			}
 		}
 		return loads, nil
@@ -177,11 +207,9 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		if _, ok := cfg.net.(load.Constant); !ok {
 			// Production network: the NWS bandwidth monitor's forecast of
 			// achieved bytes/s, expressed as a fraction of the dedicated
-			// link rate.
-			bw, err := bwMonitor.Report(t)
-			if err != nil {
-				return nil, err
-			}
+			// link rate. Same fallback chain as the CPU monitors; the
+			// prior claims half the dedicated rate ± the full range.
+			bw := bwMonitor.RobustReport(t, stochastic.New(link.DedBW/2, link.DedBW/2))
 			frac := bw.MulPoint(1 / link.DedBW)
 			if frac.Mean <= 0.01 {
 				frac = stochastic.New(0.01, frac.Spread)
@@ -205,6 +233,13 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		}
 		recs = append(recs, rec)
 		t += res.ExecTime + cfg.gap
+	}
+	if cfg.diag != nil {
+		cfg.diag.CPUGaps = make([]nws.GapStats, p)
+		for i, mon := range monitors {
+			cfg.diag.CPUGaps[i] = mon.Gaps()
+		}
+		cfg.diag.BWGaps = bwMonitor.Gaps()
 	}
 	return recs, nil
 }

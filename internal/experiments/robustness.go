@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/faults"
+	"prodpred/internal/load"
+	"prodpred/internal/sched"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "robust-faults",
+		Title: "Robustness: interval capture under sensor faults (Platform 2 bursty)",
+		Paper: "§2.1.2's NWS values assumed always available — here the measurement stream drops, spikes, and blacks out, and the gap-aware pipeline must keep predicting (the Platform 2 bursty study of Figures 10-17, re-run against a faulty sensor substrate).",
+		Run:   runRobustFaults,
+	})
+}
+
+// faultScenario is one fault class applied to the bursty production series.
+type faultScenario struct {
+	name  string
+	key   string // metric key suffix
+	build func(seed int64) *faults.Injector
+}
+
+// robustScenarios returns the fault classes the robustness experiment
+// sweeps: none, 20% dropout, a 120 s outage window on the most volatile
+// machine, 5% outlier spikes, 2% transient errors, and the acceptance
+// combination of dropout plus outage.
+func robustScenarios(machines int) []faultScenario {
+	// The series warms up for 600 virtual seconds; the outage window sits
+	// squarely inside the execution region that follows.
+	outage := faults.Window{Start: 700, End: 820}
+	all := func(seed int64, s faults.Schedule) *faults.Injector {
+		in := faults.NewInjector(seed)
+		for m := 0; m < machines; m++ {
+			if err := in.Set(m, s); err != nil {
+				panic(err) // static schedules; cannot fail
+			}
+		}
+		return in
+	}
+	return []faultScenario{
+		{"fault-free", "clean", func(int64) *faults.Injector { return nil }},
+		{"20% dropout", "drop", func(seed int64) *faults.Injector {
+			return all(seed, faults.Schedule{DropProb: 0.2})
+		}},
+		{"outage 120s (machine 0)", "outage", func(seed int64) *faults.Injector {
+			in := faults.NewInjector(seed)
+			if err := in.Set(0, faults.Schedule{Outages: []faults.Window{outage}}); err != nil {
+				panic(err)
+			}
+			return in
+		}},
+		{"5% spikes (x4)", "spike", func(seed int64) *faults.Injector {
+			return all(seed, faults.Schedule{SpikeProb: 0.05, SpikeFactor: 4})
+		}},
+		{"2% transient errors", "transient", func(seed int64) *faults.Injector {
+			return all(seed, faults.Schedule{TransientProb: 0.02})
+		}},
+		{"20% dropout + outage", "combined", func(seed int64) *faults.Injector {
+			in := all(seed, faults.Schedule{DropProb: 0.2})
+			if err := in.Set(0, faults.Schedule{DropProb: 0.2, Outages: []faults.Window{outage}}); err != nil {
+				panic(err)
+			}
+			return in
+		}},
+	}
+}
+
+// runRobustFaults re-runs the bursty Platform 2 pipeline under each fault
+// scenario and compares stochastic-interval capture against the fault-free
+// baseline. The load processes are reseeded identically per scenario, so
+// the only difference between rows is the sensor fault schedule.
+func runRobustFaults(seed int64) (*Result, error) {
+	const (
+		n    = 300
+		runs = 15
+	)
+	plat := cluster.Platform2()
+	scens := robustScenarios(plat.Size())
+
+	tb := NewTable("scenario", "capture", "mean spread", "missed", "drop/outage/retry", "longest gap")
+	metrics := map[string]float64{}
+	var cleanCapture float64
+	var b strings.Builder
+	for si, sc := range scens {
+		cpu := make([]load.Process, plat.Size())
+		for i := range cpu {
+			p, err := load.Platform2FourModeBursty(seed + int64(i)*7)
+			if err != nil {
+				return nil, err
+			}
+			cpu[i] = p
+		}
+		net, err := load.EthernetContention(seed + 999)
+		if err != nil {
+			return nil, err
+		}
+		diag := &pipelineDiag{}
+		recs, err := runProductionSeries(productionConfig{
+			plat:         plat,
+			cpu:          cpu,
+			net:          net,
+			n:            n,
+			iters:        8,
+			runs:         runs,
+			gap:          20,
+			warmup:       600,
+			partStrategy: sched.MeanBalanced,
+			maxStrategy:  stochastic.LargestMean,
+			iterationRel: structural.Related,
+			inject:       sc.build(seed),
+			diag:         diag,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.name, err)
+		}
+		m := summarizeRuns(recs)
+		meanSpread := 0.0
+		for _, r := range recs {
+			meanSpread += r.Pred.Spread
+		}
+		meanSpread /= float64(len(recs))
+		var missed, dropped, outage, retries, longest int
+		for _, g := range diag.CPUGaps {
+			missed += g.Missed
+			dropped += g.Dropped
+			outage += g.Outage
+			retries += g.Retries
+			if g.LongestGap > longest {
+				longest = g.LongestGap
+			}
+		}
+		tb.AddRowf(sc.name, pct(m.CaptureFrac), fmt.Sprintf("%.2f s", meanSpread),
+			missed, fmt.Sprintf("%d/%d/%d", dropped, outage, retries), longest)
+		metrics["capture_"+sc.key] = m.CaptureFrac
+		metrics["missed_"+sc.key] = float64(missed)
+		metrics["spread_"+sc.key] = meanSpread
+		if si == 0 {
+			cleanCapture = m.CaptureFrac
+		}
+	}
+	metrics["combined_capture_delta"] = metrics["capture_combined"] - cleanCapture
+
+	fmt.Fprintf(&b, "Platform 2, bursty 4-modal load, %dx%d, %d executions per scenario.\n", n, n, runs)
+	b.WriteString("Identical load sample paths per row; only the sensor fault schedule differs.\n\n")
+	b.WriteString(tb.String())
+	b.WriteString("\nDropped and blacked-out samples widen the reported interval (staleness\ndegradation) instead of aborting the pipeline; capture stays within a few\npoints of the fault-free run because the gap-aware monitor trades interval\nwidth for sensor coverage.\n")
+	return &Result{ID: "robust-faults", Title: "Sensor-fault robustness", Text: b.String(), Metrics: metrics}, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+func TestRobustFaultsExperiment(t *testing.T) {
+	e, err := Lookup("robust-faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCap, err := res.Metric("capture_clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combCap, err := res.Metric("capture_combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: under 20% dropout plus an outage window on the bursty
+	// load, interval capture is no worse than 10 points below fault-free.
+	if combCap < cleanCap-0.101 {
+		t.Errorf("combined capture %.3f more than 10 points below clean %.3f", combCap, cleanCap)
+	}
+	// The outage window [700,820) at 5 s cadence is exactly 24 samples.
+	for _, key := range []string{"missed_outage"} {
+		v, err := res.Metric(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 24 {
+			t.Errorf("%s=%g want exactly 24", key, v)
+		}
+	}
+	if v, _ := res.Metric("missed_clean"); v != 0 {
+		t.Errorf("fault-free run missed %g samples", v)
+	}
+	if v, _ := res.Metric("missed_drop"); v <= 0 {
+		t.Errorf("dropout scenario missed %g samples, want > 0", v)
+	}
+	// Degradation widens intervals: mean spread under faults must be at
+	// least the fault-free spread.
+	sClean, _ := res.Metric("spread_clean")
+	sComb, _ := res.Metric("spread_combined")
+	if sComb < sClean {
+		t.Errorf("combined spread %.3f narrower than clean %.3f", sComb, sClean)
+	}
+}
+
+func TestRobustFaultsDeterministic(t *testing.T) {
+	e, err := Lookup("robust-faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("robust-faults text differs between identical-seed runs")
+	}
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s differs: %g vs %g", k, v, b.Metrics[k])
+		}
+	}
+}

@@ -355,8 +355,12 @@ func Record(p Process, t0, t1, dt float64) (*timeseries.Series, error) {
 	if !(dt > 0) || t1 < t0 {
 		return nil, errors.New("load: bad recording range")
 	}
-	s := timeseries.NewSeries(int((t1 - t0) / dt))
-	for t := t0; t <= t1+1e-12; t += dt {
+	// Integer step index, not t += dt: accumulated rounding on steps like
+	// 0.1 would skip or duplicate the final sample on long recordings.
+	n := int(math.Floor((t1-t0)/dt + 1e-9))
+	s := timeseries.NewSeries(n + 1)
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*dt
 		if err := s.Append(t, p.At(t)); err != nil {
 			return nil, err
 		}

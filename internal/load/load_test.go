@@ -335,3 +335,15 @@ func TestConcurrentAccess(t *testing.T) {
 		<-done
 	}
 }
+
+func TestRecordNoDriftOnLongRanges(t *testing.T) {
+	// Regression: t += dt accumulation dropped the final sample on long
+	// recordings with non-representable steps.
+	s, err := Record(Dedicated(), 0, 10000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100001 {
+		t.Errorf("len=%d want 100001", s.Len())
+	}
+}

@@ -128,6 +128,11 @@ func DefaultBattery() []Forecaster {
 	}
 }
 
+// minConservativeRMSE floors every no-postmortem conservative error
+// estimate: without it a degenerate constant history (e.g. all zeros)
+// produces a ±0 "stochastic" interval that can never capture anything.
+const minConservativeRMSE = 1e-6
+
 // Forecast is one NWS report: the best forecaster's prediction and the
 // error estimate derived from its postmortem RMSE.
 type Forecast struct {
@@ -203,7 +208,9 @@ func (m *Mix) Forecast(hist []float64) (Forecast, error) {
 	}
 	if math.IsInf(bestRMSE, 1) {
 		// No postmortem data yet: report a large conservative error of half
-		// the history range (or the value itself when degenerate).
+		// the history range (or the value itself when degenerate), floored
+		// at a small epsilon so a constant — in particular all-zero —
+		// history still yields a non-degenerate ±2·RMSE interval.
 		lo, hi := hist[0], hist[0]
 		for _, x := range hist {
 			lo = math.Min(lo, x)
@@ -212,6 +219,9 @@ func (m *Mix) Forecast(hist []float64) (Forecast, error) {
 		bestRMSE = (hi - lo) / 2
 		if bestRMSE == 0 {
 			bestRMSE = math.Abs(bestVal) * 0.5
+		}
+		if bestRMSE < minConservativeRMSE {
+			bestRMSE = minConservativeRMSE
 		}
 	}
 	return Forecast{Value: bestVal, RMSE: bestRMSE, Best: m.forecasters[bestIdx].Name()}, nil

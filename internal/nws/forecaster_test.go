@@ -212,3 +212,20 @@ func TestMixDefaultBatteryUsedWhenNil(t *testing.T) {
 		t.Error("nil battery should default")
 	}
 }
+
+func TestMixAllZeroHistoryRegression(t *testing.T) {
+	// Regression: the no-postmortem fallback was |bestVal| * 0.5, which is
+	// 0 for an all-zero history — a ±0 "stochastic" interval. It must be
+	// floored at a small positive epsilon.
+	mix := NewMix(nil)
+	f, err := mix.Forecast([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE <= 0 {
+		t.Fatalf("all-zero history RMSE=%g want > 0", f.RMSE)
+	}
+	if sv := f.Stochastic(); sv.Spread <= 0 {
+		t.Errorf("all-zero history spread=%g want > 0", sv.Spread)
+	}
+}

@@ -2,9 +2,10 @@ package nws
 
 import (
 	"errors"
-	"fmt"
+	"math"
 
 	"prodpred/internal/simenv"
+	"prodpred/internal/stats"
 	"prodpred/internal/stochastic"
 	"prodpred/internal/timeseries"
 )
@@ -13,54 +14,91 @@ import (
 // reports every 5 seconds.
 const DefaultPeriod = 5.0
 
+// Retry and degradation policy. Backoff is in virtual time and the retry
+// schedule stays strictly inside one period so a recovered tick never
+// collides with the next scheduled sample.
+const (
+	// maxRetries is how many backoff retries a transient error gets before
+	// the tick is abandoned as a gap.
+	maxRetries = 3
+	// degradeRate widens the reported interval per period of staleness:
+	// spread is multiplied by (1 + degradeRate * stalePeriods).
+	degradeRate = 0.25
+	// staleLimit is the staleness (in periods) beyond which the forecaster
+	// mix is no longer trusted and RobustReport falls back to the running
+	// mean of the surviving history.
+	staleLimit = 8
+)
+
+// GapStats counts per-fault-class sensor outcomes, for diagnostics and for
+// the robustness experiments. Missed is the total of scheduled samples that
+// produced no measurement (Dropped + Outage + TransientLost + SensorErrors).
+type GapStats struct {
+	Clean         int // samples recorded without incident
+	Recovered     int // samples recorded after one or more transient retries
+	Retries       int // transient retries performed (in virtual time)
+	Dropped       int // samples lost to drops
+	Outage        int // samples lost inside outage windows
+	TransientLost int // samples lost after exhausting retries
+	SensorErrors  int // samples lost to unclassified sensor errors
+	Missed        int // total scheduled samples not recorded
+	LongestGap    int // longest run of consecutive missed samples
+}
+
+// Recorded returns the number of samples that produced a measurement.
+func (g GapStats) Recorded() int { return g.Clean + g.Recovered }
+
+// Scheduled returns the number of sample ticks attempted.
+func (g GapStats) Scheduled() int { return g.Recorded() + g.Missed }
+
 // Monitor drives a sensor over a simulated environment at a fixed period,
 // keeps a bounded history, scores the forecaster mix postmortem after every
-// new measurement, and reports stochastic forecasts on demand. Not safe for
-// concurrent use.
+// new measurement, and reports stochastic forecasts on demand.
+//
+// The monitor is gap-aware: a failing sensor never aborts the measurement
+// stream. Transient errors are retried with backoff in virtual time;
+// dropped samples and outage windows are skipped and recorded in GapStats;
+// and the reported interval widens as the last good measurement ages,
+// recovering to normal confidence as fresh samples refill the history.
+// Not safe for concurrent use.
 type Monitor struct {
-	measure func(t float64) (float64, error)
+	measure Sensor
 	period  float64
 	ring    *timeseries.Ring
 	mix     *Mix
 	nextT   float64
 	started bool
+
+	stats  GapStats
+	curGap int     // consecutive missed samples in the current gap
+	stale  float64 // effective staleness in periods (rises on miss, decays on success)
 }
 
 // NewCPUMonitor returns a monitor of machine m's CPU availability in env.
 func NewCPUMonitor(env *simenv.Env, m int, period float64, histSize int) (*Monitor, error) {
-	if env == nil {
-		return nil, errors.New("nws: nil environment")
+	s, err := CPUSensor(env, m)
+	if err != nil {
+		return nil, err
 	}
-	if m < 0 || m >= env.Platform().Size() {
-		return nil, fmt.Errorf("nws: machine %d out of range", m)
-	}
-	return newMonitor(func(t float64) (float64, error) {
-		return env.RawCPUAvail(m, t), nil
-	}, period, histSize)
+	return NewSensorMonitor(s, period, histSize)
 }
 
 // NewBandwidthMonitor returns a monitor of achieved bandwidth (bytes/s)
 // between machines i and j in env, probing with probeBytes messages.
 func NewBandwidthMonitor(env *simenv.Env, i, j int, probeBytes, period float64, histSize int) (*Monitor, error) {
-	if env == nil {
-		return nil, errors.New("nws: nil environment")
-	}
-	if !(probeBytes > 0) {
-		return nil, errors.New("nws: probe size must be positive")
-	}
-	if _, err := env.Platform().Link(i, j); err != nil {
+	s, err := BandwidthSensor(env, i, j, probeBytes)
+	if err != nil {
 		return nil, err
 	}
-	return newMonitor(func(t float64) (float64, error) {
-		dur, err := env.TransferDuration(i, j, probeBytes, t)
-		if err != nil {
-			return 0, err
-		}
-		return probeBytes / dur, nil
-	}, period, histSize)
+	return NewSensorMonitor(s, period, histSize)
 }
 
-func newMonitor(measure func(float64) (float64, error), period float64, histSize int) (*Monitor, error) {
+// NewSensorMonitor returns a monitor over an arbitrary sensor — the
+// constructor fault-injection wrappers and custom sensors use.
+func NewSensorMonitor(sensor Sensor, period float64, histSize int) (*Monitor, error) {
+	if sensor == nil {
+		return nil, errors.New("nws: nil sensor")
+	}
 	if !(period > 0) {
 		return nil, errors.New("nws: period must be positive")
 	}
@@ -68,7 +106,7 @@ func newMonitor(measure func(float64) (float64, error), period float64, histSize
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{measure: measure, period: period, ring: ring, mix: NewMix(nil)}, nil
+	return &Monitor{measure: sensor, period: period, ring: ring, mix: NewMix(nil)}, nil
 }
 
 // Period returns the sensor period in seconds.
@@ -76,26 +114,93 @@ func (m *Monitor) Period() float64 { return m.period }
 
 // RunUntil takes all measurements due up to and including virtual time t.
 // It is idempotent: calling it twice with the same t takes no extra
-// measurements.
+// measurements. Sensor failures never abort the stream — they are retried
+// (transient), or skipped and recorded in Gaps(); the returned error is
+// always nil and retained only for interface stability.
 func (m *Monitor) RunUntil(t float64) error {
 	if !m.started {
 		m.started = true
 		m.nextT = 0
 	}
 	for m.nextT <= t {
-		hist := m.ring.Values()
-		v, err := m.measure(m.nextT)
+		v, err := m.sample(m.nextT)
 		if err != nil {
-			return err
+			m.recordMiss(err)
+		} else {
+			if hist := m.ring.Values(); len(hist) > 0 {
+				m.mix.Update(hist, v)
+			}
+			m.ring.Push(m.nextT, v)
+			m.curGap = 0
+			m.stale = math.Max(0, m.stale-1)
 		}
-		if len(hist) > 0 {
-			m.mix.Update(hist, v)
-		}
-		m.ring.Push(m.nextT, v)
 		m.nextT += m.period
 	}
 	return nil
 }
+
+// sample reads the sensor at tick time t, retrying transient errors with
+// linear backoff in virtual time (t + period/8, t + 2·period/8, ...; the
+// whole schedule stays inside one period). A retry that fails
+// non-transiently reports that failure class.
+func (m *Monitor) sample(t float64) (float64, error) {
+	v, err := m.measure(t)
+	if err == nil {
+		m.stats.Clean++
+		return v, nil
+	}
+	if !IsTransient(err) {
+		return v, err
+	}
+	backoff := m.period / 8
+	for attempt := 1; attempt <= maxRetries; attempt++ {
+		m.stats.Retries++
+		v, err = m.measure(t + float64(attempt)*backoff)
+		if err == nil {
+			m.stats.Recovered++
+			return v, nil
+		}
+		if !IsTransient(err) {
+			return v, err
+		}
+	}
+	return v, err
+}
+
+// recordMiss classifies and counts a scheduled sample that produced no
+// measurement, and advances the staleness clock.
+func (m *Monitor) recordMiss(err error) {
+	switch {
+	case errors.Is(err, ErrSampleDropped):
+		m.stats.Dropped++
+	case errors.Is(err, ErrOutage):
+		m.stats.Outage++
+	case IsTransient(err):
+		m.stats.TransientLost++
+	default:
+		m.stats.SensorErrors++
+	}
+	m.stats.Missed++
+	m.curGap++
+	if m.curGap > m.stats.LongestGap {
+		m.stats.LongestGap = m.curGap
+	}
+	m.stale++
+}
+
+// Gaps returns the per-fault-class sensor counters accumulated so far.
+func (m *Monitor) Gaps() GapStats { return m.stats }
+
+// Staleness returns the current effective staleness in periods: it rises by
+// one per missed sample and decays by one per recorded sample, so it is
+// zero on a healthy stream and the degradation factor is 1 there.
+func (m *Monitor) Staleness() float64 { return m.stale }
+
+// DegradationFactor returns the multiplier currently applied to the
+// reported spread: 1 on a healthy stream, growing with staleness.
+func (m *Monitor) DegradationFactor() float64 { return 1 + degradeRate*m.stale }
+
+func (m *Monitor) widenFactor() float64 { return m.DegradationFactor() }
 
 // Len returns the number of stored measurements.
 func (m *Monitor) Len() int { return m.ring.Len() }
@@ -104,20 +209,34 @@ func (m *Monitor) Len() int { return m.ring.Len() }
 func (m *Monitor) History() []float64 { return m.ring.Values() }
 
 // Last returns the most recent measurement; ok is false before the first
-// RunUntil.
+// successful sample.
 func (m *Monitor) Last() (timeseries.Point, bool) { return m.ring.Last() }
 
-// Forecast reports the NWS prediction from the current history.
+// Forecast reports the NWS prediction from the current history. The error
+// estimate is widened by the staleness degradation factor, so intervals
+// grow while the sensor is dark and shrink back as the history refills.
 func (m *Monitor) Forecast() (Forecast, error) {
 	if m.ring.Len() == 0 {
 		return Forecast{}, errors.New("nws: no measurements yet")
 	}
-	return m.mix.Forecast(m.ring.Values())
+	f, err := m.mix.Forecast(m.ring.Values())
+	if err != nil {
+		return f, err
+	}
+	if m.stale > 0 && f.RMSE < minConservativeRMSE {
+		// A perfectly-scoring forecaster earns a zero RMSE, but staleness
+		// must still widen the interval — floor it so the degradation
+		// factor has something to act on.
+		f.RMSE = minConservativeRMSE
+	}
+	f.RMSE *= m.widenFactor()
+	return f, nil
 }
 
 // Report runs the monitor to time t and returns the stochastic forecast —
 // the one-call form the prediction pipeline uses: "a value generated by the
-// Network Weather Service at runtime" (§2.1.2).
+// Network Weather Service at runtime" (§2.1.2). It fails only when no
+// measurement has ever succeeded; use RobustReport for a total fallback.
 func (m *Monitor) Report(t float64) (stochastic.Value, error) {
 	if err := m.RunUntil(t); err != nil {
 		return stochastic.Value{}, err
@@ -127,6 +246,33 @@ func (m *Monitor) Report(t float64) (stochastic.Value, error) {
 		return stochastic.Value{}, err
 	}
 	return f.Stochastic(), nil
+}
+
+// RobustReport runs the monitor to time t and always returns a usable
+// stochastic value, degrading gracefully:
+//
+//  1. fresh enough history (staleness <= staleLimit periods): the normal
+//     mix forecast, spread widened by the staleness factor;
+//  2. stale history or a failed mix: the running mean of the surviving
+//     history with a conservative, staleness-widened spread;
+//  3. no history at all: the caller-supplied prior.
+func (m *Monitor) RobustReport(t float64, prior stochastic.Value) stochastic.Value {
+	_ = m.RunUntil(t)
+	if m.ring.Len() == 0 {
+		return prior
+	}
+	if m.stale <= staleLimit {
+		if f, err := m.Forecast(); err == nil {
+			return f.Stochastic()
+		}
+	}
+	hist := m.ring.Values()
+	mean, std := stats.MeanStd(hist)
+	sigma := math.Max(std, 0.1*math.Abs(mean))
+	if sigma < minConservativeRMSE {
+		sigma = minConservativeRMSE
+	}
+	return stochastic.FromMeanSigma(mean, sigma*m.widenFactor())
 }
 
 // Mix exposes the forecaster mix for diagnostics.

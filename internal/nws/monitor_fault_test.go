@@ -1,0 +1,282 @@
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"prodpred/internal/stochastic"
+)
+
+// failAt returns a sensor over base that fails with the given error at
+// exactly the listed tick times.
+func failAt(base Sensor, failErr error, times ...float64) Sensor {
+	return func(t float64) (float64, error) {
+		for _, ft := range times {
+			if t == ft {
+				return 0, failErr
+			}
+		}
+		return base(t)
+	}
+}
+
+func steadySensor(v float64) Sensor {
+	return func(float64) (float64, error) { return v, nil }
+}
+
+func TestMonitorSkipsDroppedSamples(t *testing.T) {
+	s := failAt(steadySensor(0.5), ErrSampleDropped, 10, 15, 40)
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(100); err != nil {
+		t.Fatalf("dropped samples must not abort: %v", err)
+	}
+	g := m.Gaps()
+	if g.Dropped != 3 || g.Missed != 3 {
+		t.Errorf("Dropped=%d Missed=%d want 3/3", g.Dropped, g.Missed)
+	}
+	if g.LongestGap != 2 { // t=10 and t=15 are consecutive ticks
+		t.Errorf("LongestGap=%d want 2", g.LongestGap)
+	}
+	if m.Len() != 21-3 {
+		t.Errorf("Len=%d want 18 (21 ticks minus 3 drops)", m.Len())
+	}
+	if g.Clean != 18 || g.Recorded() != 18 || g.Scheduled() != 21 {
+		t.Errorf("Clean=%d Recorded=%d Scheduled=%d want 18/18/21",
+			g.Clean, g.Recorded(), g.Scheduled())
+	}
+}
+
+func TestMonitorOutageCountersExact(t *testing.T) {
+	// Outage window [100, 200): ticks 100,105,...,195 -> exactly 20 misses.
+	s := func(t float64) (float64, error) {
+		if t >= 100 && t < 200 {
+			return 0, fmt.Errorf("blackout: %w", ErrOutage)
+		}
+		return 0.5, nil
+	}
+	m, err := NewSensorMonitor(s, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(500); err != nil {
+		t.Fatalf("outage must not abort: %v", err)
+	}
+	g := m.Gaps()
+	if g.Outage != 20 || g.Missed != 20 || g.Dropped != 0 {
+		t.Errorf("Outage=%d Missed=%d Dropped=%d want 20/20/0", g.Outage, g.Missed, g.Dropped)
+	}
+	if g.LongestGap != 20 {
+		t.Errorf("LongestGap=%d want 20", g.LongestGap)
+	}
+	if m.Len() != 101-20 {
+		t.Errorf("Len=%d want 81", m.Len())
+	}
+}
+
+func TestMonitorIntervalWidensMonotonicallyWithStaleness(t *testing.T) {
+	// A wandering (but deterministic) signal, so the mix carries a real
+	// postmortem RMSE for the degradation factor to widen.
+	s := func(t float64) (float64, error) {
+		if t >= 100 && t < 200 {
+			return 0, ErrOutage
+		}
+		return 0.5 + 0.2*math.Sin(t/30), nil
+	}
+	m, err := NewSensorMonitor(s, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(95); err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Staleness() != 0 {
+		t.Fatalf("healthy stream staleness=%g want 0", m.Staleness())
+	}
+	// During the outage the spread must grow with every missed tick.
+	prev := base.Stochastic().Spread
+	for tick := 100.0; tick < 200; tick += 5 {
+		if err := m.RunUntil(tick); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.Forecast()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := f.Stochastic().Spread
+		if sp <= prev {
+			t.Fatalf("t=%g spread %g did not widen (prev %g)", tick, sp, prev)
+		}
+		prev = sp
+	}
+	if m.Staleness() != 20 {
+		t.Errorf("staleness after 20 missed ticks = %g want 20", m.Staleness())
+	}
+	// Recovery: staleness decays one period per good sample, reaching
+	// normal confidence after the history refills.
+	if err := m.RunUntil(295); err != nil {
+		t.Fatal(err)
+	}
+	if m.Staleness() != 0 {
+		t.Errorf("staleness after refill = %g want 0", m.Staleness())
+	}
+	f, err := m.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stochastic().Spread >= prev {
+		t.Errorf("spread %g did not recover below outage peak %g", f.Stochastic().Spread, prev)
+	}
+}
+
+func TestMonitorRetriesTransientErrors(t *testing.T) {
+	// The sensor glitches at exact tick times but serves backoff offsets.
+	glitchTicks := map[float64]bool{20: true, 45: true}
+	calls := 0
+	s := func(t float64) (float64, error) {
+		calls++
+		if glitchTicks[t] {
+			return 0, Transient(errors.New("busy collector"))
+		}
+		return 0.42, nil
+	}
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(100); err != nil {
+		t.Fatalf("transient errors must not abort: %v", err)
+	}
+	g := m.Gaps()
+	if g.Retries != 2 || g.Recovered != 2 {
+		t.Errorf("Retries=%d Recovered=%d want 2/2 (one retry per glitch)", g.Retries, g.Recovered)
+	}
+	if g.Missed != 0 {
+		t.Errorf("Missed=%d want 0 — retries recovered every tick", g.Missed)
+	}
+	if m.Len() != 21 {
+		t.Errorf("Len=%d want 21", m.Len())
+	}
+}
+
+func TestMonitorTransientExhaustionBecomesGap(t *testing.T) {
+	s := func(t float64) (float64, error) {
+		if t >= 50 && t < 60 { // covers tick 50 and 55 plus all their retries
+			return 0, Transient(errors.New("persistent glitch"))
+		}
+		return 0.5, nil
+	}
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(100); err != nil {
+		t.Fatalf("exhausted retries must not abort: %v", err)
+	}
+	g := m.Gaps()
+	if g.TransientLost != 2 || g.Missed != 2 {
+		t.Errorf("TransientLost=%d Missed=%d want 2/2", g.TransientLost, g.Missed)
+	}
+	if g.Retries != 2*3 {
+		t.Errorf("Retries=%d want 6 (maxRetries per lost tick)", g.Retries)
+	}
+}
+
+func TestMonitorUnclassifiedSensorErrorRecorded(t *testing.T) {
+	s := failAt(steadySensor(0.5), errors.New("disk on fire"), 25)
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(100); err != nil {
+		t.Fatalf("unclassified errors must not abort: %v", err)
+	}
+	g := m.Gaps()
+	if g.SensorErrors != 1 || g.Missed != 1 {
+		t.Errorf("SensorErrors=%d Missed=%d want 1/1", g.SensorErrors, g.Missed)
+	}
+}
+
+func TestMonitorBitIdenticalWithSameSeed(t *testing.T) {
+	// Two independently built environments and monitors with the same seed
+	// must produce identical histories, counters, and reports.
+	build := func() *Monitor {
+		env := platform1Env(t, 77)
+		m, err := NewCPUMonitor(env, 0, 5, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	for _, tt := range []float64{100, 500, 1000} {
+		va := a.RobustReport(tt, stochastic.New(0.5, 0.5))
+		vb := b.RobustReport(tt, stochastic.New(0.5, 0.5))
+		if va != vb {
+			t.Fatalf("t=%g reports differ: %v vs %v", tt, va, vb)
+		}
+	}
+	ha, hb := a.History(), b.History()
+	if len(ha) != len(hb) {
+		t.Fatalf("history lengths differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("history diverges at %d: %g vs %g", i, ha[i], hb[i])
+		}
+	}
+	if a.Gaps() != b.Gaps() {
+		t.Fatalf("gap stats differ: %+v vs %+v", a.Gaps(), b.Gaps())
+	}
+}
+
+func TestRobustReportFallsBackToPrior(t *testing.T) {
+	s := func(float64) (float64, error) { return 0, ErrSampleDropped }
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := stochastic.New(0.5, 0.5)
+	got := m.RobustReport(200, prior)
+	if got != prior {
+		t.Errorf("empty history should return the prior: got %v", got)
+	}
+	if m.Gaps().Dropped != 41 {
+		t.Errorf("Dropped=%d want 41", m.Gaps().Dropped)
+	}
+}
+
+func TestRobustReportStaleFallsBackToRunningMean(t *testing.T) {
+	// Healthy until t=100, dark forever after: staleness blows past the
+	// trust limit and the report must switch to the running-mean fallback.
+	s := func(t float64) (float64, error) {
+		if t > 100 {
+			return 0, ErrOutage
+		}
+		return 0.6, nil
+	}
+	m, err := NewSensorMonitor(s, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := stochastic.New(0.5, 0.5)
+	fresh := m.RobustReport(100, prior)
+	stale := m.RobustReport(400, prior)
+	if math.Abs(stale.Mean-0.6) > 1e-9 {
+		t.Errorf("stale mean=%g want running mean 0.6", stale.Mean)
+	}
+	if stale.Spread <= fresh.Spread {
+		t.Errorf("stale spread %g should exceed fresh spread %g", stale.Spread, fresh.Spread)
+	}
+	if stale == prior {
+		t.Error("history exists; prior should not be used")
+	}
+}

@@ -1,0 +1,88 @@
+package nws
+
+import (
+	"errors"
+	"fmt"
+
+	"prodpred/internal/simenv"
+)
+
+// Sensor is one measurement source: it reads the monitored quantity at
+// virtual time t. A production sensor can fail, and the Monitor's handling
+// depends on how it fails:
+//
+//   - ErrSampleDropped: the sample is lost (a UDP-style dropout). The
+//     monitor skips it, records the gap, and waits for the next tick.
+//   - ErrOutage: the sensor is inside a known outage window (machine
+//     reboot, network partition). Same skip-and-record handling as a drop,
+//     counted separately.
+//   - a TransientError: a momentary failure (EINTR, a busy collector) that
+//     a quick retry may clear. The monitor retries with backoff in virtual
+//     time before giving up on the tick.
+//
+// Any other error is an unclassified sensor failure; the monitor records
+// it and moves on rather than aborting the measurement stream.
+type Sensor func(t float64) (float64, error)
+
+// ErrSampleDropped reports a measurement lost in transit.
+var ErrSampleDropped = errors.New("nws: sample dropped")
+
+// ErrOutage reports a measurement attempted inside a sensor outage window.
+var ErrOutage = errors.New("nws: sensor outage")
+
+// TransientError wraps a momentary sensor failure that is worth retrying.
+type TransientError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return "nws: transient sensor error: " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient marks err as a retryable sensor failure.
+func Transient(err error) error { return &TransientError{Err: err} }
+
+// IsTransient reports whether err is (or wraps) a TransientError.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// CPUSensor returns the sensor reading machine m's raw CPU availability in
+// env — the measurement primitive behind NewCPUMonitor.
+func CPUSensor(env *simenv.Env, m int) (Sensor, error) {
+	if env == nil {
+		return nil, errors.New("nws: nil environment")
+	}
+	if m < 0 || m >= env.Platform().Size() {
+		return nil, fmt.Errorf("nws: machine %d out of range", m)
+	}
+	return func(t float64) (float64, error) {
+		return env.RawCPUAvail(m, t), nil
+	}, nil
+}
+
+// BandwidthSensor returns the sensor probing achieved bandwidth (bytes/s)
+// between machines i and j in env with probeBytes messages.
+func BandwidthSensor(env *simenv.Env, i, j int, probeBytes float64) (Sensor, error) {
+	if env == nil {
+		return nil, errors.New("nws: nil environment")
+	}
+	if !(probeBytes > 0) {
+		return nil, errors.New("nws: probe size must be positive")
+	}
+	if _, err := env.Platform().Link(i, j); err != nil {
+		return nil, err
+	}
+	return func(t float64) (float64, error) {
+		dur, err := env.TransferDuration(i, j, probeBytes, t)
+		if err != nil {
+			return 0, err
+		}
+		return probeBytes / dur, nil
+	}, nil
+}

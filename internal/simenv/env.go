@@ -171,11 +171,20 @@ func (e *Env) MeasureCPU(m int, t0, t1, dt float64) ([]float64, error) {
 	if !(dt > 0) || t1 < t0 {
 		return nil, errors.New("simenv: bad measurement range")
 	}
-	var out []float64
-	for t := t0; t <= t1+1e-12; t += dt {
-		out = append(out, e.RawCPUAvail(m, t))
+	n := sampleSteps(t0, t1, dt)
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, e.RawCPUAvail(m, t0+float64(i)*dt))
 	}
 	return out, nil
+}
+
+// sampleSteps returns the number of dt steps from t0 to the last sample at
+// or before t1. Iterating on the step index instead of accumulating t += dt
+// keeps non-representable periods like 0.1 from drifting enough to skip or
+// duplicate the final sample on long ranges.
+func sampleSteps(t0, t1, dt float64) int {
+	return int(math.Floor((t1-t0)/dt + 1e-9))
 }
 
 // MeasureBandwidth probes the link between i and j every dt over [t0, t1],
@@ -188,9 +197,10 @@ func (e *Env) MeasureBandwidth(i, j int, probeBytes, t0, t1, dt float64) ([]floa
 	if !(probeBytes > 0) {
 		return nil, errors.New("simenv: probe size must be positive")
 	}
-	var out []float64
-	for t := t0; t <= t1+1e-12; t += dt {
-		dur, err := e.TransferDuration(i, j, probeBytes, t)
+	n := sampleSteps(t0, t1, dt)
+	out := make([]float64, 0, n+1)
+	for k := 0; k <= n; k++ {
+		dur, err := e.TransferDuration(i, j, probeBytes, t0+float64(k)*dt)
 		if err != nil {
 			return nil, err
 		}

@@ -293,3 +293,37 @@ func TestWorkDurationDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureLoopsDoNotDriftOnLongRanges(t *testing.T) {
+	// Regression: accumulating t += dt drifts for non-representable steps
+	// like 0.1 and dropped the final sample on long ranges (e.g. [0,10000]
+	// at dt=0.1 yielded 100000 samples instead of 100001). The loops now
+	// iterate on an integer step index.
+	p := cluster.Platform1()
+	e, err := NewDedicated(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := e.MeasureCPU(0, 0, 10000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 100001 {
+		t.Errorf("MeasureCPU samples=%d want 100001", len(xs))
+	}
+	bs, err := e.MeasureBandwidth(0, 1, 1000, 0, 3000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 10001 {
+		t.Errorf("MeasureBandwidth samples=%d want 10001", len(bs))
+	}
+	// Non-multiple end stays exclusive: [0, 0.95] at dt=0.1 has 10 samples.
+	xs, err = e.MeasureCPU(0, 0, 0.95, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 10 {
+		t.Errorf("partial-range samples=%d want 10", len(xs))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -124,8 +125,13 @@ func (s *Series) Resample(t0, t1, dt float64) (*Series, error) {
 	if t1 < t0 {
 		return nil, errors.New("timeseries: resample range reversed")
 	}
-	out := NewSeries(int((t1-t0)/dt) + 1)
-	for t := t0; t <= t1+1e-12; t += dt {
+	// Iterate on an integer step index: accumulating t += dt drifts for
+	// non-representable steps like 0.1 and can skip or duplicate the final
+	// sample on long ranges.
+	n := int(math.Floor((t1-t0)/dt + 1e-9))
+	out := NewSeries(n + 1)
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*dt
 		v, ok := s.ValueAt(t)
 		if !ok {
 			continue

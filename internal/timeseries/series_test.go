@@ -2,6 +2,7 @@ package timeseries
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -245,5 +246,29 @@ func TestRingRetentionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestResampleNoDriftOnLongRanges(t *testing.T) {
+	// Regression: t += dt accumulation dropped the final sample on long
+	// ranges with non-representable steps (e.g. [0,3000] at dt=0.3).
+	s, _ := FromSlices([]float64{0}, []float64{1})
+	r, err := s.Resample(0, 3000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 10001 {
+		t.Errorf("resampled len=%d want 10001", r.Len())
+	}
+	r, err = s.Resample(100, 400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3001 {
+		t.Errorf("resampled len=%d want 3001", r.Len())
+	}
+	last := r.At(r.Len() - 1).T
+	if math.Abs(last-400) > 1e-9 {
+		t.Errorf("last sample T=%.15g want ~400", last)
 	}
 }
