@@ -1,0 +1,155 @@
+// Command predictd serves stochastic execution-time predictions over
+// HTTP/JSON — the predict.Service core exposed as a long-lived daemon
+// against the paper's simulated production platforms. It hosts Platform 1
+// (center-mode load) and Platform 2 (bursty 4-modal load) behind one
+// registry, advances their shared virtual clocks from wall time, and can
+// inject deterministic sensor faults to exercise the gap-aware monitors.
+//
+// Endpoints:
+//
+//	POST /predict  {"platform":"platform2","n":800,"iterations":10,...}
+//	GET  /report   ?platform=platform2 — per-machine monitor reports
+//	GET  /healthz  — status plus per-fault-class gap counters
+//	POST /advance  {"platform":"platform2","seconds":60} — manual clock step
+//
+// Usage:
+//
+//	predictd -addr :8080 -seed 1 -warmup 600 -tick 5 -drop 0.1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"prodpred/internal/faults"
+	"prodpred/internal/predict"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 1, "random seed for the simulated platforms")
+		warmup    = flag.Float64("warmup", 600, "virtual seconds of NWS warmup before serving")
+		tick      = flag.Float64("tick", 5, "virtual seconds advanced per wall-clock second (0 = manual /advance only)")
+		drop      = flag.Float64("drop", 0, "per-sample measurement drop probability on every machine")
+		transient = flag.Float64("transient", 0, "per-sample transient sensor-error probability on every machine")
+		spike     = flag.Float64("spike", 0, "per-sample outlier-spike probability on every machine")
+		outageAt  = flag.Float64("outage-start", 0, "outage window start on machine 0 (virtual s)")
+		outageEnd = flag.Float64("outage-end", 0, "outage window end on machine 0 (virtual s)")
+	)
+	flag.Parse()
+	if err := run(*addr, *seed, *warmup, *tick, faultFlags{
+		drop: *drop, transient: *transient, spike: *spike,
+		outageStart: *outageAt, outageEnd: *outageEnd,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(1)
+	}
+}
+
+// faultFlags collects the sensor-fault knobs applied to every hosted
+// platform.
+type faultFlags struct {
+	drop, transient, spike float64
+	outageStart, outageEnd float64
+}
+
+// injector builds the deterministic fault injector the flags describe, or
+// nil when no fault class is enabled.
+func (f faultFlags) injector(seed int64, machines int) (*faults.Injector, error) {
+	sched := faults.Schedule{
+		DropProb:      f.drop,
+		TransientProb: f.transient,
+		SpikeProb:     f.spike,
+	}
+	hasOutage := f.outageEnd > f.outageStart
+	if f.drop == 0 && f.transient == 0 && f.spike == 0 && !hasOutage {
+		return nil, nil
+	}
+	in := faults.NewInjector(seed)
+	for m := 0; m < machines; m++ {
+		s := sched
+		if m == 0 && hasOutage {
+			s.Outages = []faults.Window{{Start: f.outageStart, End: f.outageEnd}}
+		}
+		if err := in.Set(m, s); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// buildRegistry hosts both paper platforms under the same seed, warmup,
+// and fault schedule.
+func buildRegistry(seed int64, warmup float64, ff faultFlags) (*predict.Registry, error) {
+	reg := predict.NewRegistry()
+	for _, id := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Injector, err = ff.injector(seed+int64(id), cfg.Platform.Size()); err != nil {
+			return nil, err
+		}
+		svc, err := predict.NewService(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.AdvanceTo(warmup); err != nil {
+			return nil, err
+		}
+		if err := reg.Register(svc); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+func run(addr string, seed int64, warmup, tick float64, ff faultFlags) error {
+	reg, err := buildRegistry(seed, warmup, ff)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: newServer(reg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if tick > 0 {
+		// Map wall time onto the simulated clocks so monitors keep
+		// measuring while the daemon idles between requests.
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					for _, svc := range reg.Services() {
+						if err := svc.Advance(tick); err != nil {
+							log.Printf("predictd: clock advance: %v", err)
+						}
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs)", reg.Names(), addr, tick, warmup)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

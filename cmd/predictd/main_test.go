@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"prodpred/internal/predict"
+)
+
+// newTestServer builds the daemon's full stack — registry, services,
+// injected faults — behind an httptest server. Faults: 30% dropout on
+// every machine plus an outage window on machine 0 that the warmup period
+// crosses, so the gap-aware path is exercised end to end.
+func newTestServer(t *testing.T, seed int64) (*httptest.Server, *predict.Registry) {
+	t.Helper()
+	reg, err := buildRegistry(seed, 600, faultFlags{
+		drop:        0.3,
+		outageStart: 100,
+		outageEnd:   250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(reg))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	resp := postJSON(t, ts.URL+"/predict", predictRequest{
+		Platform: "platform2", N: 120, Iterations: 6,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	pr := decode[predictResponse](t, resp)
+	if pr.Platform != "platform2" {
+		t.Errorf("platform=%q", pr.Platform)
+	}
+	if pr.Time != 600 {
+		t.Errorf("time=%g, want warmup 600", pr.Time)
+	}
+	if pr.Mean <= 0 || pr.Spread <= 0 {
+		t.Errorf("prediction %g ± %g not a production interval", pr.Mean, pr.Spread)
+	}
+	if !(pr.Lo < pr.Mean && pr.Mean < pr.Hi) {
+		t.Errorf("interval [%g,%g] does not bracket mean %g", pr.Lo, pr.Hi, pr.Mean)
+	}
+	if len(pr.PartitionRows) != 4 || len(pr.Loads) != 4 {
+		t.Errorf("partition=%v loads=%d", pr.PartitionRows, len(pr.Loads))
+	}
+	rows := 0
+	for _, r := range pr.PartitionRows {
+		rows += r
+	}
+	if rows != 120-2 {
+		t.Errorf("partition rows sum=%d, want %d interior rows", rows, 118)
+	}
+	// Injected sensor faults must surface in the per-machine diagnostics.
+	dropped, outage := 0, 0
+	for _, l := range pr.Loads {
+		dropped += l.Gaps.Dropped
+		outage += l.Gaps.Outage
+	}
+	if dropped == 0 {
+		t.Error("30% dropout injected but no drops reported")
+	}
+	if outage == 0 {
+		t.Error("outage window injected but no outage misses reported")
+	}
+	if pr.BWMean <= 0 || pr.BWMean > 1 {
+		t.Errorf("bandwidth fraction=%g", pr.BWMean)
+	}
+}
+
+func TestPredictEndpointOptions(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	for _, body := range []predictRequest{
+		{Platform: "platform1", N: 80, Iterations: 4, Strategy: "conservative"},
+		{Platform: "platform2", N: 80, Iterations: 4, Strategy: "balanced", MaxStrategy: "probabilistic", IterationRel: "unrelated"},
+		{Platform: "platform2", N: 80, Iterations: 4, Strategy: "optimistic", MaxStrategy: "magnitude", Advance: 30},
+	} {
+		resp := postJSON(t, ts.URL+"/predict", body)
+		pr := decode[predictResponse](t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%+v: status=%d", body, resp.StatusCode)
+		}
+		if pr.Mean <= 0 {
+			t.Errorf("%+v: mean=%g", body, pr.Mean)
+		}
+	}
+}
+
+func TestPredictEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status=%d", resp.StatusCode)
+	}
+	cases := []struct {
+		body predictRequest
+		want int
+	}{
+		{predictRequest{Platform: "atlantis", N: 80, Iterations: 4}, http.StatusNotFound},
+		{predictRequest{Platform: "platform2", N: 2, Iterations: 4}, http.StatusBadRequest},
+		{predictRequest{Platform: "platform2", N: 80, Iterations: 0}, http.StatusBadRequest},
+		{predictRequest{Platform: "platform2", N: 80, Iterations: 4, Strategy: "vibes"}, http.StatusBadRequest},
+		{predictRequest{N: 80, Iterations: 4}, http.StatusNotFound}, // ambiguous: two platforms hosted
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/predict", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%+v: status=%d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHealthzReportsFaultClasses(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	h := decode[healthResponse](t, resp)
+	if h.Status != "ok" && h.Status != "degraded" {
+		t.Errorf("status=%q", h.Status)
+	}
+	if len(h.Platforms) != 2 {
+		t.Fatalf("platforms=%d", len(h.Platforms))
+	}
+	for _, p := range h.Platforms {
+		if len(p.Machines) != 4 {
+			t.Errorf("%s: machines=%d", p.Platform, len(p.Machines))
+		}
+		dropped, outage, clean := 0, 0, 0
+		for _, m := range p.Machines {
+			dropped += m.Gaps.Dropped
+			outage += m.Gaps.Outage
+			clean += m.Gaps.Clean
+		}
+		if dropped == 0 || clean == 0 {
+			t.Errorf("%s: per-fault-class counters empty: dropped=%d clean=%d",
+				p.Platform, dropped, clean)
+		}
+		if p.Machines[0].Gaps.Outage == 0 {
+			t.Errorf("%s: machine 0 outage window not counted", p.Platform)
+		}
+		if outage != p.Machines[0].Gaps.Outage {
+			t.Errorf("%s: outage on unscheduled machines", p.Platform)
+		}
+	}
+}
+
+func TestReportAndAdvanceEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	resp, err := http.Get(ts.URL + "/report?platform=platform1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decode[reportResponse](t, resp)
+	if rep.Platform != "platform1" || rep.Time != 600 || len(rep.Loads) != 4 {
+		t.Errorf("report=%+v", rep)
+	}
+	for _, l := range rep.Loads {
+		if l.Mean <= 0 {
+			t.Errorf("machine %d report mean=%g", l.Machine, l.Mean)
+		}
+	}
+	adv := postJSON(t, ts.URL+"/advance", advanceRequest{Platform: "platform1", Seconds: 60})
+	times := decode[map[string]float64](t, adv)
+	if times["platform1"] != 660 {
+		t.Errorf("advance result=%v", times)
+	}
+	// Platform 2 was not advanced.
+	resp2, err := http.Get(ts.URL + "/report?platform=platform2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 := decode[reportResponse](t, resp2); rep2.Time != 600 {
+		t.Errorf("platform2 time=%g, want 600", rep2.Time)
+	}
+	bad := postJSON(t, ts.URL+"/advance", advanceRequest{Platform: "platform1", Seconds: -5})
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative advance status=%d", bad.StatusCode)
+	}
+}
+
+// TestServingDeterminism: two daemons with the same seed and fault flags
+// serve bit-identical predictions — the serving layer preserves the
+// pipeline's same-seed determinism even under injected faults.
+func TestServingDeterminism(t *testing.T) {
+	ts1, _ := newTestServer(t, 7)
+	ts2, _ := newTestServer(t, 7)
+	body := predictRequest{Platform: "platform2", N: 100, Iterations: 5}
+	p1 := decode[predictResponse](t, postJSON(t, ts1.URL+"/predict", body))
+	p2 := decode[predictResponse](t, postJSON(t, ts2.URL+"/predict", body))
+	if p1.Mean != p2.Mean || p1.Spread != p2.Spread {
+		t.Errorf("same-seed daemons diverged: %g±%g vs %g±%g",
+			p1.Mean, p1.Spread, p2.Mean, p2.Spread)
+	}
+	if fmt.Sprintf("%+v", p1.Loads) != fmt.Sprintf("%+v", p2.Loads) {
+		t.Error("same-seed daemons report different load diagnostics")
+	}
+}
+
+func TestFaultFlagInjector(t *testing.T) {
+	in, err := faultFlags{}.injector(1, 4)
+	if err != nil || in != nil {
+		t.Errorf("no flags should build no injector: %v, %v", in, err)
+	}
+	in, err = faultFlags{drop: 0.5}.injector(1, 4)
+	if err != nil || in == nil {
+		t.Errorf("drop flag should build an injector: %v", err)
+	}
+	if _, err = (faultFlags{drop: 1.5}).injector(1, 4); err == nil {
+		t.Error("out-of-range probability should fail")
+	}
+}

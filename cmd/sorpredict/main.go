@@ -1,7 +1,9 @@
 // Command sorpredict runs the full prediction pipeline end to end on a
 // simulated production platform: monitor CPU availability with the NWS
 // reimplementation, build the SOR structural model, predict execution time
-// as a stochastic value, execute the run, and compare.
+// as a stochastic value, execute the run, and compare. The whole
+// monitor->forecast->model->schedule->predict flow lives in the shared
+// predict.Service; this command is one thin run loop over it.
 //
 // Usage:
 //
@@ -13,14 +15,10 @@ import (
 	"fmt"
 	"os"
 
-	"prodpred/internal/cluster"
-	"prodpred/internal/load"
-	"prodpred/internal/nws"
+	"prodpred/internal/predict"
 	"prodpred/internal/sched"
-	"prodpred/internal/simenv"
 	"prodpred/internal/sor"
 	"prodpred/internal/stochastic"
-	"prodpred/internal/structural"
 )
 
 func main() {
@@ -39,136 +37,91 @@ func main() {
 	}
 }
 
-// buildPartition cuts strips under the requested strategy; "balanced" uses
-// the AppLeS-style time-balancing refinement.
-func buildPartition(strategy string, n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link) (*sor.Partition, error) {
+// applyStrategy maps the flag onto the request's partitioning knobs;
+// "balanced" selects the AppLeS-style time-balancing refinement.
+func applyStrategy(req *predict.Request, strategy string) error {
 	switch strategy {
 	case "mean":
-		return sched.SORPartition(n, machines, loads, sched.MeanBalanced)
+		req.Strategy = sched.MeanBalanced
 	case "conservative":
-		return sched.SORPartition(n, machines, loads, sched.Conservative)
+		req.Strategy = sched.Conservative
 	case "optimistic":
-		return sched.SORPartition(n, machines, loads, sched.Optimistic)
+		req.Strategy = sched.Optimistic
 	case "balanced":
-		return sched.TimeBalancedPartition(n, machines, loads, link, 8)
+		req.TimeBalanced = true
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
 	}
-	return nil, fmt.Errorf("unknown strategy %q", strategy)
+	return nil
 }
 
 func run(platformID, n, iters, runs int, seed int64, strategy string) error {
-	var plat *cluster.Platform
-	var cpu []load.Process
-	switch platformID {
-	case 1:
-		plat = cluster.Platform1()
-		for i := 0; i < plat.Size(); i++ {
-			var p load.Process
-			var err error
-			if i < 2 { // the Sparc-2s carry the center-mode load
-				p, err = load.Platform1CenterMode(seed + int64(i))
-			} else {
-				p, err = load.LightLoad(seed + int64(i))
-			}
-			if err != nil {
-				return err
-			}
-			cpu = append(cpu, p)
-		}
-	case 2:
-		plat = cluster.Platform2()
-		for i := 0; i < plat.Size(); i++ {
-			p, err := load.Platform2FourModeBursty(seed + int64(i)*17)
-			if err != nil {
-				return err
-			}
-			cpu = append(cpu, p)
-		}
-	default:
-		return fmt.Errorf("unknown platform %d", platformID)
-	}
-	net, err := load.EthernetContention(seed + 999)
+	cfg, err := predict.SimulatedConfig(platformID, seed)
 	if err != nil {
 		return err
 	}
-	env, err := simenv.New(plat, cpu, net)
+	svc, err := predict.NewService(cfg)
 	if err != nil {
 		return err
 	}
-
+	if err := svc.AdvanceTo(900); err != nil { // NWS warmup
+		return err
+	}
+	plat := svc.Platform()
 	fmt.Printf("Platform %d (%s), %dx%d grid, %d iterations per run\n\n",
 		platformID, plat.Name, n, n, iters)
 
-	monitors := make([]*nws.Monitor, plat.Size())
-	for i := range monitors {
-		monitors[i], err = nws.NewCPUMonitor(env, i, nws.DefaultPeriod, 512)
-		if err != nil {
-			return err
-		}
+	req := predict.Request{N: n, Iterations: iters, MaxStrategy: stochastic.LargestMean}
+	if err := applyStrategy(&req, strategy); err != nil {
+		return err
 	}
-	t := 900.0 // NWS warmup
-
-	loads := make([]stochastic.Value, plat.Size())
-	machines := make([]cluster.Machine, plat.Size())
-	for i := range loads {
-		if loads[i], err = monitors[i].Report(t); err != nil {
-			return err
-		}
-		machines[i] = plat.Machine(i)
-	}
-	link, err := plat.Link(0, 1)
+	part, err := svc.Partition(req)
 	if err != nil {
 		return err
 	}
-	part, err := buildPartition(strategy, n, machines, loads, link)
-	if err != nil {
-		return err
-	}
+	req.Partition = part
 	fmt.Printf("Strip decomposition (%s strategy) from first NWS forecasts:\n", strategy)
 	fmt.Println(part.Render())
-	model := &structural.SORConfig{
-		N: n, Iterations: iters, Partition: part, Machines: machines,
-		MachineIdx: sor.IdentityMapping(plat.Size()), Link: link,
-		MaxStrategy: stochastic.LargestMean,
-	}
-	backend, err := sor.NewSimBackend(env, part, sor.IdentityMapping(plat.Size()))
+
+	backend, err := sor.NewSimBackend(svc.Env(), part, sor.IdentityMapping(plat.Size()))
 	if err != nil {
 		return err
 	}
+	g, err := sor.NewGrid(n)
+	if err != nil {
+		return err
+	}
+	g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
 
 	fmt.Printf("%-10s %-22s %-22s %-10s %s\n", "t(start)", "prediction", "interval", "actual", "verdict")
 	captured := 0
 	for r := 0; r < runs; r++ {
-		params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
-		for i, mon := range monitors {
-			v, err := mon.Report(t)
-			if err != nil {
-				return err
-			}
-			params[structural.LoadParam(i)] = v
+		if r > 0 {
+			g.Reset()
 		}
-		pred, err := model.Predict(params)
+		pred, err := svc.Predict(req)
 		if err != nil {
 			return err
 		}
-		g, err := sor.NewGrid(n)
-		if err != nil {
-			return err
-		}
-		g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
-		res, err := backend.Run(g, sor.DefaultOmega, iters, t)
+		res, err := backend.Run(g, sor.DefaultOmega, iters, pred.Time)
 		if err != nil {
 			return err
 		}
 		verdict := "inside"
-		if pred.Contains(res.ExecTime) {
+		if pred.Value.Contains(res.ExecTime) {
 			captured++
 		} else {
-			verdict = fmt.Sprintf("outside by %.1f%%", pred.RelativeErrorOutside(res.ExecTime)*100)
+			verdict = fmt.Sprintf("outside by %.1f%%", pred.Value.RelativeErrorOutside(res.ExecTime)*100)
 		}
-		lo, hi := pred.Interval()
+		if pred.Degraded() {
+			verdict += " (degraded monitors)"
+		}
+		lo, hi := pred.Value.Interval()
 		fmt.Printf("%-10.0f %-22s [%7.2f,%7.2f]     %-10.2f %s\n",
-			t, pred.String(), lo, hi, res.ExecTime, verdict)
-		t += res.ExecTime + 30
+			pred.Time, pred.Value.String(), lo, hi, res.ExecTime, verdict)
+		if err := svc.Advance(res.ExecTime + 30); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("\nCaptured %d/%d runs inside the stochastic interval.\n", captured, runs)
 	return nil

@@ -9,18 +9,12 @@ import (
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
 	"prodpred/internal/nws"
+	"prodpred/internal/predict"
 	"prodpred/internal/sched"
-	"prodpred/internal/simenv"
 	"prodpred/internal/sor"
 	"prodpred/internal/stochastic"
 	"prodpred/internal/structural"
 )
-
-// Conservative priors for the graceful-degradation fallback chain: when a
-// monitor has never recorded a single measurement, the pipeline predicts
-// from these rather than erroring. Half availability ± the full range is
-// the weakest defensible claim about a production machine.
-var cpuPrior = stochastic.New(0.5, 0.5)
 
 // pipelineDiag, when attached to a productionConfig, receives per-monitor
 // fault diagnostics after the series completes.
@@ -95,93 +89,42 @@ func summarizeRuns(recs []runRecord) seriesMetrics {
 	return m
 }
 
-// runProductionSeries executes the full pipeline: NWS monitors warm up on
-// the platform, a capacity-balanced partition is chosen from the first
-// forecasts, and then `runs` executions alternate predict -> execute ->
-// advance, exactly as the paper's experiments interleave NWS readings with
-// SOR runs.
+// runProductionSeries executes the full pipeline as a thin series-runner
+// over predict.Service: the service's NWS monitors warm up on the platform,
+// a capacity-balanced partition is chosen from the first forecasts and
+// pinned for the series, and then `runs` executions alternate predict ->
+// execute -> advance, exactly as the paper's experiments interleave NWS
+// readings with SOR runs.
 func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 	if cfg.runs <= 0 {
 		return nil, errors.New("experiments: runs must be positive")
 	}
-	env, err := simenv.New(cfg.plat, cfg.cpu, cfg.net)
+	svc, err := predict.NewService(predict.Config{
+		Platform: cfg.plat,
+		CPU:      cfg.cpu,
+		Net:      cfg.net,
+		Injector: cfg.inject,
+	})
 	if err != nil {
 		return nil, err
 	}
-	p := cfg.plat.Size()
-	monitors := make([]*nws.Monitor, p)
-	for i := range monitors {
-		sensor, err := nws.CPUSensor(env, i)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.inject != nil {
-			sensor = cfg.inject.Sensor(i, sensor)
-		}
-		monitors[i], err = nws.NewSensorMonitor(sensor, nws.DefaultPeriod, 512)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// A bandwidth monitor probes the shared ethernet with ghost-row-sized
-	// messages; its forecast parameterizes BWAvail.
-	link, err := cfg.plat.Link(0, 1)
-	if err != nil {
+	if err := svc.AdvanceTo(cfg.warmup); err != nil {
 		return nil, err
 	}
-	ghostBytes := float64(cfg.n-2) * 8
-	bwMonitor, err := nws.NewBandwidthMonitor(env, 0, 1, ghostBytes, nws.DefaultPeriod, 512)
-	if err != nil {
-		return nil, err
-	}
-
-	readLoads := func(t float64) ([]stochastic.Value, error) {
-		loads := make([]stochastic.Value, p)
-		for i, mon := range monitors {
-			if cfg.predictLoad != nil {
-				if err := mon.RunUntil(t); err != nil {
-					return nil, err
-				}
-				loads[i], err = cfg.predictLoad(i, mon)
-				if err != nil {
-					return nil, err
-				}
-			} else {
-				// Graceful degradation: the monitor's staleness-widened
-				// forecast when fresh, the running mean of its surviving
-				// history when stale, a conservative prior when it has
-				// never measured anything. A faulty sensor degrades the
-				// prediction; it no longer aborts the pipeline.
-				loads[i] = mon.RobustReport(t, cpuPrior)
-			}
-		}
-		return loads, nil
-	}
-
-	t := cfg.warmup
-	loads, err := readLoads(t)
-	if err != nil {
-		return nil, err
-	}
-	machines := make([]cluster.Machine, p)
-	for i := range machines {
-		machines[i] = cfg.plat.Machine(i)
-	}
-	part, err := sched.SORPartition(cfg.n, machines, loads, cfg.partStrategy)
-	if err != nil {
-		return nil, err
-	}
-	model := &structural.SORConfig{
+	req := predict.Request{
 		N:            cfg.n,
 		Iterations:   cfg.iters,
-		Partition:    part,
-		Machines:     machines,
-		MachineIdx:   sor.IdentityMapping(p),
-		Link:         link,
+		Strategy:     cfg.partStrategy,
 		MaxStrategy:  cfg.maxStrategy,
 		IterationRel: cfg.iterationRel,
+		LoadOverride: cfg.predictLoad,
 	}
-	backend, err := sor.NewSimBackend(env, part, sor.IdentityMapping(p))
+	part, err := svc.Partition(req)
+	if err != nil {
+		return nil, err
+	}
+	req.Partition = part
+	backend, err := sor.NewSimBackend(svc.Env(), part, sor.IdentityMapping(cfg.plat.Size()))
 	if err != nil {
 		return nil, err
 	}
@@ -195,51 +138,34 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 	g.SetBoundary(func(x, y float64) float64 { return x*x - y*y })
 
 	var recs []runRecord
+	prevExec := 0.0
 	for run := 0; run < cfg.runs; run++ {
 		if run > 0 {
 			g.Reset()
-		}
-		loads, err = readLoads(t)
-		if err != nil {
-			return nil, err
-		}
-		params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
-		if _, ok := cfg.net.(load.Constant); !ok {
-			// Production network: the NWS bandwidth monitor's forecast of
-			// achieved bytes/s, expressed as a fraction of the dedicated
-			// link rate. Same fallback chain as the CPU monitors; the
-			// prior claims half the dedicated rate ± the full range.
-			bw := bwMonitor.RobustReport(t, stochastic.New(link.DedBW/2, link.DedBW/2))
-			frac := bw.MulPoint(1 / link.DedBW)
-			if frac.Mean <= 0.01 {
-				frac = stochastic.New(0.01, frac.Spread)
+			// Advance the clock only when the next run is about to start,
+			// so the monitors never sample past the final run's start.
+			if err := svc.Advance(prevExec + cfg.gap); err != nil {
+				return nil, err
 			}
-			params[structural.BWAvailParam] = frac
 		}
-		for i, l := range loads {
-			params[structural.LoadParam(i)] = l
-		}
-		pred, err := model.Predict(params)
+		pred, err := svc.Predict(req)
 		if err != nil {
 			return nil, err
 		}
-		res, err := backend.Run(g, sor.DefaultOmega, cfg.iters, t)
+		res, err := backend.Run(g, sor.DefaultOmega, cfg.iters, pred.Time)
 		if err != nil {
 			return nil, err
 		}
-		rec := runRecord{Start: t, Pred: pred, Actual: res.ExecTime}
-		for i := 0; i < p; i++ {
-			rec.LoadsAt = append(rec.LoadsAt, env.RawCPUAvail(i, t))
+		rec := runRecord{Start: pred.Time, Pred: pred.Value, Actual: res.ExecTime}
+		for _, lr := range pred.Loads {
+			rec.LoadsAt = append(rec.LoadsAt, lr.Raw)
 		}
 		recs = append(recs, rec)
-		t += res.ExecTime + cfg.gap
+		prevExec = res.ExecTime
 	}
 	if cfg.diag != nil {
-		cfg.diag.CPUGaps = make([]nws.GapStats, p)
-		for i, mon := range monitors {
-			cfg.diag.CPUGaps[i] = mon.Gaps()
-		}
-		cfg.diag.BWGaps = bwMonitor.Gaps()
+		cfg.diag.CPUGaps = svc.CPUGaps()
+		cfg.diag.BWGaps = svc.BWGaps()
 	}
 	return recs, nil
 }

@@ -1,0 +1,115 @@
+// Package predict is the concurrent prediction-service core: the paper's
+// monitor -> forecast -> model -> schedule -> predict pipeline (§2.1-§2.3)
+// packaged as a long-lived, goroutine-safe Service instead of a hand-wired
+// experiment loop.
+//
+// A Service owns one simulated production platform: per-machine NWS CPU
+// monitors (optionally wrapped with deterministic sensor faults from
+// internal/faults), lazily created bandwidth monitors, and a shared virtual
+// clock. Callers advance the clock as simulated time passes and issue
+// concurrent Predict calls; each call reads the gap-aware monitor reports,
+// chooses (or reuses) a strip partition, evaluates the SOR structural
+// model, and returns the stochastic execution-time prediction together
+// with per-machine load reports and gap/staleness diagnostics.
+//
+// The experiments harness, cmd/sorpredict, and the cmd/predictd HTTP
+// daemon are all thin layers over this one seam.
+package predict
+
+import (
+	"prodpred/internal/nws"
+	"prodpred/internal/sched"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+// DefaultCPUPrior is the conservative fallback prior for a CPU monitor that
+// has never recorded a single measurement: half availability ± the full
+// range, the weakest defensible claim about a production machine. It is the
+// last link of the RobustReport fallback chain (forecast -> running mean ->
+// prior) everywhere the pipeline reads CPU availability.
+var DefaultCPUPrior = stochastic.New(0.5, 0.5)
+
+// Request names one prediction: which platform to predict on, the SOR
+// problem (grid size and iteration count), and how the pipeline should
+// resolve its stochastic choices. Zero values give the paper's defaults:
+// mean-balanced partitioning, largest-mean group Max, related iteration
+// combination.
+type Request struct {
+	// Platform optionally names the target platform; a Service rejects a
+	// mismatched name and a Registry routes on it. Empty means "whatever
+	// platform this Service owns".
+	Platform string
+	// N is the grid size (N x N).
+	N int
+	// Iterations is the SOR iteration count per run.
+	Iterations int
+	// Strategy selects how the partitioner reads the stochastic load
+	// forecasts (mean-balanced, conservative, optimistic).
+	Strategy sched.Strategy
+	// TimeBalanced switches from capacity partitioning under Strategy to
+	// the AppLeS-style time-balanced refinement (compute + ghost-row
+	// communication equalized).
+	TimeBalanced bool
+	// MaxStrategy resolves the structural model's group Max over
+	// processors (§2.3.3).
+	MaxStrategy stochastic.MaxStrategy
+	// IterationRel tags the combination across iterations as related
+	// (paper, conservative) or unrelated (root-sum-square).
+	IterationRel structural.Relation
+	// Partition, when non-nil, pins a previously chosen decomposition so a
+	// run series predicts against a fixed schedule; when nil the Service
+	// partitions from the current load reports.
+	Partition *sor.Partition
+	// LoadOverride, when non-nil, replaces the robust monitor report for
+	// each machine — the ablation experiments' knob.
+	LoadOverride func(machine int, mon *nws.Monitor) (stochastic.Value, error)
+}
+
+// MachineReport is one machine's contribution to a Prediction: the load
+// value the model consumed plus the monitor diagnostics behind it.
+type MachineReport struct {
+	Machine int
+	// Load is the stochastic CPU-availability value used for this machine.
+	Load stochastic.Value
+	// Raw is the instantaneous true availability at prediction time — a
+	// simulation-side diagnostic the experiments plot against forecasts.
+	Raw float64
+	// Staleness is the monitor's effective staleness in sensor periods
+	// (zero on a healthy measurement stream).
+	Staleness float64
+	// Gaps counts the monitor's per-fault-class sensor outcomes so far.
+	Gaps nws.GapStats
+}
+
+// Prediction is the answer to one Request.
+type Prediction struct {
+	// Value is the stochastic execution-time prediction.
+	Value stochastic.Value
+	// Partition is the strip decomposition the model was evaluated
+	// against (the pinned one, or the one chosen from current loads).
+	Partition *sor.Partition
+	// Time is the virtual time the prediction was issued at.
+	Time float64
+	// Loads reports per-machine load values and monitor diagnostics.
+	Loads []MachineReport
+	// Bandwidth is the link-availability fraction the model consumed
+	// (Point(1) on an unmonitored, contention-free network).
+	Bandwidth stochastic.Value
+	// BWGaps counts the bandwidth monitor's sensor outcomes (zero when
+	// the network is not monitored).
+	BWGaps nws.GapStats
+}
+
+// Degraded reports whether any monitor behind this prediction is currently
+// inside a measurement gap (non-zero staleness), i.e. the interval was
+// widened by the fallback chain rather than forecast from fresh samples.
+func (p Prediction) Degraded() bool {
+	for _, l := range p.Loads {
+		if l.Staleness > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package predict_test
+
+import (
+	"sync"
+	"testing"
+
+	"prodpred/internal/faults"
+	"prodpred/internal/predict"
+	"prodpred/internal/stochastic"
+)
+
+// stressInjector schedules every fault class: drops and spikes everywhere,
+// transients, and an outage window on machine 0 that the stress rounds
+// advance straight through.
+func stressInjector(t *testing.T, seed int64, machines int) *faults.Injector {
+	t.Helper()
+	in := faults.NewInjector(seed)
+	for m := 0; m < machines; m++ {
+		s := faults.Schedule{DropProb: 0.2, TransientProb: 0.02, SpikeProb: 0.05, SpikeFactor: 4}
+		if m == 0 {
+			s.Outages = []faults.Window{{Start: 150, End: 260}}
+		}
+		if err := in.Set(m, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+// runStressRounds fires `workers` parallel Predict calls per round against
+// one service while the clock advances between rounds and faults are
+// injected throughout. Returns the per-round, per-worker predictions.
+func runStressRounds(t *testing.T, seed int64, rounds, workers int) ([][]stochastic.Value, *predict.Service) {
+	t.Helper()
+	svc := burstyService(t, seed, 100, stressInjector(t, seed, 4))
+	req := baseRequest()
+	out := make([][]stochastic.Value, rounds)
+	for r := range out {
+		out[r] = make([]stochastic.Value, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pred, err := svc.Predict(req)
+				if err != nil {
+					t.Errorf("round %d worker %d: %v", r, w, err)
+					return
+				}
+				out[r][w] = pred.Value
+			}(w)
+		}
+		wg.Wait()
+		if err := svc.Advance(37); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, svc
+}
+
+// TestConcurrentPredictDeterministic is the -race stress test: parallel
+// Predict calls against one Service while the clock advances and sensor
+// faults are injected must (a) agree within a round — every call at the
+// same virtual time sees the same monitor state — and (b) be bit-identical
+// across two same-seed services, because sensors and fault decisions are
+// pure functions of virtual time.
+func TestConcurrentPredictDeterministic(t *testing.T) {
+	const rounds, workers = 6, 8
+	a, svcA := runStressRounds(t, 21, rounds, workers)
+	b, _ := runStressRounds(t, 21, rounds, workers)
+	for r := 0; r < rounds; r++ {
+		for w := 1; w < workers; w++ {
+			if a[r][w] != a[r][0] {
+				t.Errorf("round %d: worker %d diverged: %v vs %v", r, w, a[r][w], a[r][0])
+			}
+		}
+		if a[r][0] != b[r][0] {
+			t.Errorf("round %d: runs diverged: %v vs %v", r, a[r][0], b[r][0])
+		}
+	}
+	// The outage window (150-260) sits inside the advanced range
+	// (100..322), so the fault machinery demonstrably fired.
+	missed := 0
+	for _, g := range svcA.CPUGaps() {
+		missed += g.Missed
+	}
+	if missed == 0 {
+		t.Error("stress run injected no measurement gaps")
+	}
+}
+
+// TestConcurrentMixedOps hammers every public method from many goroutines
+// purely for the race detector: predictions, reports, gap counters, and
+// clock advances interleaving freely must be data-race-free and deadlock-
+// free (determinism is not asserted here — the clock moves mid-flight).
+func TestConcurrentMixedOps(t *testing.T) {
+	svc := burstyService(t, 33, 100, stressInjector(t, 33, 4))
+	req := baseRequest()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := svc.Predict(req); err != nil {
+					t.Errorf("predict: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := svc.Advance(13); err != nil {
+				t.Errorf("advance: %v", err)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			svc.Reports()
+			svc.CPUGaps()
+			svc.BWGaps()
+			svc.Now()
+		}
+	}()
+	wg.Wait()
+	gaps := svc.CPUGaps()
+	total := 0
+	for _, g := range gaps {
+		total += g.Missed
+	}
+	if total == 0 {
+		t.Error("stress run injected no measurement gaps")
+	}
+}

@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry routes requests to the Service owning the named platform — the
+// multi-platform front a serving daemon puts before several Services.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Service
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Service)}
+}
+
+// Register adds a service under its platform name.
+func (r *Registry) Register(s *Service) error {
+	if s == nil {
+		return errors.New("predict: nil service")
+	}
+	if s.Name() == "" {
+		return errors.New("predict: service platform has no name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[s.Name()]; ok {
+		return fmt.Errorf("predict: platform %q already registered", s.Name())
+	}
+	r.m[s.Name()] = s
+	return nil
+}
+
+// Lookup finds the service for a platform name. An empty name resolves only
+// when exactly one service is registered.
+func (r *Registry) Lookup(name string) (*Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.m) == 1 {
+			for _, s := range r.m {
+				return s, nil
+			}
+		}
+		return nil, fmt.Errorf("predict: no platform named; registered: %v", r.namesLocked())
+	}
+	s, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown platform %q; registered: %v", name, r.namesLocked())
+	}
+	return s, nil
+}
+
+// Names returns the registered platform names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Services returns the registered services in platform-name order.
+func (r *Registry) Services() []*Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Service, 0, len(r.m))
+	for _, name := range r.namesLocked() {
+		out = append(out, r.m[name])
+	}
+	return out
+}
+
+// Predict routes the request to the service named by req.Platform.
+func (r *Registry) Predict(req Request) (Prediction, error) {
+	s, err := r.Lookup(req.Platform)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return s.Predict(req)
+}

@@ -1,0 +1,399 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/faults"
+	"prodpred/internal/load"
+	"prodpred/internal/nws"
+	"prodpred/internal/sched"
+	"prodpred/internal/simenv"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+// timeBalanceRefinements is the fixed-point refinement depth of the
+// AppLeS-style time-balanced partitioner.
+const timeBalanceRefinements = 8
+
+// Config describes the platform a Service owns and how it is monitored.
+type Config struct {
+	// Platform is the machine/link description.
+	Platform *cluster.Platform
+	// CPU holds one load process per machine.
+	CPU []load.Process
+	// Net is the network contention process; a load.Constant network is
+	// treated as contention-free and left unmonitored.
+	Net load.Process
+	// Period is the sensor cadence in virtual seconds (nws.DefaultPeriod
+	// when zero).
+	Period float64
+	// History is the monitor ring size (512 when zero).
+	History int
+	// Injector, when non-nil, wraps every CPU sensor with its per-machine
+	// deterministic fault schedule.
+	Injector *faults.Injector
+	// CPUPrior is the no-history fallback for CPU monitors
+	// (DefaultCPUPrior when zero).
+	CPUPrior stochastic.Value
+}
+
+// Service is a long-lived, goroutine-safe prediction service over one
+// simulated production platform. It owns the platform's NWS monitors and a
+// shared virtual clock; Advance/AdvanceTo move time forward (taking all due
+// measurements), and Predict answers requests at the current time. All
+// methods may be called concurrently; results are deterministic for a
+// given seed and clock schedule because every sensor and fault decision is
+// a pure function of virtual time.
+type Service struct {
+	mu       sync.Mutex
+	name     string
+	plat     *cluster.Platform
+	env      *simenv.Env
+	machines []cluster.Machine
+	link     cluster.Link
+	monitors []*nws.Monitor
+	bw       map[float64]*nws.Monitor // keyed by probe size (bytes)
+	netMon   bool
+	period   float64
+	history  int
+	prior    stochastic.Value
+	now      float64
+}
+
+// NewService builds the service: one fault-injectable CPU monitor per
+// machine, a lazily grown set of bandwidth monitors, and the clock at
+// virtual time zero. No measurements are taken until the clock advances.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Platform == nil {
+		return nil, errors.New("predict: nil platform")
+	}
+	env, err := simenv.New(cfg.Platform, cfg.CPU, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.Period
+	if period == 0 {
+		period = nws.DefaultPeriod
+	}
+	history := cfg.History
+	if history == 0 {
+		history = 512
+	}
+	prior := cfg.CPUPrior
+	if prior == (stochastic.Value{}) {
+		prior = DefaultCPUPrior
+	}
+	p := cfg.Platform.Size()
+	s := &Service{
+		name:     cfg.Platform.Name,
+		plat:     cfg.Platform,
+		env:      env,
+		machines: make([]cluster.Machine, p),
+		monitors: make([]*nws.Monitor, p),
+		bw:       make(map[float64]*nws.Monitor),
+		period:   period,
+		history:  history,
+		prior:    prior,
+	}
+	_, constant := cfg.Net.(load.Constant)
+	s.netMon = !constant
+	if s.link, err = cfg.Platform.Link(0, 1); err != nil {
+		return nil, err
+	}
+	for i := 0; i < p; i++ {
+		s.machines[i] = cfg.Platform.Machine(i)
+		sensor, err := nws.CPUSensor(env, i)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Injector != nil {
+			sensor = cfg.Injector.Sensor(i, sensor)
+		}
+		if s.monitors[i], err = nws.NewSensorMonitor(sensor, period, history); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name returns the platform name the service answers for.
+func (s *Service) Name() string { return s.name }
+
+// Platform returns the platform description.
+func (s *Service) Platform() *cluster.Platform { return s.plat }
+
+// Env exposes the simulated environment, read-only in virtual time — the
+// seam execution backends (sor.NewSimBackend) attach to.
+func (s *Service) Env() *simenv.Env { return s.env }
+
+// Machines returns the platform's machine descriptions.
+func (s *Service) Machines() []cluster.Machine {
+	return append([]cluster.Machine(nil), s.machines...)
+}
+
+// Now returns the current virtual time.
+func (s *Service) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the clock forward by dt virtual seconds, taking every
+// sensor measurement that falls due.
+func (s *Service) Advance(dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("predict: negative advance %g", dt)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceToLocked(s.now + dt)
+}
+
+// AdvanceTo moves the clock to absolute virtual time t >= Now().
+func (s *Service) AdvanceTo(t float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.now {
+		return fmt.Errorf("predict: cannot advance backwards from %g to %g", s.now, t)
+	}
+	return s.advanceToLocked(t)
+}
+
+func (s *Service) advanceToLocked(t float64) error {
+	s.now = t
+	for _, mon := range s.monitors {
+		if err := mon.RunUntil(t); err != nil {
+			return err
+		}
+	}
+	for _, mon := range s.bw {
+		if err := mon.RunUntil(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Service) checkPlatformLocked(name string) error {
+	if name != "" && name != s.name {
+		return fmt.Errorf("predict: request for platform %q on service for %q", name, s.name)
+	}
+	return nil
+}
+
+func validateRequest(req Request) error {
+	if req.N < 3 {
+		return fmt.Errorf("predict: grid size %d too small (need N >= 3)", req.N)
+	}
+	if req.Iterations <= 0 {
+		return fmt.Errorf("predict: iterations must be positive, got %d", req.Iterations)
+	}
+	return nil
+}
+
+// loadsLocked reads one stochastic load value per machine: the override
+// when the request carries one, the gap-aware RobustReport fallback chain
+// (forecast -> running mean -> prior) otherwise.
+func (s *Service) loadsLocked(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, error) {
+	loads := make([]stochastic.Value, len(s.monitors))
+	for i, mon := range s.monitors {
+		if override != nil {
+			if err := mon.RunUntil(s.now); err != nil {
+				return nil, err
+			}
+			v, err := override(i, mon)
+			if err != nil {
+				return nil, err
+			}
+			loads[i] = v
+		} else {
+			loads[i] = mon.RobustReport(s.now, s.prior)
+		}
+	}
+	return loads, nil
+}
+
+func (s *Service) partitionLocked(req Request, loads []stochastic.Value) (*sor.Partition, error) {
+	if req.TimeBalanced {
+		return sched.TimeBalancedPartition(req.N, s.machines, loads, s.link, timeBalanceRefinements)
+	}
+	return sched.SORPartition(req.N, s.machines, loads, req.Strategy)
+}
+
+// Partition chooses a strip decomposition from the current load reports
+// under the request's strategy — the "schedule" step, split out so a run
+// series can pin one decomposition (via Request.Partition) across many
+// Predict calls, the way the paper fixes the schedule once per series.
+func (s *Service) Partition(req Request) (*sor.Partition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPlatformLocked(req.Platform); err != nil {
+		return nil, err
+	}
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	loads, err := s.loadsLocked(req.LoadOverride)
+	if err != nil {
+		return nil, err
+	}
+	return s.partitionLocked(req, loads)
+}
+
+// bwMonitorLocked returns the bandwidth monitor probing with n's
+// ghost-row-sized messages, creating and catching it up on first use.
+// Monitors are pure functions of virtual time, so a late-created monitor
+// has exactly the history an early-created one would.
+func (s *Service) bwMonitorLocked(n int) (*nws.Monitor, error) {
+	probeBytes := float64(n-2) * 8
+	if mon, ok := s.bw[probeBytes]; ok {
+		return mon, nil
+	}
+	mon, err := nws.NewBandwidthMonitor(s.env, 0, 1, probeBytes, s.period, s.history)
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.RunUntil(s.now); err != nil {
+		return nil, err
+	}
+	s.bw[probeBytes] = mon
+	return mon, nil
+}
+
+// Predict answers one request at the current virtual time: read per-machine
+// load reports, choose (or reuse) the partition, parameterize the SOR
+// structural model, and evaluate it to a stochastic prediction.
+func (s *Service) Predict(req Request) (Prediction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPlatformLocked(req.Platform); err != nil {
+		return Prediction{}, err
+	}
+	if err := validateRequest(req); err != nil {
+		return Prediction{}, err
+	}
+	loads, err := s.loadsLocked(req.LoadOverride)
+	if err != nil {
+		return Prediction{}, err
+	}
+	part := req.Partition
+	if part == nil {
+		if part, err = s.partitionLocked(req, loads); err != nil {
+			return Prediction{}, err
+		}
+	}
+	params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
+	bwFrac := stochastic.Point(1)
+	var bwGaps nws.GapStats
+	if s.netMon {
+		// Production network: the NWS bandwidth monitor's forecast of
+		// achieved bytes/s, expressed as a fraction of the dedicated link
+		// rate. Same fallback chain as the CPU monitors; the prior claims
+		// half the dedicated rate ± the full range.
+		mon, err := s.bwMonitorLocked(req.N)
+		if err != nil {
+			return Prediction{}, err
+		}
+		bw := mon.RobustReport(s.now, stochastic.New(s.link.DedBW/2, s.link.DedBW/2))
+		frac := bw.MulPoint(1 / s.link.DedBW)
+		if frac.Mean <= 0.01 {
+			frac = stochastic.New(0.01, frac.Spread)
+		}
+		params[structural.BWAvailParam] = frac
+		bwFrac = frac
+		bwGaps = mon.Gaps()
+	}
+	for i, l := range loads {
+		params[structural.LoadParam(i)] = l
+	}
+	model := &structural.SORConfig{
+		N:            req.N,
+		Iterations:   req.Iterations,
+		Partition:    part,
+		Machines:     s.machines,
+		MachineIdx:   sor.IdentityMapping(len(s.machines)),
+		Link:         s.link,
+		MaxStrategy:  req.MaxStrategy,
+		IterationRel: req.IterationRel,
+	}
+	v, err := model.Predict(params)
+	if err != nil {
+		return Prediction{}, err
+	}
+	reports := make([]MachineReport, len(loads))
+	for i := range loads {
+		reports[i] = MachineReport{
+			Machine:   i,
+			Load:      loads[i],
+			Raw:       s.env.RawCPUAvail(i, s.now),
+			Staleness: s.monitors[i].Staleness(),
+			Gaps:      s.monitors[i].Gaps(),
+		}
+	}
+	return Prediction{
+		Value:     v,
+		Partition: part,
+		Time:      s.now,
+		Loads:     reports,
+		Bandwidth: bwFrac,
+		BWGaps:    bwGaps,
+	}, nil
+}
+
+// Reports returns the current per-machine load reports (robust fallback
+// chain) without evaluating a model — the /report endpoint's view.
+func (s *Service) Reports() []MachineReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reports := make([]MachineReport, len(s.monitors))
+	for i, mon := range s.monitors {
+		reports[i] = MachineReport{
+			Machine:   i,
+			Load:      mon.RobustReport(s.now, s.prior),
+			Raw:       s.env.RawCPUAvail(i, s.now),
+			Staleness: mon.Staleness(),
+			Gaps:      mon.Gaps(),
+		}
+	}
+	return reports
+}
+
+// CPUGaps returns each CPU monitor's per-fault-class gap counters.
+func (s *Service) CPUGaps() []nws.GapStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gaps := make([]nws.GapStats, len(s.monitors))
+	for i, mon := range s.monitors {
+		gaps[i] = mon.Gaps()
+	}
+	return gaps
+}
+
+// BWGaps returns the bandwidth monitors' gap counters, summed across probe
+// sizes (LongestGap is the max). It is zero when the network is
+// contention-free or no prediction has consulted bandwidth yet.
+func (s *Service) BWGaps() nws.GapStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total nws.GapStats
+	for _, mon := range s.bw {
+		g := mon.Gaps()
+		total.Clean += g.Clean
+		total.Recovered += g.Recovered
+		total.Retries += g.Retries
+		total.Dropped += g.Dropped
+		total.Outage += g.Outage
+		total.TransientLost += g.TransientLost
+		total.SensorErrors += g.SensorErrors
+		total.Missed += g.Missed
+		if g.LongestGap > total.LongestGap {
+			total.LongestGap = g.LongestGap
+		}
+	}
+	return total
+}

@@ -1,0 +1,337 @@
+package predict_test
+
+import (
+	"strings"
+	"testing"
+
+	"prodpred/internal/cluster"
+	"prodpred/internal/faults"
+	"prodpred/internal/load"
+	"prodpred/internal/nws"
+	"prodpred/internal/predict"
+	"prodpred/internal/stochastic"
+)
+
+// burstyService builds a Platform 2 service under bursty production load,
+// optionally fault-injected, advanced to warmup.
+func burstyService(t *testing.T, seed int64, warmup float64, in *faults.Injector) *predict.Service {
+	t.Helper()
+	cfg, err := predict.SimulatedConfig(2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Injector = in
+	cfg.History = 256
+	svc, err := predict.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(warmup); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func baseRequest() predict.Request {
+	return predict.Request{N: 120, Iterations: 6, MaxStrategy: stochastic.LargestMean}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := predict.NewService(predict.Config{}); err == nil {
+		t.Error("nil platform should fail")
+	}
+	plat := cluster.Platform2()
+	if _, err := predict.NewService(predict.Config{
+		Platform: plat,
+		CPU:      []load.Process{load.Dedicated()}, // wrong count
+		Net:      load.Dedicated(),
+	}); err == nil {
+		t.Error("cpu count mismatch should fail")
+	}
+}
+
+func TestPredictBasics(t *testing.T) {
+	svc := burstyService(t, 3, 300, nil)
+	pred, err := svc.Predict(baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Value.Mean <= 0 {
+		t.Errorf("prediction mean=%g", pred.Value.Mean)
+	}
+	if pred.Value.IsPoint() {
+		t.Error("production prediction should carry spread")
+	}
+	if pred.Time != 300 {
+		t.Errorf("prediction time=%g, want 300", pred.Time)
+	}
+	if got := pred.Partition.P(); got != svc.Platform().Size() {
+		t.Errorf("partition strips=%d", got)
+	}
+	if len(pred.Loads) != svc.Platform().Size() {
+		t.Fatalf("loads=%d", len(pred.Loads))
+	}
+	for i, l := range pred.Loads {
+		if l.Machine != i {
+			t.Errorf("load %d machine=%d", i, l.Machine)
+		}
+		if l.Load.Mean <= 0 || l.Load.Mean > 1.5 {
+			t.Errorf("machine %d load=%v", i, l.Load)
+		}
+		if l.Raw <= 0 || l.Raw > 1 {
+			t.Errorf("machine %d raw=%g", i, l.Raw)
+		}
+		if l.Gaps.Recorded() == 0 {
+			t.Errorf("machine %d recorded no samples", i)
+		}
+	}
+	// Ethernet contention is a production network: bandwidth must have
+	// been monitored, not assumed dedicated.
+	if pred.Bandwidth == stochastic.Point(1) {
+		t.Error("bandwidth should be monitored under contention")
+	}
+	if pred.Degraded() {
+		t.Error("fault-free service should not be degraded")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	svc := burstyService(t, 3, 100, nil)
+	req := baseRequest()
+	req.N = 2
+	if _, err := svc.Predict(req); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	req = baseRequest()
+	req.Iterations = 0
+	if _, err := svc.Predict(req); err == nil {
+		t.Error("zero iterations should fail")
+	}
+	req = baseRequest()
+	req.Platform = "not-this-platform"
+	if _, err := svc.Predict(req); err == nil {
+		t.Error("mismatched platform name should fail")
+	}
+	req.Platform = svc.Name()
+	if _, err := svc.Predict(req); err != nil {
+		t.Errorf("matching platform name: %v", err)
+	}
+	if err := svc.Advance(-1); err == nil {
+		t.Error("negative advance should fail")
+	}
+	if err := svc.AdvanceTo(50); err == nil {
+		t.Error("backwards AdvanceTo should fail")
+	}
+}
+
+func TestPartitionPinning(t *testing.T) {
+	svc := burstyService(t, 5, 300, nil)
+	req := baseRequest()
+	part, err := svc.Partition(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Partition = part
+	pred, err := svc.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Partition != part {
+		t.Error("pinned partition not carried through")
+	}
+	// A time-balanced request yields a valid alternative decomposition.
+	tb := baseRequest()
+	tb.TimeBalanced = true
+	tbPart, err := svc.Partition(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbPart.Validate(); err != nil {
+		t.Errorf("time-balanced partition invalid: %v", err)
+	}
+}
+
+func TestPriorFallbackUnderTotalOutage(t *testing.T) {
+	// Every sensor dark from t=0: the fallback chain must bottom out at
+	// the conservative prior instead of erroring.
+	in := faults.NewInjector(1)
+	for m := 0; m < cluster.Platform2().Size(); m++ {
+		if err := in.Set(m, faults.Schedule{Outages: []faults.Window{{Start: 0, End: 1e9}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := burstyService(t, 3, 200, in)
+	pred, err := svc.Predict(baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range pred.Loads {
+		if l.Load != predict.DefaultCPUPrior {
+			t.Errorf("machine %d load=%v, want prior %v", i, l.Load, predict.DefaultCPUPrior)
+		}
+		if l.Gaps.Outage == 0 {
+			t.Errorf("machine %d recorded no outage misses", i)
+		}
+		if l.Staleness == 0 {
+			t.Errorf("machine %d staleness=0 under permanent outage", i)
+		}
+	}
+	if !pred.Degraded() {
+		t.Error("permanent outage should mark the prediction degraded")
+	}
+}
+
+func TestLoadOverride(t *testing.T) {
+	svc := burstyService(t, 7, 200, nil)
+	req := baseRequest()
+	called := 0
+	req.LoadOverride = func(machine int, mon *nws.Monitor) (stochastic.Value, error) {
+		called++
+		if mon.Len() == 0 {
+			t.Errorf("machine %d monitor empty in override", machine)
+		}
+		return stochastic.New(0.5, 0.2), nil
+	}
+	pred, err := svc.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != svc.Platform().Size() {
+		t.Errorf("override called %d times", called)
+	}
+	for i, l := range pred.Loads {
+		if l.Load != stochastic.New(0.5, 0.2) {
+			t.Errorf("machine %d load=%v, want override", i, l.Load)
+		}
+	}
+}
+
+func TestDedicatedNetworkSkipsBandwidth(t *testing.T) {
+	plat := cluster.Platform2()
+	cpu := make([]load.Process, plat.Size())
+	for i := range cpu {
+		p, err := load.Platform2FourModeBursty(int64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu[i] = p
+	}
+	svc, err := predict.NewService(predict.Config{Platform: plat, CPU: cpu, Net: load.Dedicated()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(200); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := svc.Predict(baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Bandwidth != stochastic.Point(1) {
+		t.Errorf("constant network bandwidth=%v, want Point(1)", pred.Bandwidth)
+	}
+	if pred.BWGaps != (predict.Prediction{}).BWGaps {
+		t.Errorf("constant network BWGaps=%+v, want zero", pred.BWGaps)
+	}
+	if svc.BWGaps() != (predict.Prediction{}).BWGaps {
+		t.Errorf("service BWGaps=%+v, want zero", svc.BWGaps())
+	}
+}
+
+func TestReportsAndGaps(t *testing.T) {
+	in := faults.NewInjector(9)
+	if err := in.Set(0, faults.Schedule{DropProb: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	svc := burstyService(t, 11, 400, in)
+	reports := svc.Reports()
+	if len(reports) != svc.Platform().Size() {
+		t.Fatalf("reports=%d", len(reports))
+	}
+	if reports[0].Gaps.Dropped == 0 {
+		t.Error("machine 0 should have dropped samples")
+	}
+	gaps := svc.CPUGaps()
+	if len(gaps) != len(reports) {
+		t.Fatalf("gaps=%d", len(gaps))
+	}
+	if gaps[0].Dropped != reports[0].Gaps.Dropped {
+		t.Errorf("gap views disagree: %d vs %d", gaps[0].Dropped, reports[0].Gaps.Dropped)
+	}
+	if gaps[1].Dropped != 0 {
+		t.Errorf("machine 1 has no schedule but dropped %d", gaps[1].Dropped)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := predict.NewRegistry()
+	if _, err := reg.Lookup(""); err == nil {
+		t.Error("empty registry lookup should fail")
+	}
+	svc2 := burstyService(t, 3, 100, nil)
+	if err := reg.Register(svc2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(svc2); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	// With a single service, the empty name resolves to it.
+	if s, err := reg.Lookup(""); err != nil || s != svc2 {
+		t.Errorf("single-service empty lookup: %v, %v", s, err)
+	}
+	cfg1, err := predict.SimulatedConfig(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := predict.NewService(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc1.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(svc1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup(""); err == nil {
+		t.Error("ambiguous empty lookup should fail")
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] > names[1] {
+		t.Errorf("names=%v", names)
+	}
+	req := baseRequest()
+	req.Platform = svc1.Name()
+	pred, err := reg.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Loads) != svc1.Platform().Size() {
+		t.Errorf("routed to wrong platform: %d machines", len(pred.Loads))
+	}
+	if _, err := reg.Lookup("nope"); err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("unknown lookup err=%v", err)
+	}
+	if got := len(reg.Services()); got != 2 {
+		t.Errorf("services=%d", got)
+	}
+}
+
+func TestSimulatedConfig(t *testing.T) {
+	if _, err := predict.SimulatedConfig(3, 1); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	for _, id := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.CPU) != cfg.Platform.Size() {
+			t.Errorf("platform %d: %d load processes for %d machines",
+				id, len(cfg.CPU), cfg.Platform.Size())
+		}
+		if _, constant := cfg.Net.(load.Constant); constant {
+			t.Errorf("platform %d: network should carry contention", id)
+		}
+	}
+}

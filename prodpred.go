@@ -19,6 +19,8 @@
 //   - production-platform simulation  (internal/simenv, cluster, load)
 //   - the distributed Red-Black SOR   (internal/sor)
 //   - stochastic-aware scheduling     (internal/sched)
+//   - sensor-fault injection          (internal/faults)
+//   - the prediction-service core     (internal/predict)
 //   - the paper's tables and figures  (internal/experiments)
 //
 // See examples/ for runnable walk-throughs and cmd/ for the tools.
@@ -27,9 +29,11 @@ package prodpred
 import (
 	"prodpred/internal/cluster"
 	"prodpred/internal/experiments"
+	"prodpred/internal/faults"
 	"prodpred/internal/load"
 	"prodpred/internal/modal"
 	"prodpred/internal/nws"
+	"prodpred/internal/predict"
 	"prodpred/internal/sched"
 	"prodpred/internal/simenv"
 	"prodpred/internal/sor"
@@ -304,6 +308,82 @@ func ModalStochasticValue(mm *MixtureModel, xs []float64) (Value, bool, error) {
 // summarizes its mode dynamics.
 func AnalyzeBurstiness(mm *MixtureModel, xs []float64) (Burstiness, error) {
 	return modal.AnalyzeBurstiness(mm, xs)
+}
+
+// Sensor-fault injection: deterministic measurement-failure schedules
+// wrapped around NWS sensors, for studying prediction quality when the
+// monitoring layer itself misbehaves.
+type (
+	// FaultInjector wraps NWS sensors with deterministic, seed-keyed
+	// measurement faults (drops, outages, transient errors, spikes).
+	FaultInjector = faults.Injector
+	// FaultSchedule describes the fault classes applied to one machine's
+	// sensor: per-sample probabilities plus scheduled outage windows.
+	FaultSchedule = faults.Schedule
+	// OutageWindow is a half-open [Start, End) interval of virtual time
+	// during which a sensor returns no measurements at all.
+	OutageWindow = faults.Window
+	// FaultStats counts fault decisions made by an injector.
+	FaultStats = faults.Stats
+	// GapStats is a monitor's per-fault-class accounting of measurement
+	// gaps: clean samples, drops, outage misses, transients, retries.
+	GapStats = nws.GapStats
+)
+
+// DefaultSpikeFactor is the load multiplier applied by injected outlier
+// spikes when a FaultSchedule does not set its own.
+const DefaultSpikeFactor = faults.DefaultSpikeFactor
+
+// NewFaultInjector returns a fault injector whose decisions are pure
+// functions of (seed, machine, virtual time) — deterministic across runs
+// and safe for concurrent sensors. Configure per-machine schedules with
+// Set, then wrap sensors via Sensor or CPUSensor.
+func NewFaultInjector(seed int64) *FaultInjector { return faults.NewInjector(seed) }
+
+// Prediction service: the monitor -> forecast -> model -> schedule ->
+// predict flow packaged as a long-lived, goroutine-safe core.
+type (
+	// PredictionService owns per-machine NWS monitors over a simulated
+	// production platform, advances them on a shared virtual clock, and
+	// answers concurrent Predict calls.
+	PredictionService = predict.Service
+	// PredictConfig configures a PredictionService: platform, per-machine
+	// CPU load processes, network contention, monitoring period and
+	// history, optional fault injector, and fallback prior.
+	PredictConfig = predict.Config
+	// PredictRequest names what to predict: grid size, iteration count,
+	// partition strategy, Max strategy, and iteration relation.
+	PredictRequest = predict.Request
+	// Prediction is a stochastic execution-time prediction with the chosen
+	// partition, per-machine load reports, and gap/staleness diagnostics.
+	Prediction = predict.Prediction
+	// MachineReport is one machine's forecast load plus monitor health.
+	MachineReport = predict.MachineReport
+	// PredictRegistry routes prediction requests across several hosted
+	// platforms by name.
+	PredictRegistry = predict.Registry
+)
+
+// DefaultCPUPrior is the conservative fallback CPU-availability prior
+// (0.5 ± 0.5, i.e. "anything is possible") used when a machine's monitor
+// has no usable history — for example during a sensor outage.
+var DefaultCPUPrior = predict.DefaultCPUPrior
+
+// NewPredictionService builds a prediction service over the configured
+// simulated platform. Advance or AdvanceTo moves its virtual clock (and
+// all monitors) forward; Predict answers at the current time.
+func NewPredictionService(cfg PredictConfig) (*PredictionService, error) {
+	return predict.NewService(cfg)
+}
+
+// NewPredictRegistry returns an empty prediction-service registry.
+func NewPredictRegistry() *PredictRegistry { return predict.NewRegistry() }
+
+// SimulatedPredictConfig returns the canonical PredictConfig for the
+// paper's evaluation platforms (1 or 2) under their calibrated production
+// load shapes — the same construction cmd/sorpredict and cmd/predictd use.
+func SimulatedPredictConfig(platform int, seed int64) (PredictConfig, error) {
+	return predict.SimulatedConfig(platform, seed)
 }
 
 // Experiments.

@@ -197,6 +197,74 @@ func TestFacadeDistributedAndModal(t *testing.T) {
 	}
 }
 
+// TestFacadePredictionService round-trips the fault-injection and
+// prediction-service exports: build a fault-injected service for a paper
+// platform through the facade only, warm it up, and predict under both
+// healthy and degraded monitors.
+func TestFacadePredictionService(t *testing.T) {
+	in := NewFaultInjector(5)
+	if err := in.Set(0, FaultSchedule{
+		DropProb:    0.3,
+		SpikeProb:   0.05,
+		SpikeFactor: DefaultSpikeFactor,
+		Outages:     []OutageWindow{{Start: 100, End: 220}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := SimulatedPredictConfig(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Injector = in
+	svc, err := NewPredictionService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(300); err != nil {
+		t.Fatal(err)
+	}
+
+	pred, err := svc.Predict(PredictRequest{N: 120, Iterations: 6, MaxStrategy: LargestMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Value.Mean <= 0 || pred.Value.IsPoint() {
+		t.Errorf("prediction=%v", pred.Value)
+	}
+	if len(pred.Loads) != Platform2().Size() {
+		t.Fatalf("loads=%d", len(pred.Loads))
+	}
+	var rep MachineReport = pred.Loads[0]
+	var gaps GapStats = rep.Gaps
+	if gaps.Dropped == 0 || gaps.Outage == 0 {
+		t.Errorf("machine 0 gaps=%+v, want drops and outage misses", gaps)
+	}
+	var stats FaultStats = in.Stats(0)
+	if stats.Drops == 0 || stats.OutageHits == 0 || stats.Total() == 0 {
+		t.Errorf("injector stats empty: %+v", stats)
+	}
+
+	// Route the same request through a registry, as predictd does.
+	reg := NewPredictRegistry()
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	routed, err := reg.Predict(PredictRequest{
+		Platform: svc.Name(), N: 120, Iterations: 6, MaxStrategy: LargestMean,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.Value != pred.Value {
+		t.Errorf("registry routing changed the prediction: %v vs %v", routed.Value, pred.Value)
+	}
+
+	// The conservative prior is the documented fallback bound.
+	if DefaultCPUPrior.Mean != 0.5 || DefaultCPUPrior.Spread != 0.5 {
+		t.Errorf("prior=%v", DefaultCPUPrior)
+	}
+}
+
 func TestFacadeSampleRoundTrip(t *testing.T) {
 	xs := []float64{11, 12, 13, 12, 11.5, 12.5}
 	v, err := FromSample(xs)

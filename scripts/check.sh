@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# check.sh — the repo gate: formatting, vet, and the race-clean test suite.
-# The SOR worker pool and the sharded Monte Carlo engine are concurrent by
-# design, so -race is not optional here.
+# check.sh — the repo gate: formatting, vet, the race-clean test suite, and
+# a one-iteration bench smoke. The SOR worker pool, the sharded Monte Carlo
+# engine, and the predict.Service prediction core are concurrent by design,
+# so -race is not optional here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,8 @@ fi
 
 go vet ./...
 go test -race ./...
+# Bench smoke: every benchmark must still run for one iteration without
+# error (no measurement — regressions are caught by scripts/bench.sh).
+go test -bench=. -benchtime=1x -run '^$' ./...
 
-echo "check.sh: gofmt, vet, and race-enabled tests all clean"
+echo "check.sh: gofmt, vet, race-enabled tests, and bench smoke all clean"
