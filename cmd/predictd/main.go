@@ -8,7 +8,12 @@
 // Endpoints:
 //
 //	POST /predict  {"platform":"platform2","n":800,"iterations":10,...}
-//	GET  /report   ?platform=platform2 — per-machine monitor reports
+//	POST /observe  {"platform":"platform2","id":7,"actual":41.3} — feed a
+//	               measured runtime back to the online calibrator
+//	GET  /accuracy ?platform=platform2 — capture rates, calibration
+//	               multiplier, and drift events (all platforms when omitted)
+//	GET  /report   ?platform=platform2 — per-machine monitor reports plus
+//	               the platform's calibration state
 //	GET  /healthz  — status plus per-fault-class gap counters
 //	POST /advance  {"platform":"platform2","seconds":60} — manual clock step
 //
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -117,10 +123,24 @@ func run(addr string, seed int64, warmup, tick float64, ff faultFlags) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: addr, Handler: newServer(reg)}
-
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs)", reg.Names(), ln.Addr(), tick, warmup)
+	return serve(ctx, reg, ln, tick)
+}
+
+// serve runs the daemon's HTTP server on ln until ctx is cancelled, then
+// shuts it down gracefully, draining in-flight requests. Split from run so
+// the tests can bind an ephemeral port, cancel the context, and assert a
+// clean stop.
+func serve(ctx context.Context, reg *predict.Registry, ln net.Listener, tick float64) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	srv := &http.Server{Handler: newServer(reg)}
 	if tick > 0 {
 		// Map wall time onto the simulated clocks so monitors keep
 		// measuring while the daemon idles between requests.
@@ -141,14 +161,22 @@ func run(addr string, seed int64, warmup, tick float64, ff faultFlags) error {
 			}
 		}()
 	}
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutdownCancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("predictd: shutdown: %v", err)
+		}
 	}()
-	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs)", reg.Names(), addr, tick, warmup)
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	err := srv.Serve(ln)
+	// Release the shutdown watcher (Serve may have failed on its own) and
+	// wait for it so in-flight requests are drained before returning.
+	cancel()
+	<-shutdownDone
+	if !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"prodpred/internal/predict"
 )
@@ -252,5 +255,155 @@ func TestFaultFlagInjector(t *testing.T) {
 	}
 	if _, err = (faultFlags{drop: 1.5}).injector(1, 4); err == nil {
 		t.Error("out-of-range probability should fail")
+	}
+}
+
+// TestObserveAndAccuracyEndpoints closes the prediction loop over the
+// wire: predict, observe the measured runtime against the returned id,
+// and read the accuracy state back through /observe, /accuracy, and
+// /report.
+func TestObserveAndAccuracyEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	pr := decode[predictResponse](t, postJSON(t, ts.URL+"/predict", predictRequest{
+		Platform: "platform1", N: 100, Iterations: 5,
+	}))
+	if pr.ID == 0 {
+		t.Fatal("prediction carries no id")
+	}
+	if pr.CalibrationScale != 1 || pr.RawSpread != pr.Spread {
+		t.Errorf("fresh daemon should serve uncalibrated intervals: scale=%g raw=%g spread=%g",
+			pr.CalibrationScale, pr.RawSpread, pr.Spread)
+	}
+
+	resp := postJSON(t, ts.URL+"/observe", observeRequest{
+		Platform: "platform1", ID: pr.ID, Actual: pr.Mean,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status=%d", resp.StatusCode)
+	}
+	or := decode[observeResponse](t, resp)
+	if or.Platform != "platform1" || or.Accuracy.Observed != 1 || or.Accuracy.RawCapture != 1 {
+		t.Errorf("observe response=%+v", or)
+	}
+
+	resp2, err := http.Get(ts.URL + "/accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := decode[accuracyResponse](t, resp2)
+	if len(acc.Platforms) != 2 {
+		t.Fatalf("accuracy platforms=%d", len(acc.Platforms))
+	}
+	for _, p := range acc.Platforms {
+		want := 0
+		if p.Platform == "platform1" {
+			want = 1
+		}
+		if p.Accuracy.Observed != want || p.Outstanding != 0 {
+			t.Errorf("%s: observed=%d outstanding=%d, want %d observed",
+				p.Platform, p.Accuracy.Observed, p.Outstanding, want)
+		}
+		if p.Accuracy.Target != 0.95 || p.Accuracy.Scale != 1 {
+			t.Errorf("%s: target=%g scale=%g", p.Platform, p.Accuracy.Target, p.Accuracy.Scale)
+		}
+	}
+	resp3, err := http.Get(ts.URL + "/accuracy?platform=platform1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one := decode[accuracyResponse](t, resp3); len(one.Platforms) != 1 || one.Platforms[0].Platform != "platform1" {
+		t.Errorf("filtered accuracy=%+v", one)
+	}
+
+	// /report now carries the calibration state alongside the monitors.
+	resp4, err := http.Get(ts.URL + "/report?platform=platform1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decode[reportResponse](t, resp4)
+	if rep.Calibration.Observed != 1 || rep.Outstanding != 0 {
+		t.Errorf("report calibration=%+v outstanding=%d", rep.Calibration, rep.Outstanding)
+	}
+	for _, l := range rep.Loads {
+		if l.Widening < 1 {
+			t.Errorf("machine %d widening=%g", l.Machine, l.Widening)
+		}
+	}
+}
+
+func TestObserveEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	pr := decode[predictResponse](t, postJSON(t, ts.URL+"/predict", predictRequest{
+		Platform: "platform1", N: 100, Iterations: 5,
+	}))
+	cases := []struct {
+		name string
+		body observeRequest
+		want int
+	}{
+		{"unknown platform", observeRequest{Platform: "atlantis", ID: pr.ID, Actual: 1}, http.StatusNotFound},
+		{"never-issued id", observeRequest{Platform: "platform1", ID: 999, Actual: 1}, http.StatusBadRequest},
+		{"non-positive actual", observeRequest{Platform: "platform1", ID: pr.ID, Actual: 0}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/observe", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status=%d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/observe", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status=%d", resp.StatusCode)
+	}
+	// First observe consumes the id; a second must fail.
+	ok := postJSON(t, ts.URL+"/observe", observeRequest{Platform: "platform1", ID: pr.ID, Actual: pr.Mean})
+	ok.Body.Close()
+	dup := postJSON(t, ts.URL+"/observe", observeRequest{Platform: "platform1", ID: pr.ID, Actual: pr.Mean})
+	dup.Body.Close()
+	if ok.StatusCode != http.StatusOK || dup.StatusCode != http.StatusBadRequest {
+		t.Errorf("observe=%d re-observe=%d", ok.StatusCode, dup.StatusCode)
+	}
+}
+
+// TestGracefulShutdown drives the real serve loop (not httptest): bind an
+// ephemeral port, answer a request, cancel the context, and require a
+// clean drain — the path main exercises on SIGINT.
+func TestGracefulShutdown(t *testing.T) {
+	reg, err := buildRegistry(9, 600, faultFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, reg, ln, 5) }()
+	url := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("server not serving before shutdown: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not stop after context cancellation")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"prodpred/internal/calib"
 	"prodpred/internal/nws"
 	"prodpred/internal/predict"
 	"prodpred/internal/sched"
@@ -23,6 +24,8 @@ func newServer(reg *predict.Registry) http.Handler {
 	s := &server{reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("GET /accuracy", s.handleAccuracy)
 	mux.HandleFunc("GET /report", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /advance", s.handleAdvance)
@@ -106,29 +109,81 @@ type loadJSON struct {
 	Spread    float64  `json:"spread"`
 	Raw       float64  `json:"raw"`
 	Staleness float64  `json:"staleness"`
+	Widening  float64  `json:"widening"`
 	Gaps      gapsJSON `json:"gaps"`
 }
 
 func toLoadJSON(r predict.MachineReport) loadJSON {
 	return loadJSON{
 		Machine: r.Machine, Mean: r.Load.Mean, Spread: r.Load.Spread,
-		Raw: r.Raw, Staleness: r.Staleness, Gaps: toGapsJSON(r.Gaps),
+		Raw: r.Raw, Staleness: r.Staleness, Widening: r.Widening,
+		Gaps: toGapsJSON(r.Gaps),
 	}
 }
 
+// driftJSON is the wire form of calib.DriftEvent.
+type driftJSON struct {
+	Time   float64 `json:"time"`
+	Seq    int     `json:"seq"`
+	Reason string  `json:"reason"`
+	Stat   float64 `json:"stat"`
+}
+
+// accuracyJSON is the wire form of calib.Snapshot — the online accuracy
+// and calibration state the /accuracy and /report endpoints expose.
+type accuracyJSON struct {
+	Observed             int         `json:"observed"`
+	WindowFill           int         `json:"window_fill"`
+	RawCapture           float64     `json:"raw_capture"`
+	CalibratedCapture    float64     `json:"calibrated_capture"`
+	CumRawCapture        float64     `json:"cum_raw_capture"`
+	CumCalibratedCapture float64     `json:"cum_calibrated_capture"`
+	MeanSignedRelErr     float64     `json:"mean_signed_rel_err"`
+	MeanAbsRelErr        float64     `json:"mean_abs_rel_err"`
+	MeanRawWidth         float64     `json:"mean_raw_width"`
+	MeanCalibratedWidth  float64     `json:"mean_calibrated_width"`
+	Scale                float64     `json:"scale"`
+	Target               float64     `json:"target"`
+	SinceReset           int         `json:"since_reset"`
+	Drifts               []driftJSON `json:"drifts,omitempty"`
+	LastTime             float64     `json:"last_time"`
+}
+
+func toAccuracyJSON(s calib.Snapshot) accuracyJSON {
+	a := accuracyJSON{
+		Observed: s.Observed, WindowFill: s.WindowFill,
+		RawCapture: s.RawCapture, CalibratedCapture: s.CalibratedCapture,
+		CumRawCapture: s.CumRawCapture, CumCalibratedCapture: s.CumCalibratedCapture,
+		MeanSignedRelErr: s.MeanSignedRelErr, MeanAbsRelErr: s.MeanAbsRelErr,
+		MeanRawWidth: s.MeanRawWidth, MeanCalibratedWidth: s.MeanCalibratedWidth,
+		Scale: s.Scale, Target: s.Target, SinceReset: s.SinceReset,
+		LastTime: s.LastTime,
+	}
+	for _, d := range s.Drifts {
+		a.Drifts = append(a.Drifts, driftJSON{Time: d.Time, Seq: d.Seq, Reason: d.Reason, Stat: d.Stat})
+	}
+	return a
+}
+
 type predictResponse struct {
-	Platform      string     `json:"platform"`
-	Time          float64    `json:"time"`
-	Mean          float64    `json:"mean"`
-	Spread        float64    `json:"spread"`
-	Lo            float64    `json:"lo"`
-	Hi            float64    `json:"hi"`
-	Degraded      bool       `json:"degraded"`
-	PartitionRows []int      `json:"partition_rows"`
-	Loads         []loadJSON `json:"loads"`
-	BWMean        float64    `json:"bw_mean"`
-	BWSpread      float64    `json:"bw_spread"`
-	BWGaps        gapsJSON   `json:"bw_gaps"`
+	Platform string  `json:"platform"`
+	Time     float64 `json:"time"`
+	// ID names this prediction for the POST /observe feedback call.
+	ID     uint64  `json:"id"`
+	Mean   float64 `json:"mean"`
+	Spread float64 `json:"spread"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	// RawSpread is the uncalibrated half-width; Spread is RawSpread ×
+	// CalibrationScale (the mean is never rescaled).
+	RawSpread        float64    `json:"raw_spread"`
+	CalibrationScale float64    `json:"calibration_scale"`
+	Degraded         bool       `json:"degraded"`
+	PartitionRows    []int      `json:"partition_rows"`
+	Loads            []loadJSON `json:"loads"`
+	BWMean           float64    `json:"bw_mean"`
+	BWSpread         float64    `json:"bw_spread"`
+	BWGaps           gapsJSON   `json:"bw_gaps"`
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -160,17 +215,20 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	lo, hi := pred.Value.Interval()
 	resp := predictResponse{
-		Platform:      svc.Name(),
-		Time:          pred.Time,
-		Mean:          pred.Value.Mean,
-		Spread:        pred.Value.Spread,
-		Lo:            lo,
-		Hi:            hi,
-		Degraded:      pred.Degraded(),
-		PartitionRows: pred.Partition.Rows,
-		BWMean:        pred.Bandwidth.Mean,
-		BWSpread:      pred.Bandwidth.Spread,
-		BWGaps:        toGapsJSON(pred.BWGaps),
+		Platform:         svc.Name(),
+		Time:             pred.Time,
+		ID:               pred.ID,
+		Mean:             pred.Value.Mean,
+		Spread:           pred.Value.Spread,
+		Lo:               lo,
+		Hi:               hi,
+		RawSpread:        pred.Raw.Spread,
+		CalibrationScale: pred.CalibrationScale,
+		Degraded:         pred.Degraded(),
+		PartitionRows:    pred.Partition.Rows,
+		BWMean:           pred.Bandwidth.Mean,
+		BWSpread:         pred.Bandwidth.Spread,
+		BWGaps:           toGapsJSON(pred.BWGaps),
 	}
 	for _, l := range pred.Loads {
 		resp.Loads = append(resp.Loads, toLoadJSON(l))
@@ -179,9 +237,11 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 type reportResponse struct {
-	Platform string     `json:"platform"`
-	Time     float64    `json:"time"`
-	Loads    []loadJSON `json:"loads"`
+	Platform    string       `json:"platform"`
+	Time        float64      `json:"time"`
+	Loads       []loadJSON   `json:"loads"`
+	Calibration accuracyJSON `json:"calibration"`
+	Outstanding int          `json:"outstanding"`
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -190,9 +250,79 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	resp := reportResponse{Platform: svc.Name(), Time: svc.Now()}
+	resp := reportResponse{
+		Platform:    svc.Name(),
+		Time:        svc.Now(),
+		Calibration: toAccuracyJSON(svc.Accuracy()),
+		Outstanding: svc.Outstanding(),
+	}
 	for _, rep := range svc.Reports() {
 		resp.Loads = append(resp.Loads, toLoadJSON(rep))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeRequest closes the loop on one prediction: the platform that
+// issued it, the prediction id, and the measured runtime in seconds.
+type observeRequest struct {
+	Platform string  `json:"platform"`
+	ID       uint64  `json:"id"`
+	Actual   float64 `json:"actual"`
+}
+
+type observeResponse struct {
+	Platform string       `json:"platform"`
+	Accuracy accuracyJSON `json:"accuracy"`
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var or observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	svc, err := s.reg.Lookup(or.Platform)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	snap, err := svc.Observe(or.ID, or.Actual)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Platform: svc.Name(), Accuracy: toAccuracyJSON(snap)})
+}
+
+type accuracyPlatform struct {
+	Platform    string       `json:"platform"`
+	Time        float64      `json:"time"`
+	Outstanding int          `json:"outstanding"`
+	Accuracy    accuracyJSON `json:"accuracy"`
+}
+
+type accuracyResponse struct {
+	Platforms []accuracyPlatform `json:"platforms"`
+}
+
+func (s *server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	services := s.reg.Services()
+	if name := r.URL.Query().Get("platform"); name != "" {
+		svc, err := s.reg.Lookup(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		services = []*predict.Service{svc}
+	}
+	var resp accuracyResponse
+	for _, svc := range services {
+		resp.Platforms = append(resp.Platforms, accuracyPlatform{
+			Platform:    svc.Name(),
+			Time:        svc.Now(),
+			Outstanding: svc.Outstanding(),
+			Accuracy:    toAccuracyJSON(svc.Accuracy()),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

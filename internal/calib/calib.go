@@ -1,0 +1,417 @@
+// Package calib closes the prediction loop: it tracks, online, whether the
+// stochastic intervals the pipeline emits actually capture observed
+// runtimes, and corrects them when they do not.
+//
+// The paper's whole validation story is *capture* — §4 reports that the
+// ±2σ stochastic intervals contain the actual execution time ~80-100% of
+// the time, against a 38.6% maximum error for point predictions. That
+// analysis is offline; a serving system must run it continuously. A
+// Tracker ingests (prediction, actual) outcome pairs per platform and
+// maintains three coupled mechanisms:
+//
+//  1. An outcome recorder: rolling windows of interval capture rate,
+//     signed relative error, and interval-width statistics, plus
+//     cumulative counters, for the /accuracy diagnostics.
+//  2. An adaptive calibrator: a conformal-style multiplier on the ±2σ
+//     half-width, chosen from the rolling empirical quantiles of the
+//     normalized nonconformity score |actual - mean| / halfwidth. When
+//     capture sits comfortably above the target the quantile drops below
+//     1 and intervals tighten; when capture dips the quantile rises and
+//     intervals widen. A floor/ceiling keeps the interval from ever
+//     collapsing to a point value or exploding without bound.
+//  3. A regime-drift detector: a two-sided CUSUM over standardized
+//     forecast residuals plus a mode-count check (internal/modal) that
+//     flags Platform-2-style transitions from single-mode to bursty
+//     multi-modal behaviour (the §2.1 normality caveat). A detected
+//     changepoint *resets* calibration state instead of averaging across
+//     regimes.
+//
+// All state evolves only through Observe, so for a fixed configuration the
+// Tracker is a pure function of the observation sequence: same seed + same
+// observation order ⇒ byte-identical state, including under concurrent
+// readers. The Tracker is safe for concurrent use.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"prodpred/internal/stats"
+	"prodpred/internal/stochastic"
+)
+
+// Defaults. TargetCapture matches the paper's two-σ interval semantics
+// (~95% nominal coverage, §2.1).
+const (
+	DefaultTargetCapture = 0.95
+	DefaultWindow        = 64
+	DefaultMinObserved   = 8
+	DefaultScaleFloor    = 0.5
+	DefaultScaleCeil     = 3.0
+	DefaultCUSUMSlack    = 0.5
+	DefaultCUSUMLimit    = 8.0
+	DefaultModeCheck     = 16
+	DefaultMaxModes      = 3
+)
+
+// Config tunes a Tracker. The zero value selects the defaults above.
+type Config struct {
+	// TargetCapture is the desired interval capture rate in (0, 1).
+	TargetCapture float64
+	// Window is the rolling-outcome window size.
+	Window int
+	// MinObserved is how many outcomes (since the last regime reset) must
+	// accumulate before the calibrator moves the scale off 1 and the drift
+	// detector arms. It doubles as the residual-baseline sample size.
+	MinObserved int
+	// ScaleFloor and ScaleCeil clamp the half-width multiplier so a
+	// calibrated interval can never collapse to a point value (floor) nor
+	// widen without bound (ceiling).
+	ScaleFloor, ScaleCeil float64
+	// CUSUMSlack is the per-observation allowance k (in residual σ units)
+	// subtracted before accumulating; CUSUMLimit is the decision threshold
+	// h. Larger values make the detector slower and more conservative.
+	CUSUMSlack, CUSUMLimit float64
+	// ModeCheckEvery is how often (in outcomes) the modal mode-count check
+	// runs; MaxModes is the largest mixture it will fit.
+	ModeCheckEvery, MaxModes int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.TargetCapture == 0 {
+		c.TargetCapture = DefaultTargetCapture
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinObserved == 0 {
+		c.MinObserved = DefaultMinObserved
+	}
+	if c.ScaleFloor == 0 {
+		c.ScaleFloor = DefaultScaleFloor
+	}
+	if c.ScaleCeil == 0 {
+		c.ScaleCeil = DefaultScaleCeil
+	}
+	if c.CUSUMSlack == 0 {
+		c.CUSUMSlack = DefaultCUSUMSlack
+	}
+	if c.CUSUMLimit == 0 {
+		c.CUSUMLimit = DefaultCUSUMLimit
+	}
+	if c.ModeCheckEvery == 0 {
+		c.ModeCheckEvery = DefaultModeCheck
+	}
+	if c.MaxModes == 0 {
+		c.MaxModes = DefaultMaxModes
+	}
+	return c
+}
+
+// validate rejects configurations the math cannot support.
+func (c Config) validate() error {
+	if !(c.TargetCapture > 0 && c.TargetCapture < 1) {
+		return fmt.Errorf("calib: target capture %g outside (0,1)", c.TargetCapture)
+	}
+	if c.Window < 2 {
+		return fmt.Errorf("calib: window %d too small", c.Window)
+	}
+	if c.MinObserved < 2 {
+		return fmt.Errorf("calib: min observed %d too small", c.MinObserved)
+	}
+	if !(c.ScaleFloor > 0) || c.ScaleCeil < c.ScaleFloor {
+		return fmt.Errorf("calib: scale bounds [%g, %g] invalid", c.ScaleFloor, c.ScaleCeil)
+	}
+	if c.CUSUMSlack < 0 || !(c.CUSUMLimit > 0) {
+		return fmt.Errorf("calib: CUSUM slack %g / limit %g invalid", c.CUSUMSlack, c.CUSUMLimit)
+	}
+	return nil
+}
+
+// Outcome is one observed (prediction, actual) pair.
+type Outcome struct {
+	// ID is the prediction's issue identifier (monotone per service).
+	ID uint64
+	// Time is the virtual time the outcome was observed at.
+	Time float64
+	// Raw is the uncalibrated stochastic prediction the model produced.
+	Raw stochastic.Value
+	// Calibrated is the interval actually returned to the caller (Raw with
+	// the then-current half-width multiplier applied).
+	Calibrated stochastic.Value
+	// Actual is the measured runtime.
+	Actual float64
+}
+
+// DriftEvent records one detected regime change.
+type DriftEvent struct {
+	// Time is the virtual time of the outcome that triggered detection.
+	Time float64
+	// Seq is the 1-based count of outcomes observed when the event fired.
+	Seq int
+	// Reason is "cusum" (sustained residual shift) or "mode-count"
+	// (residuals turned multi-modal).
+	Reason string
+	// Stat is the detector statistic at the trigger: the CUSUM excursion,
+	// or the fitted mode count.
+	Stat float64
+}
+
+// Snapshot is a consistent read of a Tracker's accuracy and calibration
+// state — the /accuracy payload.
+type Snapshot struct {
+	// Observed is the total number of outcomes ingested.
+	Observed int
+	// WindowFill is the current rolling-window population.
+	WindowFill int
+	// RawCapture / CalibratedCapture are capture rates over the rolling
+	// window for the raw and calibrated intervals.
+	RawCapture, CalibratedCapture float64
+	// CumRawCapture / CumCalibratedCapture are the same rates over every
+	// outcome ever observed.
+	CumRawCapture, CumCalibratedCapture float64
+	// MeanSignedRelErr is the windowed mean of (actual - mean)/actual —
+	// negative when the model over-predicts.
+	MeanSignedRelErr float64
+	// MeanAbsRelErr is the windowed mean of |actual - mean|/actual.
+	MeanAbsRelErr float64
+	// MeanRawWidth / MeanCalibratedWidth are windowed mean interval full
+	// widths (2 × spread) in seconds.
+	MeanRawWidth, MeanCalibratedWidth float64
+	// Scale is the current half-width multiplier.
+	Scale float64
+	// Target is the configured capture target.
+	Target float64
+	// SinceReset counts outcomes since the last regime reset.
+	SinceReset int
+	// Drifts lists every detected regime change, oldest first.
+	Drifts []DriftEvent
+	// LastTime is the virtual time of the most recent outcome (0 before
+	// any).
+	LastTime float64
+}
+
+// rec is one windowed outcome in reduced form.
+type rec struct {
+	id       uint64
+	time     float64
+	z        float64 // standardized signed residual (actual-mean)/σ_raw
+	score    float64 // nonconformity |actual-mean|/halfwidth_raw
+	signed   float64 // signed relative error (actual-mean)/actual
+	abs      float64 // |signed|
+	rawW     float64 // raw interval full width
+	calW     float64 // calibrated interval full width
+	rawIn    bool
+	calIn    bool
+	armed    bool // true once this rec counted toward drift detection
+	excluded bool // true when the raw prediction had no usable spread
+}
+
+// Tracker is the per-platform online accuracy tracker, interval
+// calibrator, and regime-drift detector. Safe for concurrent use.
+type Tracker struct {
+	mu  sync.Mutex
+	cfg Config
+
+	window []rec
+	drifts []DriftEvent
+
+	observed int
+	cumRawIn int
+	cumCalIn int
+	lastTime float64
+
+	// Per-regime state, cleared by resetLocked.
+	sinceReset int
+	scale      float64
+	baseN      int     // residual-baseline sample count
+	baseSum    float64 // residual-baseline running sum
+	cusumPos   float64
+	cusumNeg   float64
+	sinceCheck int
+	baseModes  int // mode count at regime start (0 = not yet fitted)
+}
+
+// New returns a Tracker under cfg (zero-value fields take defaults).
+func New(cfg Config) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, scale: 1}, nil
+}
+
+// Config returns the tracker's effective (defaulted) configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Scale returns the current half-width multiplier. It is 1 until
+// MinObserved outcomes accumulate and after every regime reset.
+func (t *Tracker) Scale() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.scale
+}
+
+// Calibrate applies the current multiplier to a raw prediction: the mean is
+// untouched, the half-width is scaled. Point values pass through unchanged
+// (there is no spread to correct).
+func (t *Tracker) Calibrate(raw stochastic.Value) stochastic.Value {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calibrateLocked(raw)
+}
+
+func (t *Tracker) calibrateLocked(raw stochastic.Value) stochastic.Value {
+	if raw.IsPoint() {
+		return raw
+	}
+	return stochastic.Value{Mean: raw.Mean, Spread: t.scale * raw.Spread}
+}
+
+// Observe ingests one outcome: records it in the rolling windows, updates
+// the conformal multiplier, and runs the drift detectors. It returns the
+// drift event if this outcome triggered a regime reset.
+func (t *Tracker) Observe(o Outcome) (DriftEvent, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	r := rec{id: o.ID, time: o.Time}
+	r.rawIn = o.Raw.Contains(o.Actual)
+	r.calIn = o.Calibrated.Contains(o.Actual)
+	r.rawW = 2 * o.Raw.Spread
+	r.calW = 2 * o.Calibrated.Spread
+	if o.Actual != 0 {
+		r.signed = (o.Actual - o.Raw.Mean) / math.Abs(o.Actual)
+		r.abs = math.Abs(r.signed)
+	}
+	if o.Raw.Spread > 0 {
+		r.score = math.Abs(o.Actual-o.Raw.Mean) / o.Raw.Spread
+		r.z = (o.Actual - o.Raw.Mean) / o.Raw.Sigma()
+	} else {
+		// A point prediction carries no interval to calibrate; keep it for
+		// the capture statistics but exclude it from score quantiles and
+		// residual standardization.
+		r.excluded = true
+	}
+
+	t.observed++
+	t.sinceReset++
+	t.lastTime = o.Time
+	if r.rawIn {
+		t.cumRawIn++
+	}
+	if r.calIn {
+		t.cumCalIn++
+	}
+	t.window = append(t.window, r)
+	if len(t.window) > t.cfg.Window {
+		t.window = t.window[1:]
+	}
+
+	ev, drifted := t.detectLocked(&t.window[len(t.window)-1])
+	if drifted {
+		t.drifts = append(t.drifts, ev)
+		t.resetLocked()
+		return ev, true
+	}
+	t.rescaleLocked()
+	return DriftEvent{}, false
+}
+
+// rescaleLocked recomputes the conformal multiplier from the nonconformity
+// scores of the current regime (the post-reset portion of the window).
+func (t *Tracker) rescaleLocked() {
+	scores := make([]float64, 0, len(t.window))
+	for _, r := range t.regimeWindowLocked() {
+		if !r.excluded {
+			scores = append(scores, r.score)
+		}
+	}
+	n := len(scores)
+	if n < t.cfg.MinObserved {
+		t.scale = 1
+		return
+	}
+	// Split-conformal quantile level with the finite-sample correction
+	// ceil((n+1)·target)/n, clamped to the sample maximum.
+	level := math.Ceil(float64(n+1)*t.cfg.TargetCapture) / float64(n)
+	if level > 1 {
+		level = 1
+	}
+	q, err := stats.Quantile(scores, level)
+	if err != nil {
+		t.scale = 1
+		return
+	}
+	t.scale = math.Min(math.Max(q, t.cfg.ScaleFloor), t.cfg.ScaleCeil)
+}
+
+// regimeWindowLocked returns the suffix of the window belonging to the
+// current regime (the sinceReset most recent outcomes).
+func (t *Tracker) regimeWindowLocked() []rec {
+	if t.sinceReset >= len(t.window) {
+		return t.window
+	}
+	return t.window[len(t.window)-t.sinceReset:]
+}
+
+// resetLocked clears all per-regime calibration state after a detected
+// changepoint, so the next regime is calibrated from its own outcomes
+// instead of an average across regimes. Cumulative counters and the drift
+// log survive.
+func (t *Tracker) resetLocked() {
+	t.sinceReset = 0
+	t.scale = 1
+	t.baseN = 0
+	t.baseSum = 0
+	t.cusumPos = 0
+	t.cusumNeg = 0
+	t.sinceCheck = 0
+	t.baseModes = 0
+}
+
+// Snapshot returns a consistent copy of the accuracy and calibration state.
+func (t *Tracker) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Observed:   t.observed,
+		WindowFill: len(t.window),
+		Scale:      t.scale,
+		Target:     t.cfg.TargetCapture,
+		SinceReset: t.sinceReset,
+		LastTime:   t.lastTime,
+		Drifts:     append([]DriftEvent(nil), t.drifts...),
+	}
+	if t.observed > 0 {
+		s.CumRawCapture = float64(t.cumRawIn) / float64(t.observed)
+		s.CumCalibratedCapture = float64(t.cumCalIn) / float64(t.observed)
+	}
+	n := len(t.window)
+	if n == 0 {
+		return s
+	}
+	var rawIn, calIn int
+	for _, r := range t.window {
+		if r.rawIn {
+			rawIn++
+		}
+		if r.calIn {
+			calIn++
+		}
+		s.MeanSignedRelErr += r.signed
+		s.MeanAbsRelErr += r.abs
+		s.MeanRawWidth += r.rawW
+		s.MeanCalibratedWidth += r.calW
+	}
+	fn := float64(n)
+	s.RawCapture = float64(rawIn) / fn
+	s.CalibratedCapture = float64(calIn) / fn
+	s.MeanSignedRelErr /= fn
+	s.MeanAbsRelErr /= fn
+	s.MeanRawWidth /= fn
+	s.MeanCalibratedWidth /= fn
+	return s
+}

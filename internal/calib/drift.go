@@ -1,0 +1,79 @@
+package calib
+
+import (
+	"math"
+
+	"prodpred/internal/modal"
+)
+
+// Drift-event reasons.
+const (
+	// ReasonCUSUM marks a sustained shift of the standardized forecast
+	// residuals away from their regime baseline.
+	ReasonCUSUM = "cusum"
+	// ReasonModeCount marks residuals that turned multi-modal after a
+	// single-mode regime baseline — the Platform-2-style bursty shift of
+	// the paper's §2.1 normality caveat.
+	ReasonModeCount = "mode-count"
+)
+
+// detectLocked runs both drift detectors against the newly appended outcome
+// and reports whether a regime change fired. The CUSUM arms only after a
+// residual baseline of MinObserved outcomes accumulates for the current
+// regime, so the detector measures drift *within* a regime rather than the
+// transient of its own warmup.
+func (t *Tracker) detectLocked(r *rec) (DriftEvent, bool) {
+	if r.excluded {
+		return DriftEvent{}, false
+	}
+	// Phase 1: accumulate the regime's residual baseline.
+	if t.baseN < t.cfg.MinObserved {
+		t.baseN++
+		t.baseSum += r.z
+		r.armed = false
+		return DriftEvent{}, false
+	}
+	r.armed = true
+	base := t.baseSum / float64(t.baseN)
+
+	// Phase 2: two-sided CUSUM on the baseline-centered residual, in σ
+	// units of the raw interval. Slack k absorbs ordinary wander; a
+	// sustained shift accumulates toward the decision limit h.
+	d := r.z - base
+	t.cusumPos = math.Max(0, t.cusumPos+d-t.cfg.CUSUMSlack)
+	t.cusumNeg = math.Max(0, t.cusumNeg-d-t.cfg.CUSUMSlack)
+	if stat := math.Max(t.cusumPos, t.cusumNeg); stat > t.cfg.CUSUMLimit {
+		return DriftEvent{Time: r.time, Seq: t.observed, Reason: ReasonCUSUM, Stat: stat}, true
+	}
+
+	// Phase 3: periodic mode-count check. A regime whose residuals were
+	// single-mode and become multi-modal has changed character even if its
+	// mean has not moved far enough for the CUSUM.
+	t.sinceCheck++
+	if t.sinceCheck < t.cfg.ModeCheckEvery {
+		return DriftEvent{}, false
+	}
+	t.sinceCheck = 0
+	zs := make([]float64, 0, len(t.window))
+	for _, w := range t.regimeWindowLocked() {
+		if !w.excluded {
+			zs = append(zs, w.z)
+		}
+	}
+	if len(zs) < 2*t.cfg.MinObserved {
+		return DriftEvent{}, false
+	}
+	mm, err := modal.FitBIC(zs, t.cfg.MaxModes)
+	if err != nil {
+		return DriftEvent{}, false // degenerate or short sample: no verdict
+	}
+	k := mm.K()
+	if t.baseModes == 0 {
+		t.baseModes = k
+		return DriftEvent{}, false
+	}
+	if t.baseModes == 1 && k >= 2 {
+		return DriftEvent{Time: r.time, Seq: t.observed, Reason: ReasonModeCount, Stat: float64(k)}, true
+	}
+	return DriftEvent{}, false
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import "testing"
+
+// TestCalibReplayAcceptance pins the experiment's acceptance criteria: on
+// the bursty platform the calibrated intervals capture at least as well as
+// the raw ones at no more than ~1.5x the width, the detector stays quiet
+// on the steady Platform 1 replay, and it fires at the injected
+// light-to-bursty regime change.
+func TestCalibReplayAcceptance(t *testing.T) {
+	res, err := runCalibReplay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	// Bursty Platform 2: calibration never loses capture and pays a
+	// bounded width premium for it.
+	if m["capture_cal_p2"] < m["capture_raw_p2"] {
+		t.Errorf("bursty: calibrated capture %.2f < raw %.2f",
+			m["capture_cal_p2"], m["capture_raw_p2"])
+	}
+	if m["width_ratio_p2"] > 1.55 {
+		t.Errorf("bursty: width ratio %.2f exceeds ~1.5x budget", m["width_ratio_p2"])
+	}
+	if m["capture_cal_p2"] < 0.9 {
+		t.Errorf("bursty: calibrated capture %.2f below the 95%% neighborhood", m["capture_cal_p2"])
+	}
+
+	// Steady single-mode Platform 1: the calibrator helps (the raw
+	// two-sigma intervals under-cover there too) and the drift detector
+	// stays quiet.
+	if m["capture_cal_p1"] < m["capture_raw_p1"] {
+		t.Errorf("steady: calibrated capture %.2f < raw %.2f",
+			m["capture_cal_p1"], m["capture_raw_p1"])
+	}
+	if m["drifts_p1"] != 0 {
+		t.Errorf("steady Platform 1 replay fired %g drift events", m["drifts_p1"])
+	}
+
+	// Injected regime change: the detector fires shortly after switchAt,
+	// never before it, and calibration still nets out ahead of raw.
+	if m["drifts_switch"] < 1 {
+		t.Fatalf("regime change at t=%g not detected", switchAt)
+	}
+	if ft := m["first_drift_t_switch"]; ft < switchAt || ft > switchAt+120 {
+		t.Errorf("first drift at t=%.0f, want shortly after the switch at t=%g", ft, switchAt)
+	}
+	if m["capture_cal_switch"] <= m["capture_raw_switch"] {
+		t.Errorf("switch: calibrated capture %.2f did not beat raw %.2f",
+			m["capture_cal_switch"], m["capture_raw_switch"])
+	}
+
+	// Scales respect the configured clamp everywhere.
+	for _, k := range []string{"scale_p1", "scale_p2", "scale_switch"} {
+		if m[k] < 0.5 || m[k] > 3 {
+			t.Errorf("%s=%g outside [0.5, 3]", k, m[k])
+		}
+	}
+}
+
+// TestCalibReplayDeterministic: the closed-loop replay is a pure function
+// of the seed — metrics and rendered text must be identical across runs.
+func TestCalibReplayDeterministic(t *testing.T) {
+	a, err := runCalibReplay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCalibReplay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("same-seed replay rendered different reports")
+	}
+	if len(a.Metrics) != len(b.Metrics) {
+		t.Fatalf("metric sets differ: %d vs %d", len(a.Metrics), len(b.Metrics))
+	}
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s diverged: %g vs %g", k, v, b.Metrics[k])
+		}
+	}
+}
+
+func TestCalibReplayRegistered(t *testing.T) {
+	ex, err := Lookup("calib-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Run == nil || ex.Title == "" {
+		t.Errorf("experiment incomplete: %+v", ex)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"prodpred/internal/calib"
 	"prodpred/internal/cluster"
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
@@ -17,10 +18,12 @@ import (
 )
 
 // pipelineDiag, when attached to a productionConfig, receives per-monitor
-// fault diagnostics after the series completes.
+// fault diagnostics — and, on observed series, the final calibration
+// state — after the series completes.
 type pipelineDiag struct {
-	CPUGaps []nws.GapStats // per machine
-	BWGaps  nws.GapStats
+	CPUGaps     []nws.GapStats // per machine
+	BWGaps      nws.GapStats
+	Calibration calib.Snapshot
 }
 
 // productionConfig describes a monitor->predict->execute series on a
@@ -45,6 +48,13 @@ type productionConfig struct {
 	// inject, when non-nil, wraps every CPU sensor with its per-machine
 	// fault schedule — the robustness experiments' knob.
 	inject *faults.Injector
+	// observe closes the loop: each run's measured execution time is fed
+	// back through Service.Observe, so later predictions in the series
+	// carry conformally calibrated intervals.
+	observe bool
+	// calibration tunes the online tracker when observe is set; the zero
+	// value takes the calib defaults.
+	calibration calib.Config
 	// diag, when non-nil, is filled with per-monitor gap counters after
 	// the series completes.
 	diag *pipelineDiag
@@ -53,7 +63,9 @@ type productionConfig struct {
 // runRecord is one production execution and its predictions.
 type runRecord struct {
 	Start   float64
-	Pred    stochastic.Value // stochastic execution-time prediction
+	Pred    stochastic.Value // calibrated stochastic execution-time prediction
+	Raw     stochastic.Value // uncalibrated model prediction (== Pred off feedback)
+	Scale   float64          // calibration multiplier the prediction was issued with
 	Actual  float64          // simulated execution time
 	LoadsAt []float64        // raw availability per machine at run start
 }
@@ -100,10 +112,11 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		return nil, errors.New("experiments: runs must be positive")
 	}
 	svc, err := predict.NewService(predict.Config{
-		Platform: cfg.plat,
-		CPU:      cfg.cpu,
-		Net:      cfg.net,
-		Injector: cfg.inject,
+		Platform:    cfg.plat,
+		CPU:         cfg.cpu,
+		Net:         cfg.net,
+		Injector:    cfg.inject,
+		Calibration: cfg.calibration,
 	})
 	if err != nil {
 		return nil, err
@@ -156,16 +169,25 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec := runRecord{Start: pred.Time, Pred: pred.Value, Actual: res.ExecTime}
+		rec := runRecord{
+			Start: pred.Time, Pred: pred.Value, Raw: pred.Raw,
+			Scale: pred.CalibrationScale, Actual: res.ExecTime,
+		}
 		for _, lr := range pred.Loads {
 			rec.LoadsAt = append(rec.LoadsAt, lr.Raw)
 		}
 		recs = append(recs, rec)
 		prevExec = res.ExecTime
+		if cfg.observe {
+			if _, err := svc.Observe(pred.ID, res.ExecTime); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if cfg.diag != nil {
 		cfg.diag.CPUGaps = svc.CPUGaps()
 		cfg.diag.BWGaps = svc.BWGaps()
+		cfg.diag.Calibration = svc.Accuracy()
 	}
 	return recs, nil
 }

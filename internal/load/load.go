@@ -349,6 +349,49 @@ func poisson(rng *rand.Rand, mean float64) int {
 	}
 }
 
+// Switch composes two processes into a piecewise regime change: the signal
+// follows Before until virtual time At, then follows After (which keeps its
+// own absolute clock, so a bursty after-process is already "running" when
+// the switch lands). This is the drift-detection experiments' ground truth:
+// a machine that is steady for the first half of a series and turns
+// Platform-2-bursty at a known instant.
+type Switch struct {
+	before, after Process
+	at            float64
+	dt            float64
+}
+
+// NewSwitch returns a process that follows before on [0, at) and after from
+// at onward. For the piecewise-constant contract to hold exactly, at should
+// fall on a tick boundary of both component processes.
+func NewSwitch(at float64, before, after Process) (*Switch, error) {
+	if before == nil || after == nil {
+		return nil, errors.New("load: switch needs both processes")
+	}
+	if !(at > 0) {
+		return nil, errors.New("load: switch time must be positive")
+	}
+	dt := before.Interval()
+	if a := after.Interval(); a < dt {
+		dt = a
+	}
+	return &Switch{before: before, after: after, at: at, dt: dt}, nil
+}
+
+// At implements Process.
+func (s *Switch) At(t float64) float64 {
+	if t < s.at {
+		return s.before.At(t)
+	}
+	return s.after.At(t)
+}
+
+// Interval implements Process: the finer of the two component ticks.
+func (s *Switch) Interval() float64 { return s.dt }
+
+// SwitchTime returns the regime-change instant.
+func (s *Switch) SwitchTime() float64 { return s.at }
+
 // Record samples the process every dt from t0 to t1 and returns the series,
 // the shape consumed by histogram figures and by modal fitting.
 func Record(p Process, t0, t1, dt float64) (*timeseries.Series, error) {

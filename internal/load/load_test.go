@@ -347,3 +347,42 @@ func TestRecordNoDriftOnLongRanges(t *testing.T) {
 		t.Errorf("len=%d want 100001", s.Len())
 	}
 }
+
+func TestSwitchRegimeChange(t *testing.T) {
+	before := NewConstant(0.9)
+	after := NewConstant(0.2)
+	sw, err := NewSwitch(500, before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.SwitchTime() != 500 || sw.Interval() != 1 {
+		t.Errorf("at=%g dt=%g", sw.SwitchTime(), sw.Interval())
+	}
+	if v := sw.At(499); v != 0.9 {
+		t.Errorf("before switch: %g", v)
+	}
+	if v := sw.At(500); v != 0.2 {
+		t.Errorf("at switch: %g", v)
+	}
+	if v := sw.At(10000); v != 0.2 {
+		t.Errorf("after switch: %g", v)
+	}
+	// The composed tick is the finer of the two components.
+	fine, err := NewSingleMode(0.5, 0.05, 0.8, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := NewSwitch(100, before, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw2.Interval() != 0.25 {
+		t.Errorf("interval=%g want 0.25", sw2.Interval())
+	}
+	if _, err := NewSwitch(0, before, after); err == nil {
+		t.Error("non-positive switch time should fail")
+	}
+	if _, err := NewSwitch(10, nil, after); err == nil {
+		t.Error("nil process should fail")
+	}
+}

@@ -21,14 +21,25 @@ const (
 	// maxRetries is how many backoff retries a transient error gets before
 	// the tick is abandoned as a gap.
 	maxRetries = 3
-	// degradeRate widens the reported interval per period of staleness:
-	// spread is multiplied by (1 + degradeRate * stalePeriods).
-	degradeRate = 0.25
 	// staleLimit is the staleness (in periods) beyond which the forecaster
 	// mix is no longer trusted and RobustReport falls back to the running
 	// mean of the surviving history.
 	staleLimit = 8
 )
+
+// DegradeRate widens a monitor's reported interval per period of
+// staleness: spread is multiplied by StalenessFactor(stale) =
+// 1 + DegradeRate·stale. This is the single source of truth for
+// staleness widening — monitor reports, the predictd diagnostics, and the
+// online calibrator (internal/calib) all compose against this one factor.
+// The calibrator's conformal multiplier applies on top of it, so a stale
+// sensor and an under-covering model widen independently and
+// multiplicatively.
+const DegradeRate = 0.25
+
+// StalenessFactor returns the spread multiplier for a given staleness in
+// sensor periods: 1 on a healthy stream, 1 + DegradeRate·stale otherwise.
+func StalenessFactor(stale float64) float64 { return 1 + DegradeRate*stale }
 
 // GapStats counts per-fault-class sensor outcomes, for diagnostics and for
 // the robustness experiments. Missed is the total of scheduled samples that
@@ -198,7 +209,7 @@ func (m *Monitor) Staleness() float64 { return m.stale }
 
 // DegradationFactor returns the multiplier currently applied to the
 // reported spread: 1 on a healthy stream, growing with staleness.
-func (m *Monitor) DegradationFactor() float64 { return 1 + degradeRate*m.stale }
+func (m *Monitor) DegradationFactor() float64 { return StalenessFactor(m.stale) }
 
 func (m *Monitor) widenFactor() float64 { return m.DegradationFactor() }
 

@@ -12,11 +12,19 @@
 // model, and returns the stochastic execution-time prediction together
 // with per-machine load reports and gap/staleness diagnostics.
 //
+// The loop is closed online: every Prediction carries an ID, and Observe
+// feeds the measured runtime back to the platform's calib.Tracker, which
+// tracks interval capture, adapts a conformal half-width multiplier, and
+// resets itself on detected load-regime drift. Predict returns the
+// calibrated interval together with the raw one and the calibration
+// diagnostics behind it.
+//
 // The experiments harness, cmd/sorpredict, and the cmd/predictd HTTP
 // daemon are all thin layers over this one seam.
 package predict
 
 import (
+	"prodpred/internal/calib"
 	"prodpred/internal/nws"
 	"prodpred/internal/sched"
 	"prodpred/internal/sor"
@@ -79,14 +87,32 @@ type MachineReport struct {
 	// Staleness is the monitor's effective staleness in sensor periods
 	// (zero on a healthy measurement stream).
 	Staleness float64
+	// Widening is the staleness spread multiplier already baked into Load,
+	// nws.StalenessFactor(Staleness) — reported so consumers can separate
+	// sensor-gap widening from the calibration multiplier that composes
+	// on top of it.
+	Widening float64
 	// Gaps counts the monitor's per-fault-class sensor outcomes so far.
 	Gaps nws.GapStats
 }
 
 // Prediction is the answer to one Request.
 type Prediction struct {
-	// Value is the stochastic execution-time prediction.
+	// ID identifies this prediction for the Observe feedback path. IDs are
+	// issued monotonically per service, starting at 1.
+	ID uint64
+	// Value is the stochastic execution-time prediction with the current
+	// calibration multiplier applied to its half-width. Until outcomes
+	// accumulate (and after every regime reset) the multiplier is 1 and
+	// Value equals Raw.
 	Value stochastic.Value
+	// Raw is the uncalibrated model prediction.
+	Raw stochastic.Value
+	// CalibrationScale is the half-width multiplier Value was produced
+	// with (Value.Spread = CalibrationScale × Raw.Spread).
+	CalibrationScale float64
+	// Calibration is the platform's online accuracy state at issue time.
+	Calibration calib.Snapshot
 	// Partition is the strip decomposition the model was evaluated
 	// against (the pinned one, or the one chosen from current loads).
 	Partition *sor.Partition

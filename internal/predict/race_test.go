@@ -1,6 +1,9 @@
 package predict_test
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -102,8 +105,15 @@ func TestConcurrentMixedOps(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, err := svc.Predict(req); err != nil {
+				p, err := svc.Predict(req)
+				if err != nil {
 					t.Errorf("predict: %v", err)
+					continue
+				}
+				// Immediately close the loop on our own prediction, racing
+				// the other observers and the clock.
+				if _, err := svc.Observe(p.ID, p.Value.Mean); err != nil {
+					t.Errorf("observe: %v", err)
 				}
 			}
 		}()
@@ -125,6 +135,8 @@ func TestConcurrentMixedOps(t *testing.T) {
 			svc.CPUGaps()
 			svc.BWGaps()
 			svc.Now()
+			svc.Accuracy()
+			svc.Outstanding()
 		}
 	}()
 	wg.Wait()
@@ -135,5 +147,69 @@ func TestConcurrentMixedOps(t *testing.T) {
 	}
 	if total == 0 {
 		t.Error("stress run injected no measurement gaps")
+	}
+}
+
+// TestConcurrentObservePredictDeterministic closes the loop under -race:
+// every round fans out parallel Predict calls, then observes each returned
+// prediction in ID order with a deterministic synthetic runtime. Same seed
+// + same observation order must leave two services with byte-identical
+// calibration state, and the calibrated intervals themselves must agree.
+func TestConcurrentObservePredictDeterministic(t *testing.T) {
+	const rounds, workers = 5, 8
+	run := func() (string, []stochastic.Value) {
+		svc := burstyService(t, 29, 100, stressInjector(t, 29, 4))
+		req := baseRequest()
+		var vals []stochastic.Value
+		for r := 0; r < rounds; r++ {
+			preds := make([]predict.Prediction, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					p, err := svc.Predict(req)
+					if err != nil {
+						t.Errorf("round %d worker %d: %v", r, w, err)
+						return
+					}
+					preds[w] = p
+				}(w)
+			}
+			wg.Wait()
+			// Fix the observation order: ascending prediction ID. Which
+			// goroutine drew which ID is scheduler-dependent, but the ID
+			// sequence (and each prediction's value at this virtual time)
+			// is not.
+			sort.Slice(preds, func(i, j int) bool { return preds[i].ID < preds[j].ID })
+			for _, p := range preds {
+				// Synthetic runtime biased off the mean so the calibrator
+				// has a real error signal to work with.
+				actual := p.Raw.Mean * (1.02 + 0.05*float64(r))
+				if _, err := svc.Observe(p.ID, actual); err != nil {
+					t.Fatal(err)
+				}
+				vals = append(vals, p.Value)
+			}
+			if err := svc.Advance(37); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fmt.Sprintf("%#v", svc.Accuracy()), vals
+	}
+	stateA, valsA := run()
+	stateB, valsB := run()
+	if stateA != stateB {
+		t.Errorf("same-seed calibration state diverged:\n%s\nvs\n%s", stateA, stateB)
+	}
+	for i := range valsA {
+		if valsA[i] != valsB[i] {
+			t.Errorf("prediction %d diverged: %v vs %v", i, valsA[i], valsB[i])
+		}
+	}
+	// After MinObserved outcomes the calibrator must actually have moved
+	// off the identity scale — otherwise this test proves nothing.
+	if !strings.Contains(stateA, "Observed:40") {
+		t.Errorf("state did not record all outcomes: %s", stateA)
 	}
 }

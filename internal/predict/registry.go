@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"prodpred/internal/calib"
 )
 
 // Registry routes requests to the Service owning the named platform — the
@@ -90,4 +92,14 @@ func (r *Registry) Predict(req Request) (Prediction, error) {
 		return Prediction{}, err
 	}
 	return s.Predict(req)
+}
+
+// Observe routes a measured runtime to the service that issued the
+// prediction, closing the accuracy loop for that platform.
+func (r *Registry) Observe(platform string, id uint64, actual float64) (calib.Snapshot, error) {
+	s, err := r.Lookup(platform)
+	if err != nil {
+		return calib.Snapshot{}, err
+	}
+	return s.Observe(id, actual)
 }

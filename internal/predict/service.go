@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"prodpred/internal/calib"
 	"prodpred/internal/cluster"
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
@@ -40,7 +41,16 @@ type Config struct {
 	// CPUPrior is the no-history fallback for CPU monitors
 	// (DefaultCPUPrior when zero).
 	CPUPrior stochastic.Value
+	// Calibration tunes the online accuracy tracker; zero-value fields
+	// take the calib package defaults (95% capture target, window 64,
+	// scale clamped to [0.5, 3]).
+	Calibration calib.Config
 }
+
+// maxOutstanding bounds how many issued-but-unobserved predictions a
+// service remembers for the Observe path; beyond it the oldest are evicted
+// (a caller that never observes must not grow the service without bound).
+const maxOutstanding = 4096
 
 // Service is a long-lived, goroutine-safe prediction service over one
 // simulated production platform. It owns the platform's NWS monitors and a
@@ -63,6 +73,18 @@ type Service struct {
 	history  int
 	prior    stochastic.Value
 	now      float64
+
+	// Online accuracy state: the per-platform tracker plus the ledger of
+	// issued-but-unobserved predictions the Observe path resolves against.
+	tracker     *calib.Tracker
+	nextID      uint64
+	issued      map[uint64]issuedPrediction
+	issuedOrder []uint64 // issue order, for bounded eviction
+}
+
+// issuedPrediction remembers what Observe needs about one answered request.
+type issuedPrediction struct {
+	raw, calibrated stochastic.Value
 }
 
 // NewService builds the service: one fault-injectable CPU monitor per
@@ -88,6 +110,10 @@ func NewService(cfg Config) (*Service, error) {
 	if prior == (stochastic.Value{}) {
 		prior = DefaultCPUPrior
 	}
+	tracker, err := calib.New(cfg.Calibration)
+	if err != nil {
+		return nil, err
+	}
 	p := cfg.Platform.Size()
 	s := &Service{
 		name:     cfg.Platform.Name,
@@ -99,6 +125,8 @@ func NewService(cfg Config) (*Service, error) {
 		period:   period,
 		history:  history,
 		prior:    prior,
+		tracker:  tracker,
+		issued:   make(map[uint64]issuedPrediction),
 	}
 	_, constant := cfg.Net.(load.Constant)
 	s.netMon = !constant
@@ -332,17 +360,80 @@ func (s *Service) Predict(req Request) (Prediction, error) {
 			Load:      loads[i],
 			Raw:       s.env.RawCPUAvail(i, s.now),
 			Staleness: s.monitors[i].Staleness(),
+			Widening:  s.monitors[i].DegradationFactor(),
 			Gaps:      s.monitors[i].Gaps(),
 		}
 	}
+	cal := s.tracker.Calibrate(v)
+	scale := 1.0
+	if v.Spread > 0 {
+		scale = cal.Spread / v.Spread
+	}
+	id := s.issueLocked(v, cal)
 	return Prediction{
-		Value:     v,
-		Partition: part,
-		Time:      s.now,
-		Loads:     reports,
-		Bandwidth: bwFrac,
-		BWGaps:    bwGaps,
+		ID:               id,
+		Value:            cal,
+		Raw:              v,
+		CalibrationScale: scale,
+		Calibration:      s.tracker.Snapshot(),
+		Partition:        part,
+		Time:             s.now,
+		Loads:            reports,
+		Bandwidth:        bwFrac,
+		BWGaps:           bwGaps,
 	}, nil
+}
+
+// issueLocked registers a freshly answered prediction in the Observe
+// ledger, evicting the oldest unobserved entry past the retention bound.
+func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
+	s.nextID++
+	id := s.nextID
+	if len(s.issuedOrder) >= maxOutstanding {
+		delete(s.issued, s.issuedOrder[0])
+		s.issuedOrder = s.issuedOrder[1:]
+	}
+	s.issued[id] = issuedPrediction{raw: raw, calibrated: calibrated}
+	s.issuedOrder = append(s.issuedOrder, id)
+	return id
+}
+
+// Observe closes the loop for one prediction: the measured runtime is fed
+// to the platform's accuracy tracker, which updates capture statistics,
+// adapts the interval multiplier, and checks for regime drift. The
+// prediction ID must have been issued by this service and not yet observed;
+// the returned snapshot reflects the state after ingestion.
+func (s *Service) Observe(id uint64, actual float64) (calib.Snapshot, error) {
+	if actual <= 0 {
+		return calib.Snapshot{}, fmt.Errorf("predict: non-positive actual runtime %g", actual)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ip, ok := s.issued[id]
+	if !ok {
+		return calib.Snapshot{}, fmt.Errorf("predict: prediction id %d was never issued by platform %q (or was already observed)", id, s.name)
+	}
+	delete(s.issued, id)
+	s.tracker.Observe(calib.Outcome{
+		ID:         id,
+		Time:       s.now,
+		Raw:        ip.raw,
+		Calibrated: ip.calibrated,
+		Actual:     actual,
+	})
+	return s.tracker.Snapshot(), nil
+}
+
+// Accuracy returns the platform's online accuracy and calibration state.
+func (s *Service) Accuracy() calib.Snapshot {
+	return s.tracker.Snapshot()
+}
+
+// Outstanding reports how many issued predictions await an Observe call.
+func (s *Service) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.issued)
 }
 
 // Reports returns the current per-machine load reports (robust fallback
@@ -357,6 +448,7 @@ func (s *Service) Reports() []MachineReport {
 			Load:      mon.RobustReport(s.now, s.prior),
 			Raw:       s.env.RawCPUAvail(i, s.now),
 			Staleness: mon.Staleness(),
+			Widening:  mon.DegradationFactor(),
 			Gaps:      mon.Gaps(),
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"prodpred/internal/calib"
 	"prodpred/internal/cluster"
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
@@ -333,5 +334,151 @@ func TestSimulatedConfig(t *testing.T) {
 		if _, constant := cfg.Net.(load.Constant); constant {
 			t.Errorf("platform %d: network should carry contention", id)
 		}
+	}
+}
+
+func TestObserveLifecycle(t *testing.T) {
+	svc := burstyService(t, 13, 300, nil)
+	pred, err := svc.Predict(baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.ID == 0 {
+		t.Fatal("prediction carries no ID")
+	}
+	if pred.CalibrationScale != 1 || pred.Value != pred.Raw {
+		t.Errorf("unobserved service should return uncalibrated intervals: scale=%g value=%v raw=%v",
+			pred.CalibrationScale, pred.Value, pred.Raw)
+	}
+	if svc.Outstanding() != 1 {
+		t.Errorf("outstanding=%d", svc.Outstanding())
+	}
+	snap, err := svc.Observe(pred.ID, pred.Value.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Observed != 1 || snap.CumRawCapture != 1 {
+		t.Errorf("snapshot after one captured outcome: %+v", snap)
+	}
+	if svc.Outstanding() != 0 {
+		t.Errorf("outstanding=%d after observe", svc.Outstanding())
+	}
+	if got := svc.Accuracy(); got.Observed != 1 {
+		t.Errorf("accuracy observed=%d", got.Observed)
+	}
+	// Observing the same ID twice, an ID never issued, or a nonsense
+	// runtime must all fail loudly.
+	if _, err := svc.Observe(pred.ID, 1); err == nil {
+		t.Error("double observe should fail")
+	}
+	if _, err := svc.Observe(99999, 1); err == nil {
+		t.Error("never-issued prediction ID should fail")
+	}
+	if _, err := svc.Observe(pred.ID+1000, 1); err == nil {
+		t.Error("unknown prediction ID should fail")
+	}
+	pred2, err := svc.Predict(baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Observe(pred2.ID, -3); err == nil {
+		t.Error("non-positive actual should fail")
+	}
+	if _, err := svc.Observe(pred2.ID, 0); err == nil {
+		t.Error("zero actual should fail")
+	}
+	// The rejected actuals must not have consumed the ID.
+	if _, err := svc.Observe(pred2.ID, pred2.Value.Mean); err != nil {
+		t.Errorf("valid observe after rejected actuals: %v", err)
+	}
+}
+
+// TestObserveCalibratesIntervals: consistently over-wide raw intervals
+// tighten once enough outcomes accumulate, and the floor stops the
+// tightening from collapsing the interval to a point.
+func TestObserveCalibratesIntervals(t *testing.T) {
+	svc := burstyService(t, 17, 300, nil)
+	req := baseRequest()
+	for i := 0; i < 24; i++ {
+		pred, err := svc.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Actual lands dead on the predicted mean: the model is "perfect",
+		// so the claimed ±2σ interval is far too wide.
+		if _, err := svc.Observe(pred.ID, pred.Raw.Mean); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Advance(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred, err := svc.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.CalibrationScale >= 1 {
+		t.Errorf("scale=%g, want < 1 after 24 dead-center outcomes", pred.CalibrationScale)
+	}
+	if pred.CalibrationScale < calib.DefaultScaleFloor {
+		t.Errorf("scale=%g below floor", pred.CalibrationScale)
+	}
+	if pred.Value.Spread >= pred.Raw.Spread || pred.Value.Spread == 0 {
+		t.Errorf("calibrated spread %g vs raw %g", pred.Value.Spread, pred.Raw.Spread)
+	}
+	if pred.Value.Mean != pred.Raw.Mean {
+		t.Error("calibration must not move the mean")
+	}
+	if pred.Calibration.Scale != pred.CalibrationScale {
+		t.Errorf("diagnostics scale %g != applied scale %g",
+			pred.Calibration.Scale, pred.CalibrationScale)
+	}
+}
+
+func TestRegistryObserve(t *testing.T) {
+	reg := predict.NewRegistry()
+	svc := burstyService(t, 19, 200, nil)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Observe("atlantis", 1, 1); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	pred, err := reg.Predict(predict.Request{Platform: svc.Name(), N: 120, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := reg.Observe(svc.Name(), pred.ID, pred.Value.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Observed != 1 {
+		t.Errorf("routed observe recorded %d outcomes", snap.Observed)
+	}
+	if _, err := reg.Observe(svc.Name(), pred.ID+7, 1); err == nil {
+		t.Error("never-issued ID should fail through the registry too")
+	}
+}
+
+// TestObserveEviction: the issued-prediction ledger stays bounded when a
+// caller predicts forever without observing.
+func TestObserveEviction(t *testing.T) {
+	svc := burstyService(t, 23, 200, nil)
+	req := baseRequest()
+	var first uint64
+	for i := 0; i < 4100; i++ {
+		pred, err := svc.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = pred.ID
+		}
+	}
+	if got := svc.Outstanding(); got != 4096 {
+		t.Errorf("outstanding=%d, want the 4096 retention bound", got)
+	}
+	if _, err := svc.Observe(first, 1); err == nil {
+		t.Error("evicted prediction should no longer be observable")
 	}
 }

@@ -27,6 +27,7 @@
 package prodpred
 
 import (
+	"prodpred/internal/calib"
 	"prodpred/internal/cluster"
 	"prodpred/internal/experiments"
 	"prodpred/internal/faults"
@@ -385,6 +386,55 @@ func NewPredictRegistry() *PredictRegistry { return predict.NewRegistry() }
 func SimulatedPredictConfig(platform int, seed int64) (PredictConfig, error) {
 	return predict.SimulatedConfig(platform, seed)
 }
+
+// Online accuracy tracking, adaptive interval calibration, and load-regime
+// drift detection: the feedback half of the prediction loop. A
+// PredictionService owns one AccuracyTracker per platform; Observe feeds
+// measured runtimes back, and subsequent predictions return conformally
+// calibrated intervals.
+type (
+	// AccuracyTracker ingests (prediction, actual) outcomes and maintains
+	// rolling capture/error/width statistics, a conformal half-width
+	// multiplier, and CUSUM + mode-count regime-drift detection.
+	AccuracyTracker = calib.Tracker
+	// CalibrationConfig tunes an AccuracyTracker (capture target, window,
+	// scale floor/ceiling, CUSUM sensitivity); zero fields take defaults.
+	CalibrationConfig = calib.Config
+	// CalibrationSnapshot is a consistent read of a tracker's accuracy and
+	// calibration state — what GET /accuracy serves.
+	CalibrationSnapshot = calib.Snapshot
+	// CalibrationOutcome is one observed (prediction, actual) pair.
+	CalibrationOutcome = calib.Outcome
+	// DriftEvent records one detected load-regime change.
+	DriftEvent = calib.DriftEvent
+)
+
+// Calibration defaults and drift-event reasons.
+const (
+	// DefaultTargetCapture is the paper's two-σ nominal coverage (~95%).
+	DefaultTargetCapture = calib.DefaultTargetCapture
+	// DriftReasonCUSUM marks a sustained forecast-residual shift.
+	DriftReasonCUSUM = calib.ReasonCUSUM
+	// DriftReasonModeCount marks residuals that turned multi-modal.
+	DriftReasonModeCount = calib.ReasonModeCount
+)
+
+// NewAccuracyTracker returns a standalone online accuracy tracker — the
+// same machinery a PredictionService embeds, for callers that run their
+// own prediction loop.
+func NewAccuracyTracker(cfg CalibrationConfig) (*AccuracyTracker, error) {
+	return calib.New(cfg)
+}
+
+// StalenessDegradeRate is the per-period staleness widening rate shared by
+// NWS monitor reports and the calibration layer: a monitor's spread is
+// multiplied by StalenessFactor(stale) = 1 + StalenessDegradeRate·stale,
+// and the conformal calibration multiplier composes on top of that.
+const StalenessDegradeRate = nws.DegradeRate
+
+// StalenessFactor returns the staleness spread multiplier for a given
+// staleness in sensor periods.
+func StalenessFactor(stale float64) float64 { return nws.StalenessFactor(stale) }
 
 // Experiments.
 type (

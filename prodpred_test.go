@@ -265,6 +265,83 @@ func TestFacadePredictionService(t *testing.T) {
 	}
 }
 
+// TestFacadeCalibration round-trips the online-accuracy exports: a
+// standalone AccuracyTracker, the closed Predict -> Observe loop on a
+// PredictionService, and registry-routed observation — facade types only.
+func TestFacadeCalibration(t *testing.T) {
+	// Standalone tracker: feed dead-center outcomes until the conformal
+	// multiplier tightens below identity.
+	tr, err := NewAccuracyTracker(CalibrationConfig{TargetCapture: DefaultTargetCapture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccuracyTracker(CalibrationConfig{TargetCapture: 2}); err == nil {
+		t.Error("invalid capture target should fail")
+	}
+	for i := 0; i < 24; i++ {
+		raw := NewValue(10, 2)
+		out := CalibrationOutcome{
+			ID: uint64(i + 1), Time: float64(i),
+			Raw: raw, Calibrated: tr.Calibrate(raw),
+			Actual: 10 + 0.02*float64(i%5-2),
+		}
+		if _, fired := tr.Observe(out); fired {
+			t.Fatalf("outcome %d: unexpected drift", i)
+		}
+	}
+	snap := tr.Snapshot()
+	if snap.Observed != 24 || snap.Scale >= 1 {
+		t.Errorf("snapshot=%+v, want 24 observed and a tightened scale", snap)
+	}
+	if snap.Target != DefaultTargetCapture {
+		t.Errorf("target=%g", snap.Target)
+	}
+
+	// Closed loop through a service and a registry.
+	cfg, err := SimulatedPredictConfig(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewPredictionService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(200); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := svc.Predict(PredictRequest{N: 120, Iterations: 6, MaxStrategy: LargestMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.ID == 0 || pred.CalibrationScale != 1 || pred.Value != pred.Raw {
+		t.Errorf("uncalibrated prediction: id=%d scale=%g", pred.ID, pred.CalibrationScale)
+	}
+	reg := NewPredictRegistry()
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	var got CalibrationSnapshot
+	got, err = reg.Observe(svc.Name(), pred.ID, pred.Value.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observed != 1 || got.RawCapture != 1 {
+		t.Errorf("after observe: %+v", got)
+	}
+	if _, err := reg.Observe("nope", 1, 1); err == nil {
+		t.Error("unknown platform should fail")
+	}
+
+	// The shared staleness-widening seam is exported.
+	if StalenessFactor(0) != 1 || StalenessFactor(4) != 1+4*StalenessDegradeRate {
+		t.Errorf("staleness factor: %g %g", StalenessFactor(0), StalenessFactor(4))
+	}
+	var _ DriftEvent
+	if DriftReasonCUSUM == DriftReasonModeCount {
+		t.Error("drift reasons must be distinct")
+	}
+}
+
 func TestFacadeSampleRoundTrip(t *testing.T) {
 	xs := []float64{11, 12, 13, 12, 11.5, 12.5}
 	v, err := FromSample(xs)

@@ -19,4 +19,7 @@ go test -race ./...
 # error (no measurement — regressions are caught by scripts/bench.sh).
 go test -bench=. -benchtime=1x -run '^$' ./...
 
+# Coverage summary for the online-calibration layer (report-only, no gate).
+go test -cover ./internal/calib ./internal/predict | awk '{print "check.sh: coverage:", $0}'
+
 echo "check.sh: gofmt, vet, race-enabled tests, and bench smoke all clean"
