@@ -1,0 +1,337 @@
+// Command loadtest drives a predictd instance with a concurrent
+// closed-loop workload and reports serving throughput and latency. Each
+// worker loops: POST /predict, then (per the configured mix) POST /observe
+// feeding the measured runtime back, and POST /advance stepping the
+// virtual clock. Latency is summarized per operation as a stochastic
+// mean ± 2σ interval (the paper's own representation) plus exact p50/p95/
+// p99 sample quantiles.
+//
+// With no -url, loadtest builds the daemon's full stack in-process
+// (simulated platforms, shared metrics registry) behind an ephemeral
+// httptest server — the mode the CI smoke uses. After the run it scrapes
+// GET /metrics and verifies the exposition parses.
+//
+// Usage:
+//
+//	loadtest -duration 5 -workers 8 -observe 0.8 -advance 0.1
+//	loadtest -url http://localhost:8080 -duration 30
+//	loadtest -duration 2 -bench-out BENCH_$(date +%F).json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"prodpred/internal/api"
+	"prodpred/internal/obs"
+	"prodpred/internal/predict"
+	"prodpred/internal/stats"
+	"prodpred/internal/stochastic"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.URL, "url", "", "target daemon base URL (empty = in-process server)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "seed for the in-process platforms and the workload mix")
+	flag.Float64Var(&cfg.Warmup, "warmup", 600, "in-process NWS warmup (virtual seconds)")
+	flag.Float64Var(&cfg.Duration, "duration", 5, "wall-clock seconds to drive load")
+	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent closed-loop workers")
+	flag.IntVar(&cfg.N, "n", 200, "SOR problem size per /predict request")
+	flag.IntVar(&cfg.Iterations, "iterations", 5, "SOR iterations per /predict request")
+	flag.Float64Var(&cfg.ObserveFrac, "observe", 0.8, "fraction of predictions fed back via /observe")
+	flag.Float64Var(&cfg.AdvanceFrac, "advance", 0.1, "fraction of loops issuing a /advance clock step")
+	flag.StringVar(&cfg.BenchOut, "bench-out", "", "JSON file to merge a \"serving\" entry into (BENCH_<date>.json style)")
+	flag.Parse()
+
+	res, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+	res.print(os.Stdout)
+	if cfg.BenchOut != "" {
+		if err := mergeBenchEntry(cfg.BenchOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest: bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadtest: merged serving entry into %s\n", cfg.BenchOut)
+	}
+}
+
+// config is the full knob set of one load-test run.
+type config struct {
+	URL         string
+	Seed        int64
+	Warmup      float64
+	Duration    float64
+	Workers     int
+	N           int
+	Iterations  int
+	ObserveFrac float64
+	AdvanceFrac float64
+	BenchOut    string
+}
+
+// opStats summarizes one operation's latency sample: the stochastic
+// mean ± 2σ interval in milliseconds plus exact sample quantiles.
+type opStats struct {
+	Count  int
+	RPS    float64
+	MeanMS float64 // sample mean
+	TwoSig float64 // ± half-width (2σ)
+	P50MS  float64
+	P95MS  float64
+	P99MS  float64
+}
+
+// result is the aggregated outcome of a run.
+type result struct {
+	Target         string
+	Duration       float64 // actual wall seconds driven
+	Workers        int
+	Total          int
+	Errors         int
+	Throughput     float64 // total requests per wall second
+	Ops            map[string]opStats
+	MetricFamilies int // families on GET /metrics (0 if the scrape failed)
+}
+
+// run drives the closed-loop workload and aggregates the latency samples.
+func run(cfg config) (result, error) {
+	if cfg.Workers < 1 || cfg.Duration <= 0 {
+		return result{}, fmt.Errorf("need workers >= 1 and duration > 0")
+	}
+	target := cfg.URL
+	if target == "" {
+		ts, err := inProcess(cfg.Seed, cfg.Warmup)
+		if err != nil {
+			return result{}, err
+		}
+		defer ts.Close()
+		target = ts.URL
+	}
+
+	type sample struct {
+		op string
+		ms float64
+		ok bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(time.Duration(cfg.Duration * float64(time.Second)))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			client := &http.Client{Timeout: 30 * time.Second}
+			var local []sample
+			for time.Now().Before(deadline) {
+				platform := fmt.Sprintf("platform%d", 1+rng.Intn(2))
+				pr, ms, err := doPredict(client, target, platform, cfg)
+				local = append(local, sample{"predict", ms, err == nil})
+				if err == nil && rng.Float64() < cfg.ObserveFrac {
+					ms, err = doObserve(client, target, platform, pr)
+					local = append(local, sample{"observe", ms, err == nil})
+				}
+				if rng.Float64() < cfg.AdvanceFrac {
+					ms, err := doAdvance(client, target, platform)
+					local = append(local, sample{"advance", ms, err == nil})
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	res := result{
+		Target:   target,
+		Duration: cfg.Duration,
+		Workers:  cfg.Workers,
+		Ops:      map[string]opStats{},
+	}
+	byOp := map[string][]float64{}
+	for _, s := range samples {
+		res.Total++
+		if !s.ok {
+			res.Errors++
+			continue
+		}
+		byOp[s.op] = append(byOp[s.op], s.ms)
+	}
+	res.Throughput = float64(res.Total) / cfg.Duration
+	for op, ms := range byOp {
+		v, err := stochastic.FromSample(ms)
+		if err != nil {
+			continue
+		}
+		p50, _ := stats.Quantile(ms, 0.5)
+		p95, _ := stats.Quantile(ms, 0.95)
+		p99, _ := stats.Quantile(ms, 0.99)
+		res.Ops[op] = opStats{
+			Count:  len(ms),
+			RPS:    float64(len(ms)) / cfg.Duration,
+			MeanMS: v.Mean,
+			TwoSig: v.Spread,
+			P50MS:  p50, P95MS: p95, P99MS: p99,
+		}
+	}
+	res.MetricFamilies = scrapeMetrics(target)
+	return res, nil
+}
+
+// inProcess builds the daemon's serving stack — both simulated platforms
+// on a shared metrics registry behind api.NewHandler — in this process.
+func inProcess(seed int64, warmup float64) (*httptest.Server, error) {
+	metrics := obs.NewRegistry()
+	reg := predict.NewRegistry()
+	for _, id := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Metrics = metrics
+		svc, err := predict.NewService(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.AdvanceTo(warmup); err != nil {
+			return nil, err
+		}
+		if err := reg.Register(svc); err != nil {
+			return nil, err
+		}
+	}
+	return httptest.NewServer(api.NewHandler(reg, api.Options{Metrics: metrics})), nil
+}
+
+func doPredict(client *http.Client, target, platform string, cfg config) (api.PredictResponse, float64, error) {
+	var pr api.PredictResponse
+	ms, err := timedPost(client, target+"/predict",
+		api.PredictRequest{Platform: platform, N: cfg.N, Iterations: cfg.Iterations}, &pr)
+	return pr, ms, err
+}
+
+func doObserve(client *http.Client, target, platform string, pr api.PredictResponse) (float64, error) {
+	// Close the loop with the predicted mean as the "measured" runtime — a
+	// well-calibrated steady state that exercises the full feedback path.
+	return timedPost(client, target+"/observe",
+		api.ObserveRequest{Platform: platform, ID: pr.ID, Actual: pr.Mean}, nil)
+}
+
+func doAdvance(client *http.Client, target, platform string) (float64, error) {
+	return timedPost(client, target+"/advance",
+		api.AdvanceRequest{Platform: platform, Seconds: 5}, nil)
+}
+
+// timedPost posts a JSON body and decodes the response, returning the
+// request's wall-clock latency in milliseconds.
+func timedPost(client *http.Client, url string, body, out any) (float64, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return ms, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return ms, err
+		}
+	}
+	return ms, nil
+}
+
+// scrapeMetrics fetches GET /metrics and returns the number of metric
+// families in a parseable exposition; 0 when the scrape or parse fails
+// (e.g. an older daemon without the endpoint).
+func scrapeMetrics(target string) int {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	fams, _, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return 0
+	}
+	return len(fams)
+}
+
+// print renders the human report: one row per operation, ops sorted for a
+// stable layout.
+func (r result) print(w io.Writer) {
+	fmt.Fprintf(w, "loadtest: %d workers for %.1fs against %s\n", r.Workers, r.Duration, r.Target)
+	fmt.Fprintf(w, "total %d requests (%.1f req/s), %d errors\n", r.Total, r.Throughput, r.Errors)
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(w, "%-8s %8s %8s %18s %8s %8s %8s\n",
+		"op", "count", "req/s", "mean±2σ (ms)", "p50", "p95", "p99")
+	for _, op := range ops {
+		s := r.Ops[op]
+		fmt.Fprintf(w, "%-8s %8d %8.1f %9.2f ± %6.2f %8.2f %8.2f %8.2f\n",
+			op, s.Count, s.RPS, s.MeanMS, s.TwoSig, s.P50MS, s.P95MS, s.P99MS)
+	}
+	if r.MetricFamilies > 0 {
+		fmt.Fprintf(w, "metrics: %d families exposed on /metrics\n", r.MetricFamilies)
+	}
+}
+
+// mergeBenchEntry inserts/replaces a "serving" object in a BENCH_<date>
+// style JSON file, preserving the benchmark entries bench.sh wrote.
+func mergeBenchEntry(path string, r result) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	serving := map[string]any{
+		"workers":        r.Workers,
+		"duration_s":     r.Duration,
+		"throughput_rps": round2(r.Throughput),
+	}
+	for op, s := range r.Ops {
+		serving[op+"_p50_ms"] = round2(s.P50MS)
+		serving[op+"_p95_ms"] = round2(s.P95MS)
+	}
+	doc["serving"] = serving
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunInProcessSmoke is the CI smoke: a short in-process run must
+// produce nonzero throughput, clean predict latency stats, and a parseable
+// /metrics exposition carrying the documented catalog size.
+func TestRunInProcessSmoke(t *testing.T) {
+	res, err := run(config{
+		Seed: 1, Warmup: 300, Duration: 1.5, Workers: 4,
+		N: 120, Iterations: 4, ObserveFrac: 0.8, AdvanceFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || res.Throughput <= 0 {
+		t.Fatalf("no load driven: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	p, ok := res.Ops["predict"]
+	if !ok || p.Count == 0 {
+		t.Fatalf("no predict samples: %+v", res.Ops)
+	}
+	if p.MeanMS <= 0 || p.TwoSig < 0 || !(p.P50MS <= p.P95MS && p.P95MS <= p.P99MS) {
+		t.Errorf("predict latency stats incoherent: %+v", p)
+	}
+	if o := res.Ops["observe"]; o.Count == 0 {
+		t.Error("observe mix configured but no observe samples")
+	}
+	if res.MetricFamilies < 12 {
+		t.Errorf("/metrics exposes %d families, want >= 12", res.MetricFamilies)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{Workers: 0, Duration: 1}); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := run(config{Workers: 1, Duration: 0}); err == nil {
+		t.Error("duration=0 accepted")
+	}
+}
+
+// TestMergeBenchEntry: the serving entry lands next to existing bench
+// content without clobbering it, and overwrites a previous serving entry.
+func TestMergeBenchEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(`{"date":"2026-08-06","ns_per_op":{"BenchmarkX":1.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := result{
+		Workers: 4, Duration: 2, Throughput: 123.456,
+		Ops: map[string]opStats{"predict": {P50MS: 1.234, P95MS: 5.678}},
+	}
+	if err := mergeBenchEntry(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBenchEntry(path, r); err != nil { // idempotent re-merge
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{`"BenchmarkX"`, `"serving"`, `"predict_p50_ms": 1.23`, `"throughput_rps": 123.46`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged file missing %s:\n%s", want, text)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh path (no existing bench file) also works.
+	fresh := filepath.Join(t.TempDir(), "new.json")
+	if err := mergeBenchEntry(fresh, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultPrint(t *testing.T) {
+	var sb strings.Builder
+	r := result{
+		Target: "http://x", Workers: 2, Duration: 1, Total: 10, Throughput: 10,
+		Ops:            map[string]opStats{"predict": {Count: 10, RPS: 10, MeanMS: 2, TwoSig: 0.5, P50MS: 1.9, P95MS: 2.8, P99MS: 3}},
+		MetricFamilies: 13,
+	}
+	r.print(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 workers", "predict", "±", "13 families"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

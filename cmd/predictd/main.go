@@ -16,10 +16,16 @@
 //	               the platform's calibration state
 //	GET  /healthz  — status plus per-fault-class gap counters
 //	POST /advance  {"platform":"platform2","seconds":60} — manual clock step
+//	GET  /metrics  — Prometheus text exposition (see OPERATIONS.md for the
+//	               full metric catalog)
+//
+// With -pprof, net/http/pprof is mounted under /debug/pprof/; with
+// -log-requests, one JSON access-log line per request goes to stderr. The
+// operator runbook is OPERATIONS.md at the repo root.
 //
 // Usage:
 //
-//	predictd -addr :8080 -seed 1 -warmup 600 -tick 5 -drop 0.1
+//	predictd -addr :8080 -seed 1 -warmup 600 -tick 5 -drop 0.1 -pprof
 package main
 
 import (
@@ -34,7 +40,9 @@ import (
 	"os/signal"
 	"time"
 
+	"prodpred/internal/api"
 	"prodpred/internal/faults"
+	"prodpred/internal/obs"
 	"prodpred/internal/predict"
 )
 
@@ -49,12 +57,14 @@ func main() {
 		spike     = flag.Float64("spike", 0, "per-sample outlier-spike probability on every machine")
 		outageAt  = flag.Float64("outage-start", 0, "outage window start on machine 0 (virtual s)")
 		outageEnd = flag.Float64("outage-end", 0, "outage window end on machine 0 (virtual s)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logReqs   = flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
 	)
 	flag.Parse()
 	if err := run(*addr, *seed, *warmup, *tick, faultFlags{
 		drop: *drop, transient: *transient, spike: *spike,
 		outageStart: *outageAt, outageEnd: *outageEnd,
-	}); err != nil {
+	}, *pprofOn, *logReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "predictd:", err)
 		os.Exit(1)
 	}
@@ -93,14 +103,16 @@ func (f faultFlags) injector(seed int64, machines int) (*faults.Injector, error)
 }
 
 // buildRegistry hosts both paper platforms under the same seed, warmup,
-// and fault schedule.
-func buildRegistry(seed int64, warmup float64, ff faultFlags) (*predict.Registry, error) {
+// and fault schedule. A non-nil metrics registry instruments every service
+// (per-stage timings, per-platform counters); nil disables telemetry.
+func buildRegistry(seed int64, warmup float64, ff faultFlags, metrics *obs.Registry) (*predict.Registry, error) {
 	reg := predict.NewRegistry()
 	for _, id := range []int{1, 2} {
 		cfg, err := predict.SimulatedConfig(id, seed)
 		if err != nil {
 			return nil, err
 		}
+		cfg.Metrics = metrics
 		if cfg.Injector, err = ff.injector(seed+int64(id), cfg.Platform.Size()); err != nil {
 			return nil, err
 		}
@@ -118,10 +130,15 @@ func buildRegistry(seed int64, warmup float64, ff faultFlags) (*predict.Registry
 	return reg, nil
 }
 
-func run(addr string, seed int64, warmup, tick float64, ff faultFlags) error {
-	reg, err := buildRegistry(seed, warmup, ff)
+func run(addr string, seed int64, warmup, tick float64, ff faultFlags, pprofOn, logReqs bool) error {
+	metrics := obs.NewRegistry()
+	reg, err := buildRegistry(seed, warmup, ff, metrics)
 	if err != nil {
 		return err
+	}
+	opts := api.Options{Metrics: metrics, EnablePprof: pprofOn}
+	if logReqs {
+		opts.AccessLog = log.New(os.Stderr, "", 0)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -129,18 +146,19 @@ func run(addr string, seed int64, warmup, tick float64, ff faultFlags) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs)", reg.Names(), ln.Addr(), tick, warmup)
-	return serve(ctx, reg, ln, tick)
+	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs, pprof %v)",
+		reg.Names(), ln.Addr(), tick, warmup, pprofOn)
+	return serve(ctx, reg, ln, tick, api.NewHandler(reg, opts))
 }
 
 // serve runs the daemon's HTTP server on ln until ctx is cancelled, then
 // shuts it down gracefully, draining in-flight requests. Split from run so
 // the tests can bind an ephemeral port, cancel the context, and assert a
 // clean stop.
-func serve(ctx context.Context, reg *predict.Registry, ln net.Listener, tick float64) error {
+func serve(ctx context.Context, reg *predict.Registry, ln net.Listener, tick float64, handler http.Handler) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	srv := &http.Server{Handler: newServer(reg)}
+	srv := &http.Server{Handler: handler}
 	if tick > 0 {
 		// Map wall time onto the simulated clocks so monitors keep
 		// measuring while the daemon idles between requests.

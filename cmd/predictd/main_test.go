@@ -12,24 +12,27 @@ import (
 	"testing"
 	"time"
 
+	"prodpred/internal/obs"
 	"prodpred/internal/predict"
 )
 
 // newTestServer builds the daemon's full stack — registry, services,
-// injected faults — behind an httptest server. Faults: 30% dropout on
-// every machine plus an outage window on machine 0 that the warmup period
-// crosses, so the gap-aware path is exercised end to end.
+// injected faults, shared metrics registry — behind an httptest server.
+// Faults: 30% dropout on every machine plus an outage window on machine 0
+// that the warmup period crosses, so the gap-aware path is exercised end
+// to end.
 func newTestServer(t *testing.T, seed int64) (*httptest.Server, *predict.Registry) {
 	t.Helper()
+	metrics := obs.NewRegistry()
 	reg, err := buildRegistry(seed, 600, faultFlags{
 		drop:        0.3,
 		outageStart: 100,
 		outageEnd:   250,
-	})
+	}, metrics)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(reg))
+	ts := httptest.NewServer(newServer(reg, metrics))
 	t.Cleanup(ts.Close)
 	return ts, reg
 }
@@ -370,11 +373,40 @@ func TestObserveEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint: the daemon's GET /metrics serves the shared
+// registry — pipeline families for both hosted platforms alongside the
+// HTTP families, in parseable exposition form.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+	pr := postJSON(t, ts.URL+"/predict", predictRequest{Platform: "platform2", N: 80, Iterations: 4})
+	pr.Body.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	fams, samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("daemon exposition does not parse: %v", err)
+	}
+	if len(fams) < 12 || samples == 0 {
+		t.Errorf("daemon exposes %d families / %d samples, want >= 12 / > 0", len(fams), samples)
+	}
+	for _, name := range []string{"predict_predictions_total", "http_requests_total", "predictd_uptime_seconds"} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("daemon exposition missing %q", name)
+		}
+	}
+}
+
 // TestGracefulShutdown drives the real serve loop (not httptest): bind an
 // ephemeral port, answer a request, cancel the context, and require a
 // clean drain — the path main exercises on SIGINT.
 func TestGracefulShutdown(t *testing.T) {
-	reg, err := buildRegistry(9, 600, faultFlags{})
+	reg, err := buildRegistry(9, 600, faultFlags{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +417,7 @@ func TestGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, reg, ln, 5) }()
+	go func() { done <- serve(ctx, reg, ln, 5, newServer(reg, nil)) }()
 	url := "http://" + ln.Addr().String()
 
 	resp, err := http.Get(url + "/healthz")

@@ -1,414 +1,32 @@
 package main
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
 
-	"prodpred/internal/calib"
-	"prodpred/internal/nws"
+	"prodpred/internal/api"
+	"prodpred/internal/obs"
 	"prodpred/internal/predict"
-	"prodpred/internal/sched"
-	"prodpred/internal/stochastic"
-	"prodpred/internal/structural"
 )
 
-// server routes HTTP requests onto a predict.Registry.
-type server struct {
-	reg *predict.Registry
-}
+// The HTTP layer (handlers, wire types, route table) lives in internal/api
+// so the load-test driver and the docs-drift checks can import it. These
+// aliases keep the integration tests reading naturally.
+type (
+	predictRequest   = api.PredictRequest
+	predictResponse  = api.PredictResponse
+	observeRequest   = api.ObserveRequest
+	observeResponse  = api.ObserveResponse
+	accuracyResponse = api.AccuracyResponse
+	reportResponse   = api.ReportResponse
+	healthResponse   = api.HealthResponse
+	advanceRequest   = api.AdvanceRequest
+)
 
 // newServer returns the daemon's HTTP handler over the registry — split
-// from main so the integration tests can drive it through httptest.
-func newServer(reg *predict.Registry) http.Handler {
-	s := &server{reg: reg}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", s.handlePredict)
-	mux.HandleFunc("POST /observe", s.handleObserve)
-	mux.HandleFunc("GET /accuracy", s.handleAccuracy)
-	mux.HandleFunc("GET /report", s.handleReport)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /advance", s.handleAdvance)
-	return mux
-}
-
-// predictRequest is the wire form of predict.Request.
-type predictRequest struct {
-	Platform     string  `json:"platform"`
-	N            int     `json:"n"`
-	Iterations   int     `json:"iterations"`
-	Strategy     string  `json:"strategy"`      // mean | conservative | optimistic | balanced
-	MaxStrategy  string  `json:"max_strategy"`  // mean | magnitude | probabilistic
-	IterationRel string  `json:"iteration_rel"` // related | unrelated
-	Advance      float64 `json:"advance"`       // optional virtual seconds to advance first
-}
-
-func (pr predictRequest) toRequest() (predict.Request, error) {
-	req := predict.Request{
-		Platform:   pr.Platform,
-		N:          pr.N,
-		Iterations: pr.Iterations,
-	}
-	switch pr.Strategy {
-	case "", "mean":
-		req.Strategy = sched.MeanBalanced
-	case "conservative":
-		req.Strategy = sched.Conservative
-	case "optimistic":
-		req.Strategy = sched.Optimistic
-	case "balanced":
-		req.TimeBalanced = true
-	default:
-		return req, fmt.Errorf("unknown strategy %q", pr.Strategy)
-	}
-	switch pr.MaxStrategy {
-	case "", "mean":
-		req.MaxStrategy = stochastic.LargestMean
-	case "magnitude":
-		req.MaxStrategy = stochastic.LargestMagnitude
-	case "probabilistic":
-		req.MaxStrategy = stochastic.Probabilistic
-	default:
-		return req, fmt.Errorf("unknown max_strategy %q", pr.MaxStrategy)
-	}
-	switch pr.IterationRel {
-	case "", "related":
-		req.IterationRel = structural.Related
-	case "unrelated":
-		req.IterationRel = structural.Unrelated
-	default:
-		return req, fmt.Errorf("unknown iteration_rel %q", pr.IterationRel)
-	}
-	return req, nil
-}
-
-// gapsJSON is the wire form of nws.GapStats.
-type gapsJSON struct {
-	Clean         int `json:"clean"`
-	Recovered     int `json:"recovered"`
-	Retries       int `json:"retries"`
-	Dropped       int `json:"dropped"`
-	Outage        int `json:"outage"`
-	TransientLost int `json:"transient_lost"`
-	SensorErrors  int `json:"sensor_errors"`
-	Missed        int `json:"missed"`
-	LongestGap    int `json:"longest_gap"`
-}
-
-func toGapsJSON(g nws.GapStats) gapsJSON {
-	return gapsJSON{
-		Clean: g.Clean, Recovered: g.Recovered, Retries: g.Retries,
-		Dropped: g.Dropped, Outage: g.Outage, TransientLost: g.TransientLost,
-		SensorErrors: g.SensorErrors, Missed: g.Missed, LongestGap: g.LongestGap,
-	}
-}
-
-type loadJSON struct {
-	Machine   int      `json:"machine"`
-	Mean      float64  `json:"mean"`
-	Spread    float64  `json:"spread"`
-	Raw       float64  `json:"raw"`
-	Staleness float64  `json:"staleness"`
-	Widening  float64  `json:"widening"`
-	Gaps      gapsJSON `json:"gaps"`
-}
-
-func toLoadJSON(r predict.MachineReport) loadJSON {
-	return loadJSON{
-		Machine: r.Machine, Mean: r.Load.Mean, Spread: r.Load.Spread,
-		Raw: r.Raw, Staleness: r.Staleness, Widening: r.Widening,
-		Gaps: toGapsJSON(r.Gaps),
-	}
-}
-
-// driftJSON is the wire form of calib.DriftEvent.
-type driftJSON struct {
-	Time   float64 `json:"time"`
-	Seq    int     `json:"seq"`
-	Reason string  `json:"reason"`
-	Stat   float64 `json:"stat"`
-}
-
-// accuracyJSON is the wire form of calib.Snapshot — the online accuracy
-// and calibration state the /accuracy and /report endpoints expose.
-type accuracyJSON struct {
-	Observed             int         `json:"observed"`
-	WindowFill           int         `json:"window_fill"`
-	RawCapture           float64     `json:"raw_capture"`
-	CalibratedCapture    float64     `json:"calibrated_capture"`
-	CumRawCapture        float64     `json:"cum_raw_capture"`
-	CumCalibratedCapture float64     `json:"cum_calibrated_capture"`
-	MeanSignedRelErr     float64     `json:"mean_signed_rel_err"`
-	MeanAbsRelErr        float64     `json:"mean_abs_rel_err"`
-	MeanRawWidth         float64     `json:"mean_raw_width"`
-	MeanCalibratedWidth  float64     `json:"mean_calibrated_width"`
-	Scale                float64     `json:"scale"`
-	Target               float64     `json:"target"`
-	SinceReset           int         `json:"since_reset"`
-	Drifts               []driftJSON `json:"drifts,omitempty"`
-	LastTime             float64     `json:"last_time"`
-}
-
-func toAccuracyJSON(s calib.Snapshot) accuracyJSON {
-	a := accuracyJSON{
-		Observed: s.Observed, WindowFill: s.WindowFill,
-		RawCapture: s.RawCapture, CalibratedCapture: s.CalibratedCapture,
-		CumRawCapture: s.CumRawCapture, CumCalibratedCapture: s.CumCalibratedCapture,
-		MeanSignedRelErr: s.MeanSignedRelErr, MeanAbsRelErr: s.MeanAbsRelErr,
-		MeanRawWidth: s.MeanRawWidth, MeanCalibratedWidth: s.MeanCalibratedWidth,
-		Scale: s.Scale, Target: s.Target, SinceReset: s.SinceReset,
-		LastTime: s.LastTime,
-	}
-	for _, d := range s.Drifts {
-		a.Drifts = append(a.Drifts, driftJSON{Time: d.Time, Seq: d.Seq, Reason: d.Reason, Stat: d.Stat})
-	}
-	return a
-}
-
-type predictResponse struct {
-	Platform string  `json:"platform"`
-	Time     float64 `json:"time"`
-	// ID names this prediction for the POST /observe feedback call.
-	ID     uint64  `json:"id"`
-	Mean   float64 `json:"mean"`
-	Spread float64 `json:"spread"`
-	Lo     float64 `json:"lo"`
-	Hi     float64 `json:"hi"`
-	// RawSpread is the uncalibrated half-width; Spread is RawSpread ×
-	// CalibrationScale (the mean is never rescaled).
-	RawSpread        float64    `json:"raw_spread"`
-	CalibrationScale float64    `json:"calibration_scale"`
-	Degraded         bool       `json:"degraded"`
-	PartitionRows    []int      `json:"partition_rows"`
-	Loads            []loadJSON `json:"loads"`
-	BWMean           float64    `json:"bw_mean"`
-	BWSpread         float64    `json:"bw_spread"`
-	BWGaps           gapsJSON   `json:"bw_gaps"`
-}
-
-func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var pr predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	req, err := pr.toRequest()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	svc, err := s.reg.Lookup(pr.Platform)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	if pr.Advance > 0 {
-		if err := svc.Advance(pr.Advance); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	pred, err := svc.Predict(req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	lo, hi := pred.Value.Interval()
-	resp := predictResponse{
-		Platform:         svc.Name(),
-		Time:             pred.Time,
-		ID:               pred.ID,
-		Mean:             pred.Value.Mean,
-		Spread:           pred.Value.Spread,
-		Lo:               lo,
-		Hi:               hi,
-		RawSpread:        pred.Raw.Spread,
-		CalibrationScale: pred.CalibrationScale,
-		Degraded:         pred.Degraded(),
-		PartitionRows:    pred.Partition.Rows,
-		BWMean:           pred.Bandwidth.Mean,
-		BWSpread:         pred.Bandwidth.Spread,
-		BWGaps:           toGapsJSON(pred.BWGaps),
-	}
-	for _, l := range pred.Loads {
-		resp.Loads = append(resp.Loads, toLoadJSON(l))
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-type reportResponse struct {
-	Platform    string       `json:"platform"`
-	Time        float64      `json:"time"`
-	Loads       []loadJSON   `json:"loads"`
-	Calibration accuracyJSON `json:"calibration"`
-	Outstanding int          `json:"outstanding"`
-}
-
-func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
-	svc, err := s.reg.Lookup(r.URL.Query().Get("platform"))
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	resp := reportResponse{
-		Platform:    svc.Name(),
-		Time:        svc.Now(),
-		Calibration: toAccuracyJSON(svc.Accuracy()),
-		Outstanding: svc.Outstanding(),
-	}
-	for _, rep := range svc.Reports() {
-		resp.Loads = append(resp.Loads, toLoadJSON(rep))
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// observeRequest closes the loop on one prediction: the platform that
-// issued it, the prediction id, and the measured runtime in seconds.
-type observeRequest struct {
-	Platform string  `json:"platform"`
-	ID       uint64  `json:"id"`
-	Actual   float64 `json:"actual"`
-}
-
-type observeResponse struct {
-	Platform string       `json:"platform"`
-	Accuracy accuracyJSON `json:"accuracy"`
-}
-
-func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	var or observeRequest
-	if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	svc, err := s.reg.Lookup(or.Platform)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	snap, err := svc.Observe(or.ID, or.Actual)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, observeResponse{Platform: svc.Name(), Accuracy: toAccuracyJSON(snap)})
-}
-
-type accuracyPlatform struct {
-	Platform    string       `json:"platform"`
-	Time        float64      `json:"time"`
-	Outstanding int          `json:"outstanding"`
-	Accuracy    accuracyJSON `json:"accuracy"`
-}
-
-type accuracyResponse struct {
-	Platforms []accuracyPlatform `json:"platforms"`
-}
-
-func (s *server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
-	services := s.reg.Services()
-	if name := r.URL.Query().Get("platform"); name != "" {
-		svc, err := s.reg.Lookup(name)
-		if err != nil {
-			httpError(w, http.StatusNotFound, err)
-			return
-		}
-		services = []*predict.Service{svc}
-	}
-	var resp accuracyResponse
-	for _, svc := range services {
-		resp.Platforms = append(resp.Platforms, accuracyPlatform{
-			Platform:    svc.Name(),
-			Time:        svc.Now(),
-			Outstanding: svc.Outstanding(),
-			Accuracy:    toAccuracyJSON(svc.Accuracy()),
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-type healthMachine struct {
-	Machine   int      `json:"machine"`
-	Staleness float64  `json:"staleness"`
-	Gaps      gapsJSON `json:"gaps"`
-}
-
-type healthPlatform struct {
-	Platform string          `json:"platform"`
-	Time     float64         `json:"time"`
-	Degraded bool            `json:"degraded"`
-	Machines []healthMachine `json:"machines"`
-	BWGaps   gapsJSON        `json:"bw_gaps"`
-}
-
-type healthResponse struct {
-	Status    string           `json:"status"` // ok | degraded
-	Platforms []healthPlatform `json:"platforms"`
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok"}
-	for _, svc := range s.reg.Services() {
-		hp := healthPlatform{
-			Platform: svc.Name(),
-			Time:     svc.Now(),
-			BWGaps:   toGapsJSON(svc.BWGaps()),
-		}
-		for _, rep := range svc.Reports() {
-			if rep.Staleness > 0 {
-				hp.Degraded = true
-				resp.Status = "degraded"
-			}
-			hp.Machines = append(hp.Machines, healthMachine{
-				Machine: rep.Machine, Staleness: rep.Staleness, Gaps: toGapsJSON(rep.Gaps),
-			})
-		}
-		resp.Platforms = append(resp.Platforms, hp)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-type advanceRequest struct {
-	Platform string  `json:"platform"`
-	Seconds  float64 `json:"seconds"`
-}
-
-func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
-	var ar advanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	if ar.Seconds <= 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("seconds must be positive, got %g", ar.Seconds))
-		return
-	}
-	services := s.reg.Services()
-	if ar.Platform != "" {
-		svc, err := s.reg.Lookup(ar.Platform)
-		if err != nil {
-			httpError(w, http.StatusNotFound, err)
-			return
-		}
-		services = []*predict.Service{svc}
-	}
-	out := map[string]float64{}
-	for _, svc := range services {
-		if err := svc.Advance(ar.Seconds); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		out[svc.Name()] = svc.Now()
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// from main so the integration tests can drive it through httptest. Pass
+// the obs registry the services were built with so GET /metrics serves the
+// pipeline families alongside the HTTP ones; nil still serves /metrics
+// from a private registry.
+func newServer(reg *predict.Registry, metrics *obs.Registry) http.Handler {
+	return api.NewHandler(reg, api.Options{Metrics: metrics})
 }

@@ -1,0 +1,331 @@
+// Package api is predictd's HTTP layer: JSON wire types, the route table,
+// and the instrumented handler over a predict.Registry. It lives outside
+// cmd/predictd so the load-test driver and the docs-drift checks can import
+// the same routes and payload shapes the daemon serves.
+//
+// All handlers are safe for concurrent use (predict.Service serializes
+// internally) and honor request-context cancellation: a handler that loses
+// its client mid-walk stops without writing a response. Wrong-method hits
+// on a registered path return 405 Method Not Allowed, not 404.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"prodpred/internal/obs"
+	"prodpred/internal/predict"
+)
+
+// MetricUptime is the daemon-level uptime gauge, in wall-clock seconds
+// since the handler was built.
+const MetricUptime = "predictd_uptime_seconds"
+
+// Route names one endpoint served by NewHandler: the mux pattern
+// ("METHOD /path") and a one-line summary. The pattern doubles as the
+// route label on the HTTP metrics and access log.
+type Route struct {
+	Pattern string
+	Summary string
+}
+
+// Routes is the full endpoint catalog, in registration order. Every entry
+// must be documented in OPERATIONS.md — internal/readmecheck fails on
+// drift.
+var Routes = []Route{
+	{"POST /predict", "issue a stochastic runtime prediction"},
+	{"POST /observe", "feed a measured runtime back to the online calibrator"},
+	{"GET /accuracy", "capture rates, calibration scale, and drift events"},
+	{"GET /report", "per-machine monitor reports plus calibration state"},
+	{"GET /healthz", "serving status plus per-fault-class gap counters"},
+	{"POST /advance", "manually advance a platform's virtual clock"},
+	{"GET /metrics", "Prometheus text exposition of the metric catalog"},
+}
+
+// PprofRoutes are registered only when Options.EnablePprof is set (the
+// daemon's -pprof flag). The index page links the usual profiles.
+var PprofRoutes = []Route{
+	{"GET /debug/pprof/", "pprof profile index (opt-in)"},
+}
+
+// Options configures the optional observability surfaces of the handler.
+// The zero value serves the JSON API with a private metrics registry (so
+// GET /metrics always works), no access log, and no pprof.
+type Options struct {
+	// Metrics receives the HTTP-layer families and the uptime gauge; pass
+	// the same registry the predict services were built with so one scrape
+	// covers the whole catalog. Nil gets a fresh private registry.
+	Metrics *obs.Registry
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog *log.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// server routes HTTP requests onto a predict.Registry.
+type server struct {
+	reg *predict.Registry
+}
+
+// NewHandler builds the daemon's HTTP handler over reg: every Routes entry
+// wrapped in the metrics/logging middleware, plus pprof when enabled.
+func NewHandler(reg *predict.Registry, opts Options) http.Handler {
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	start := time.Now()
+	opts.Metrics.NewGaugeFunc(MetricUptime,
+		"Wall-clock seconds since the HTTP handler was built.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	mw := obs.NewHTTPMiddleware(opts.Metrics)
+	mw.Log = opts.AccessLog
+	mw.PlatformFrom = platformFrom
+
+	s := &server{reg: reg}
+	handlers := map[string]http.Handler{
+		"POST /predict": http.HandlerFunc(s.handlePredict),
+		"POST /observe": http.HandlerFunc(s.handleObserve),
+		"GET /accuracy": http.HandlerFunc(s.handleAccuracy),
+		"GET /report":   http.HandlerFunc(s.handleReport),
+		"GET /healthz":  http.HandlerFunc(s.handleHealthz),
+		"POST /advance": http.HandlerFunc(s.handleAdvance),
+		"GET /metrics":  opts.Metrics.Handler(),
+	}
+	mux := http.NewServeMux()
+	for _, rt := range Routes {
+		h, ok := handlers[rt.Pattern]
+		if !ok {
+			panic("api: route " + rt.Pattern + " has no handler")
+		}
+		mux.Handle(rt.Pattern, mw.Wrap(rt.Pattern, h))
+	}
+	if opts.EnablePprof {
+		// The pprof index and its profile sub-pages; instrumented under one
+		// route label so profile names don't blow up metric cardinality.
+		mux.Handle("GET /debug/pprof/", mw.Wrap("GET /debug/pprof/", http.HandlerFunc(pprof.Index)))
+		mux.Handle("GET /debug/pprof/profile", mw.Wrap("GET /debug/pprof/", http.HandlerFunc(pprof.Profile)))
+		mux.Handle("GET /debug/pprof/trace", mw.Wrap("GET /debug/pprof/", http.HandlerFunc(pprof.Trace)))
+		mux.Handle("GET /debug/pprof/symbol", mw.Wrap("GET /debug/pprof/", http.HandlerFunc(pprof.Symbol)))
+		mux.Handle("GET /debug/pprof/cmdline", mw.Wrap("GET /debug/pprof/", http.HandlerFunc(pprof.Cmdline)))
+	}
+	return mux
+}
+
+// platformFrom extracts the platform a request targets, for the access
+// log: the query parameter when present, else a peek at a JSON body (which
+// is restored for the handler).
+func platformFrom(r *http.Request) string {
+	if p := r.URL.Query().Get("platform"); p != "" {
+		return p
+	}
+	if r.Method == http.MethodGet || r.Body == nil {
+		return ""
+	}
+	peeked, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return ""
+	}
+	r.Body = struct {
+		io.Reader
+		io.Closer
+	}{io.MultiReader(bytes.NewReader(peeked), r.Body), r.Body}
+	var peek struct {
+		Platform string `json:"platform"`
+	}
+	_ = json.Unmarshal(peeked, &peek)
+	return peek.Platform
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var pr PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	req, err := pr.ToRequest()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	svc, err := s.reg.Lookup(pr.Platform)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if pr.Advance > 0 {
+		if err := svc.Advance(pr.Advance); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	pred, err := svc.Predict(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	lo, hi := pred.Value.Interval()
+	resp := PredictResponse{
+		Platform:         svc.Name(),
+		Time:             pred.Time,
+		ID:               pred.ID,
+		Mean:             pred.Value.Mean,
+		Spread:           pred.Value.Spread,
+		Lo:               lo,
+		Hi:               hi,
+		RawSpread:        pred.Raw.Spread,
+		CalibrationScale: pred.CalibrationScale,
+		Degraded:         pred.Degraded(),
+		PartitionRows:    pred.Partition.Rows,
+		BWMean:           pred.Bandwidth.Mean,
+		BWSpread:         pred.Bandwidth.Spread,
+		BWGaps:           toGapsJSON(pred.BWGaps),
+	}
+	for _, l := range pred.Loads {
+		resp.Loads = append(resp.Loads, toLoadJSON(l))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	svc, err := s.reg.Lookup(r.URL.Query().Get("platform"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := ReportResponse{
+		Platform:    svc.Name(),
+		Time:        svc.Now(),
+		Calibration: toAccuracyJSON(svc.Accuracy()),
+		Outstanding: svc.Outstanding(),
+	}
+	for _, rep := range svc.Reports() {
+		// The client may hang up while we walk monitor state; stop early
+		// rather than marshal a response nobody reads.
+		if ctx.Err() != nil {
+			return
+		}
+		resp.Loads = append(resp.Loads, toLoadJSON(rep))
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var or ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	svc, err := s.reg.Lookup(or.Platform)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	snap, err := svc.Observe(or.ID, or.Actual)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ObserveResponse{Platform: svc.Name(), Accuracy: toAccuracyJSON(snap)})
+}
+
+func (s *server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	services := s.reg.Services()
+	if name := r.URL.Query().Get("platform"); name != "" {
+		svc, err := s.reg.Lookup(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		services = []*predict.Service{svc}
+	}
+	var resp AccuracyResponse
+	for _, svc := range services {
+		resp.Platforms = append(resp.Platforms, AccuracyPlatform{
+			Platform:    svc.Name(),
+			Time:        svc.Now(),
+			Outstanding: svc.Outstanding(),
+			Accuracy:    toAccuracyJSON(svc.Accuracy()),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	resp := HealthResponse{Status: "ok"}
+	for _, svc := range s.reg.Services() {
+		if ctx.Err() != nil {
+			return
+		}
+		hp := HealthPlatform{
+			Platform: svc.Name(),
+			Time:     svc.Now(),
+			BWGaps:   toGapsJSON(svc.BWGaps()),
+		}
+		for _, rep := range svc.Reports() {
+			if rep.Staleness > 0 {
+				hp.Degraded = true
+				resp.Status = "degraded"
+			}
+			hp.Machines = append(hp.Machines, HealthMachine{
+				Machine: rep.Machine, Staleness: rep.Staleness, Gaps: toGapsJSON(rep.Gaps),
+			})
+		}
+		resp.Platforms = append(resp.Platforms, hp)
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var ar AdvanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if ar.Seconds <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("seconds must be positive, got %g", ar.Seconds))
+		return
+	}
+	services := s.reg.Services()
+	if ar.Platform != "" {
+		svc, err := s.reg.Lookup(ar.Platform)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		services = []*predict.Service{svc}
+	}
+	out := map[string]float64{}
+	for _, svc := range services {
+		if err := svc.Advance(ar.Seconds); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		out[svc.Name()] = svc.Now()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,245 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"prodpred/internal/obs"
+	"prodpred/internal/predict"
+)
+
+// newStack builds both simulated platforms on a shared metrics registry
+// behind an httptest server, mirroring the daemon's wiring.
+func newStack(t *testing.T, opts Options) (*httptest.Server, *predict.Registry, *obs.Registry) {
+	t.Helper()
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	reg := predict.NewRegistry()
+	for _, id := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Metrics = metrics
+		svc, err := predict.NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.AdvanceTo(300); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewHandler(reg, opts))
+	t.Cleanup(ts.Close)
+	return ts, reg, metrics
+}
+
+// TestMethodNotAllowed: a wrong-method hit on a registered path must be
+// 405, not 404 — operators probing with the wrong verb should learn the
+// path exists.
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _, _ := newStack(t, Options{})
+	cases := []struct {
+		method, path string
+	}{
+		{"POST", "/healthz"},
+		{"GET", "/predict"},
+		{"DELETE", "/report"},
+		{"PUT", "/metrics"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status=%d, want 405", c.method, c.path, resp.StatusCode)
+		}
+	}
+	// An unregistered path stays 404.
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: status=%d, want 404", resp.StatusCode)
+	}
+}
+
+// TestContextCancellation: /report and /healthz must stop writing once the
+// client is gone — a cancelled request context yields no response body.
+func TestContextCancellation(t *testing.T) {
+	_, reg, _ := newStack(t, Options{})
+	s := &server{reg: reg}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, call := range map[string]func(http.ResponseWriter, *http.Request){
+		"GET /report?platform=platform1": s.handleReport,
+		"GET /healthz":                   s.handleHealthz,
+	} {
+		path := strings.TrimPrefix(name, "GET ")
+		rec := httptest.NewRecorder()
+		call(rec, httptest.NewRequest("GET", path, nil).WithContext(ctx))
+		if rec.Body.Len() != 0 {
+			t.Errorf("%s: wrote %d bytes for a cancelled request", name, rec.Body.Len())
+		}
+	}
+	// Sanity: a live context still gets a full response.
+	rec := httptest.NewRecorder()
+	s.handleReport(rec, httptest.NewRequest("GET", "/report?platform=platform1", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Errorf("live report: status=%d bytes=%d", rec.Code, rec.Body.Len())
+	}
+}
+
+// TestMetricsCatalog drives the full loop over HTTP and requires the
+// exposition to carry the whole documented catalog: every pipeline family,
+// the HTTP families, and uptime — at least 12 distinct names.
+func TestMetricsCatalog(t *testing.T) {
+	ts, _, metrics := newStack(t, Options{})
+	body, _ := json.Marshal(PredictRequest{Platform: "platform1", N: 80, Iterations: 4})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	obody, _ := json.Marshal(ObserveRequest{Platform: "platform1", ID: pr.ID, Actual: pr.Mean})
+	if resp, err = http.Post(ts.URL+"/observe", "application/json", bytes.NewReader(obody)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	scrape, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scrape.Body.Close()
+	if ct := scrape.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type=%q", ct)
+	}
+	fams, samples, err := obs.ParseText(scrape.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if len(fams) < 12 {
+		t.Errorf("exposition has %d families, want >= 12: %v", len(fams), fams)
+	}
+	if samples == 0 {
+		t.Error("exposition carries no samples")
+	}
+	want := []string{
+		predict.MetricPredictions, predict.MetricPredictionErrors,
+		predict.MetricObservations, predict.MetricDriftEvents,
+		predict.MetricFaultGapSamples, predict.MetricCalibrationScale,
+		predict.MetricOutstanding, predict.MetricVirtualTime,
+		predict.MetricStageDuration,
+		obs.MetricHTTPRequests, obs.MetricHTTPDuration, obs.MetricHTTPInFlight,
+		MetricUptime,
+	}
+	for _, name := range want {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("exposition missing family %q", name)
+		}
+	}
+	// Spot-check series-level state: one prediction and one observation on
+	// platform1, and every pipeline stage timed.
+	var sb strings.Builder
+	if err := metrics.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, line := range []string{
+		predict.MetricPredictions + `{platform="platform1"} 1`,
+		predict.MetricObservations + `{platform="platform1"} 1`,
+		predict.MetricPredictions + `{platform="platform2"} 0`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("exposition missing %q", line)
+		}
+	}
+	for _, stage := range predict.Stages {
+		if !strings.Contains(text, `stage="`+stage+`"`) {
+			t.Errorf("exposition missing stage series %q", stage)
+		}
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ is absent by default and served when
+// enabled.
+func TestPprofOptIn(t *testing.T) {
+	off, _, _ := newStack(t, Options{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status=%d, want 404", resp.StatusCode)
+	}
+	on, _, _ := newStack(t, Options{EnablePprof: true})
+	if resp, err = http.Get(on.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status=%d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAccessLogPlatformFromBody: the access log must carry the platform
+// from a POST body without consuming it — the handler still decodes the
+// request.
+func TestAccessLogPlatformFromBody(t *testing.T) {
+	var logBuf strings.Builder
+	ts, _, _ := newStack(t, Options{AccessLog: log.New(&logBuf, "", 0)})
+	body, _ := json.Marshal(PredictRequest{Platform: "platform2", N: 80, Iterations: 4})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status=%d (body peek broke the handler?)", resp.StatusCode)
+	}
+	line := strings.TrimSpace(logBuf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, line)
+	}
+	if entry["platform"] != "platform2" || entry["route"] != "POST /predict" {
+		t.Errorf("log entry=%v", entry)
+	}
+}
+
+// TestRoutesHaveHandlers: the route table and handler map stay in sync —
+// NewHandler panics otherwise, so constructing it is the assertion.
+func TestRoutesHaveHandlers(t *testing.T) {
+	if len(Routes) != 7 {
+		t.Errorf("route table has %d entries, want 7", len(Routes))
+	}
+	for _, rt := range Routes {
+		parts := strings.SplitN(rt.Pattern, " ", 2)
+		if len(parts) != 2 || rt.Summary == "" {
+			t.Errorf("malformed route %+v", rt)
+		}
+	}
+}

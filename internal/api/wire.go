@@ -1,0 +1,236 @@
+package api
+
+import (
+	"fmt"
+
+	"prodpred/internal/calib"
+	"prodpred/internal/nws"
+	"prodpred/internal/predict"
+	"prodpred/internal/sched"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+// PredictRequest is the wire form of predict.Request.
+type PredictRequest struct {
+	Platform     string  `json:"platform"`
+	N            int     `json:"n"`
+	Iterations   int     `json:"iterations"`
+	Strategy     string  `json:"strategy"`      // mean | conservative | optimistic | balanced
+	MaxStrategy  string  `json:"max_strategy"`  // mean | magnitude | probabilistic
+	IterationRel string  `json:"iteration_rel"` // related | unrelated
+	Advance      float64 `json:"advance"`       // optional virtual seconds to advance first
+}
+
+// ToRequest translates the wire enums into the pipeline's typed strategies.
+func (pr PredictRequest) ToRequest() (predict.Request, error) {
+	req := predict.Request{
+		Platform:   pr.Platform,
+		N:          pr.N,
+		Iterations: pr.Iterations,
+	}
+	switch pr.Strategy {
+	case "", "mean":
+		req.Strategy = sched.MeanBalanced
+	case "conservative":
+		req.Strategy = sched.Conservative
+	case "optimistic":
+		req.Strategy = sched.Optimistic
+	case "balanced":
+		req.TimeBalanced = true
+	default:
+		return req, fmt.Errorf("unknown strategy %q", pr.Strategy)
+	}
+	switch pr.MaxStrategy {
+	case "", "mean":
+		req.MaxStrategy = stochastic.LargestMean
+	case "magnitude":
+		req.MaxStrategy = stochastic.LargestMagnitude
+	case "probabilistic":
+		req.MaxStrategy = stochastic.Probabilistic
+	default:
+		return req, fmt.Errorf("unknown max_strategy %q", pr.MaxStrategy)
+	}
+	switch pr.IterationRel {
+	case "", "related":
+		req.IterationRel = structural.Related
+	case "unrelated":
+		req.IterationRel = structural.Unrelated
+	default:
+		return req, fmt.Errorf("unknown iteration_rel %q", pr.IterationRel)
+	}
+	return req, nil
+}
+
+// GapsJSON is the wire form of nws.GapStats.
+type GapsJSON struct {
+	Clean         int `json:"clean"`
+	Recovered     int `json:"recovered"`
+	Retries       int `json:"retries"`
+	Dropped       int `json:"dropped"`
+	Outage        int `json:"outage"`
+	TransientLost int `json:"transient_lost"`
+	SensorErrors  int `json:"sensor_errors"`
+	Missed        int `json:"missed"`
+	LongestGap    int `json:"longest_gap"`
+}
+
+func toGapsJSON(g nws.GapStats) GapsJSON {
+	return GapsJSON{
+		Clean: g.Clean, Recovered: g.Recovered, Retries: g.Retries,
+		Dropped: g.Dropped, Outage: g.Outage, TransientLost: g.TransientLost,
+		SensorErrors: g.SensorErrors, Missed: g.Missed, LongestGap: g.LongestGap,
+	}
+}
+
+// LoadJSON is the wire form of predict.MachineReport.
+type LoadJSON struct {
+	Machine   int      `json:"machine"`
+	Mean      float64  `json:"mean"`
+	Spread    float64  `json:"spread"`
+	Raw       float64  `json:"raw"`
+	Staleness float64  `json:"staleness"`
+	Widening  float64  `json:"widening"`
+	Gaps      GapsJSON `json:"gaps"`
+}
+
+func toLoadJSON(r predict.MachineReport) LoadJSON {
+	return LoadJSON{
+		Machine: r.Machine, Mean: r.Load.Mean, Spread: r.Load.Spread,
+		Raw: r.Raw, Staleness: r.Staleness, Widening: r.Widening,
+		Gaps: toGapsJSON(r.Gaps),
+	}
+}
+
+// DriftJSON is the wire form of calib.DriftEvent.
+type DriftJSON struct {
+	Time   float64 `json:"time"`
+	Seq    int     `json:"seq"`
+	Reason string  `json:"reason"`
+	Stat   float64 `json:"stat"`
+}
+
+// AccuracyJSON is the wire form of calib.Snapshot — the online accuracy
+// and calibration state the /accuracy and /report endpoints expose.
+type AccuracyJSON struct {
+	Observed             int         `json:"observed"`
+	WindowFill           int         `json:"window_fill"`
+	RawCapture           float64     `json:"raw_capture"`
+	CalibratedCapture    float64     `json:"calibrated_capture"`
+	CumRawCapture        float64     `json:"cum_raw_capture"`
+	CumCalibratedCapture float64     `json:"cum_calibrated_capture"`
+	MeanSignedRelErr     float64     `json:"mean_signed_rel_err"`
+	MeanAbsRelErr        float64     `json:"mean_abs_rel_err"`
+	MeanRawWidth         float64     `json:"mean_raw_width"`
+	MeanCalibratedWidth  float64     `json:"mean_calibrated_width"`
+	Scale                float64     `json:"scale"`
+	Target               float64     `json:"target"`
+	SinceReset           int         `json:"since_reset"`
+	Drifts               []DriftJSON `json:"drifts,omitempty"`
+	LastTime             float64     `json:"last_time"`
+}
+
+func toAccuracyJSON(s calib.Snapshot) AccuracyJSON {
+	a := AccuracyJSON{
+		Observed: s.Observed, WindowFill: s.WindowFill,
+		RawCapture: s.RawCapture, CalibratedCapture: s.CalibratedCapture,
+		CumRawCapture: s.CumRawCapture, CumCalibratedCapture: s.CumCalibratedCapture,
+		MeanSignedRelErr: s.MeanSignedRelErr, MeanAbsRelErr: s.MeanAbsRelErr,
+		MeanRawWidth: s.MeanRawWidth, MeanCalibratedWidth: s.MeanCalibratedWidth,
+		Scale: s.Scale, Target: s.Target, SinceReset: s.SinceReset,
+		LastTime: s.LastTime,
+	}
+	for _, d := range s.Drifts {
+		a.Drifts = append(a.Drifts, DriftJSON{Time: d.Time, Seq: d.Seq, Reason: d.Reason, Stat: d.Stat})
+	}
+	return a
+}
+
+// PredictResponse is the wire form of predict.Prediction.
+type PredictResponse struct {
+	Platform string  `json:"platform"`
+	Time     float64 `json:"time"`
+	// ID names this prediction for the POST /observe feedback call.
+	ID     uint64  `json:"id"`
+	Mean   float64 `json:"mean"`
+	Spread float64 `json:"spread"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	// RawSpread is the uncalibrated half-width; Spread is RawSpread ×
+	// CalibrationScale (the mean is never rescaled).
+	RawSpread        float64    `json:"raw_spread"`
+	CalibrationScale float64    `json:"calibration_scale"`
+	Degraded         bool       `json:"degraded"`
+	PartitionRows    []int      `json:"partition_rows"`
+	Loads            []LoadJSON `json:"loads"`
+	BWMean           float64    `json:"bw_mean"`
+	BWSpread         float64    `json:"bw_spread"`
+	BWGaps           GapsJSON   `json:"bw_gaps"`
+}
+
+// ReportResponse is the GET /report payload: one platform's monitor
+// reports plus its calibration state.
+type ReportResponse struct {
+	Platform    string       `json:"platform"`
+	Time        float64      `json:"time"`
+	Loads       []LoadJSON   `json:"loads"`
+	Calibration AccuracyJSON `json:"calibration"`
+	Outstanding int          `json:"outstanding"`
+}
+
+// ObserveRequest closes the loop on one prediction: the platform that
+// issued it, the prediction id, and the measured runtime in seconds.
+type ObserveRequest struct {
+	Platform string  `json:"platform"`
+	ID       uint64  `json:"id"`
+	Actual   float64 `json:"actual"`
+}
+
+// ObserveResponse acknowledges an observation with the platform's updated
+// accuracy state.
+type ObserveResponse struct {
+	Platform string       `json:"platform"`
+	Accuracy AccuracyJSON `json:"accuracy"`
+}
+
+// AccuracyPlatform is one platform's entry in the GET /accuracy payload.
+type AccuracyPlatform struct {
+	Platform    string       `json:"platform"`
+	Time        float64      `json:"time"`
+	Outstanding int          `json:"outstanding"`
+	Accuracy    AccuracyJSON `json:"accuracy"`
+}
+
+// AccuracyResponse is the GET /accuracy payload.
+type AccuracyResponse struct {
+	Platforms []AccuracyPlatform `json:"platforms"`
+}
+
+// HealthMachine is one machine's entry in the GET /healthz payload.
+type HealthMachine struct {
+	Machine   int      `json:"machine"`
+	Staleness float64  `json:"staleness"`
+	Gaps      GapsJSON `json:"gaps"`
+}
+
+// HealthPlatform is one platform's entry in the GET /healthz payload.
+type HealthPlatform struct {
+	Platform string          `json:"platform"`
+	Time     float64         `json:"time"`
+	Degraded bool            `json:"degraded"`
+	Machines []HealthMachine `json:"machines"`
+	BWGaps   GapsJSON        `json:"bw_gaps"`
+}
+
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	Status    string           `json:"status"` // ok | degraded
+	Platforms []HealthPlatform `json:"platforms"`
+}
+
+// AdvanceRequest is the POST /advance payload: a manual virtual-clock step
+// for one platform (or all, when Platform is empty).
+type AdvanceRequest struct {
+	Platform string  `json:"platform"`
+	Seconds  float64 `json:"seconds"`
+}

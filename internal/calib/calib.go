@@ -134,20 +134,23 @@ func (c Config) validate() error {
 type Outcome struct {
 	// ID is the prediction's issue identifier (monotone per service).
 	ID uint64
-	// Time is the virtual time the outcome was observed at.
+	// Time is the virtual time the outcome was observed at, in virtual
+	// seconds.
 	Time float64
 	// Raw is the uncalibrated stochastic prediction the model produced.
 	Raw stochastic.Value
 	// Calibrated is the interval actually returned to the caller (Raw with
 	// the then-current half-width multiplier applied).
 	Calibrated stochastic.Value
-	// Actual is the measured runtime.
+	// Actual is the measured runtime, in the same virtual seconds as the
+	// prediction.
 	Actual float64
 }
 
 // DriftEvent records one detected regime change.
 type DriftEvent struct {
-	// Time is the virtual time of the outcome that triggered detection.
+	// Time is the virtual time of the outcome that triggered detection, in
+	// virtual seconds.
 	Time float64
 	// Seq is the 1-based count of outcomes observed when the event fired.
 	Seq int
@@ -178,7 +181,7 @@ type Snapshot struct {
 	// MeanAbsRelErr is the windowed mean of |actual - mean|/actual.
 	MeanAbsRelErr float64
 	// MeanRawWidth / MeanCalibratedWidth are windowed mean interval full
-	// widths (2 × spread) in seconds.
+	// widths (2 × spread), in virtual seconds.
 	MeanRawWidth, MeanCalibratedWidth float64
 	// Scale is the current half-width multiplier.
 	Scale float64
@@ -188,8 +191,8 @@ type Snapshot struct {
 	SinceReset int
 	// Drifts lists every detected regime change, oldest first.
 	Drifts []DriftEvent
-	// LastTime is the virtual time of the most recent outcome (0 before
-	// any).
+	// LastTime is the virtual time of the most recent outcome, in virtual
+	// seconds (0 before any).
 	LastTime float64
 }
 

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"prodpred/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "reqs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Errorf("counter=%d, want 5", c.Value())
+	}
+	g := r.NewGauge("queue_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge=%g, want 1.5", g.Value())
+	}
+	// Get-or-create: same name returns the same metric.
+	if r.NewCounter("requests_total", "reqs").Value() != 5 {
+		t.Error("re-registration did not return the existing counter")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram snapshot must be empty")
+	}
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+	var m *HTTPMiddleware
+	if m.Wrap("r", nil) != nil {
+		t.Error("nil middleware Wrap must pass through")
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.NewGauge("m", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name must panic")
+		}
+	}()
+	r.NewCounter("9bad name", "")
+}
+
+func TestHistogramQuantilesAgainstStats(t *testing.T) {
+	// Fill a latency histogram from a deterministic sample and compare its
+	// interpolated quantiles with the exact stats.Quantile over the raw
+	// sample: they must agree within the bucket resolution at that point.
+	h := newHistogram(DefLatencyBuckets)
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		v := 0.0004 + 0.00001*float64(i%180) // 0.4ms .. 2.2ms
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want, err := stats.Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := h.Quantile(q)
+		// Bucket resolution around 1–2.5 ms: the 0.0025 bucket is 1.5 ms wide.
+		if math.Abs(got-want) > 0.0016 {
+			t.Errorf("q%.2f: histogram %.5f vs exact %.5f", q, got, want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 2000 {
+		t.Errorf("count=%d", s.Count)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotone: %g %g %g", s.P50, s.P95, s.P99)
+	}
+	mean := s.Sum / float64(s.Count)
+	if math.Abs(mean-s.Mean) > 1e-12 {
+		t.Errorf("mean=%g vs sum/count=%g", s.Mean, mean)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf bucket
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("overflow quantile=%g, want clamp to 2", q)
+	}
+}
+
+func TestWriteTextDeterministicAndParses(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.NewCounterVec("predict_predictions_total", "preds", "platform").With("platform2").Add(7)
+		r.NewCounterVec("predict_predictions_total", "preds", "platform").With("platform1").Add(3)
+		r.NewGaugeVec("predict_calibration_scale", "scale", "platform").With("platform1").Set(1.25)
+		h := r.NewHistogramVec("stage_seconds", "stages", []float64{0.001, 0.01}, "stage")
+		h.With("model_eval").Observe(0.0005)
+		h.With("model_eval").Observe(0.5)
+		r.NewGaugeFunc("uptime_seconds", "uptime", func() float64 { return 42 })
+		return r
+	}
+	var a, b strings.Builder
+	if err := build().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("equal registries rendered different text")
+	}
+	text := a.String()
+	for _, want := range []string{
+		`predict_predictions_total{platform="platform1"} 3`,
+		`predict_predictions_total{platform="platform2"} 7`,
+		`predict_calibration_scale{platform="platform1"} 1.25`,
+		`stage_seconds_bucket{stage="model_eval",le="0.001"} 1`,
+		`stage_seconds_bucket{stage="model_eval",le="+Inf"} 2`,
+		`stage_seconds_count{stage="model_eval"} 2`,
+		`# TYPE stage_seconds histogram`,
+		`uptime_seconds 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	fams, samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if len(fams) != 4 || samples == 0 {
+		t.Errorf("parsed %d families, %d samples", len(fams), samples)
+	}
+	if fams["stage_seconds"] != "histogram" || fams["predict_predictions_total"] != "counter" {
+		t.Errorf("family types: %v", fams)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_value\n",
+		"metric one two\nmetric{unbalanced 3\n",
+		"9leading_digit 3\n",
+		"m 3\n# BOGUS comment\n",
+	} {
+		if _, _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted malformed input %q", bad)
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "")
+	r.NewGauge("a_gauge", "")
+	names := r.MetricNames()
+	if len(names) != 2 || names[0] != "a_gauge" || names[1] != "b_total" {
+		t.Errorf("names=%v", names)
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines under -race:
+// counters, gauges, histogram observations, vec series creation, and
+// exposition all at once.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	hv := r.NewHistogramVec("h_seconds", "", nil, "stage")
+	cv := r.NewCounterVec("cv_total", "", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := []string{"read", "forecast", "eval"}[w%3]
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				hv.With(stage).Observe(float64(i) * 1e-4)
+				cv.With(stage).Inc()
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Errorf("counter=%d, want %d", c.Value(), 8*500)
+	}
+}

@@ -1,0 +1,130 @@
+package predict
+
+import (
+	"time"
+
+	"prodpred/internal/obs"
+)
+
+// Pipeline metric family names, as exposed on GET /metrics. Every family is
+// labeled by platform; the stage histogram additionally by stage. The full
+// catalog lives in OPERATIONS.md, and internal/readmecheck fails the build
+// if a registered name is missing from it.
+const (
+	MetricPredictions      = "predict_predictions_total"
+	MetricPredictionErrors = "predict_prediction_errors_total"
+	MetricObservations     = "predict_observations_total"
+	MetricDriftEvents      = "predict_drift_events_total"
+	MetricFaultGapSamples  = "predict_fault_gap_samples_total"
+	MetricCalibrationScale = "predict_calibration_scale"
+	MetricOutstanding      = "predict_outstanding_predictions"
+	MetricVirtualTime      = "predict_virtual_time_seconds"
+	MetricStageDuration    = "predict_stage_duration_seconds"
+)
+
+// Stage label values of MetricStageDuration, in pipeline order: catch the
+// monitors up (monitor_read), read their robust stochastic reports
+// (forecast), choose the partition (schedule), evaluate the structural
+// model (model_eval), and the whole Predict call end to end (predict).
+var Stages = []string{"monitor_read", "forecast", "schedule", "model_eval", "predict"}
+
+// serviceMetrics holds one platform's pre-resolved metric series. A nil
+// *serviceMetrics (no registry configured) makes every record call a cheap
+// no-op, so the pipeline is identical with telemetry off.
+type serviceMetrics struct {
+	predictions  *obs.Counter
+	errors       *obs.Counter
+	observations *obs.Counter
+	drifts       *obs.Counter
+	gapSamples   *obs.Counter
+	scale        *obs.Gauge
+	outstanding  *obs.Gauge
+	vtime        *obs.Gauge
+	stages       map[string]*obs.Histogram
+}
+
+// newServiceMetrics registers (or finds) the pipeline families on reg and
+// resolves this platform's series, eagerly, so every documented family and
+// stage series exists from the first scrape.
+func newServiceMetrics(reg *obs.Registry, platform string) *serviceMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serviceMetrics{
+		predictions: reg.NewCounterVec(MetricPredictions,
+			"Predictions issued, by platform.", "platform").With(platform),
+		errors: reg.NewCounterVec(MetricPredictionErrors,
+			"Predict calls rejected with an error, by platform.", "platform").With(platform),
+		observations: reg.NewCounterVec(MetricObservations,
+			"Measured runtimes fed back via Observe, by platform.", "platform").With(platform),
+		drifts: reg.NewCounterVec(MetricDriftEvents,
+			"Load-regime drift events detected by the calibrator, by platform.", "platform").With(platform),
+		gapSamples: reg.NewCounterVec(MetricFaultGapSamples,
+			"Sensor samples lost to faults (drops, outages, exhausted transients), by platform.", "platform").With(platform),
+		scale: reg.NewGaugeVec(MetricCalibrationScale,
+			"Current conformal half-width multiplier, by platform (1 = uncalibrated).", "platform").With(platform),
+		outstanding: reg.NewGaugeVec(MetricOutstanding,
+			"Issued predictions awaiting an Observe call, by platform.", "platform").With(platform),
+		vtime: reg.NewGaugeVec(MetricVirtualTime,
+			"Current virtual-clock time in virtual seconds, by platform.", "platform").With(platform),
+		stages: make(map[string]*obs.Histogram, len(Stages)),
+	}
+	hv := reg.NewHistogramVec(MetricStageDuration,
+		"Wall-clock pipeline stage latency in seconds, by platform and stage.",
+		nil, "platform", "stage")
+	for _, stage := range Stages {
+		m.stages[stage] = hv.With(platform, stage)
+	}
+	m.scale.Set(1)
+	return m
+}
+
+// stageTimer returns a stop function recording the wall-clock duration of
+// one pipeline stage. On a nil receiver it avoids even the clock read.
+func (m *serviceMetrics) stageTimer(stage string) func() {
+	if m == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { m.stages[stage].Observe(time.Since(start).Seconds()) }
+}
+
+func (m *serviceMetrics) recordError() {
+	if m != nil {
+		m.errors.Inc()
+	}
+}
+
+// recordPredict updates the per-prediction counters and gauges after a
+// successful Predict call.
+func (m *serviceMetrics) recordPredict(scale float64, outstanding int) {
+	if m == nil {
+		return
+	}
+	m.predictions.Inc()
+	m.scale.Set(scale)
+	m.outstanding.Set(float64(outstanding))
+}
+
+// recordObserve updates the feedback-path counters after an Observe call.
+func (m *serviceMetrics) recordObserve(scale float64, outstanding int, drifted bool) {
+	if m == nil {
+		return
+	}
+	m.observations.Inc()
+	if drifted {
+		m.drifts.Inc()
+	}
+	m.scale.Set(scale)
+	m.outstanding.Set(float64(outstanding))
+}
+
+// recordClock publishes the virtual clock and the cumulative fault-gap
+// delta (missed sensor samples since the last sync).
+func (m *serviceMetrics) recordClock(vtime float64, missedDelta int) {
+	if m == nil {
+		return
+	}
+	m.vtime.Set(vtime)
+	m.gapSamples.Add(int64(missedDelta))
+}

@@ -21,6 +21,17 @@
 //
 // The experiments harness, cmd/sorpredict, and the cmd/predictd HTTP
 // daemon are all thin layers over this one seam.
+//
+// Units: every time in this package's API — clock positions, predicted
+// execution times, observed runtimes — is in virtual seconds on the
+// platform's simulated clock. Wall-clock time appears only in the optional
+// telemetry (the predict_stage_duration_seconds histograms record
+// wall-clock stage latency). Telemetry never feeds back into predictions:
+// same-seed services are bit-identical with metrics on or off.
+//
+// Thread-safety: Service and Registry are safe for concurrent use; plain
+// data types (Request, Prediction, MachineReport) are values that the
+// caller owns once returned and need no locking.
 package predict
 
 import (
@@ -101,12 +112,12 @@ type Prediction struct {
 	// ID identifies this prediction for the Observe feedback path. IDs are
 	// issued monotonically per service, starting at 1.
 	ID uint64
-	// Value is the stochastic execution-time prediction with the current
-	// calibration multiplier applied to its half-width. Until outcomes
-	// accumulate (and after every regime reset) the multiplier is 1 and
-	// Value equals Raw.
+	// Value is the stochastic execution-time prediction in virtual
+	// seconds, with the current calibration multiplier applied to its
+	// half-width. Until outcomes accumulate (and after every regime reset)
+	// the multiplier is 1 and Value equals Raw.
 	Value stochastic.Value
-	// Raw is the uncalibrated model prediction.
+	// Raw is the uncalibrated model prediction, in virtual seconds.
 	Raw stochastic.Value
 	// CalibrationScale is the half-width multiplier Value was produced
 	// with (Value.Spread = CalibrationScale × Raw.Spread).
@@ -116,7 +127,8 @@ type Prediction struct {
 	// Partition is the strip decomposition the model was evaluated
 	// against (the pinned one, or the one chosen from current loads).
 	Partition *sor.Partition
-	// Time is the virtual time the prediction was issued at.
+	// Time is the virtual time the prediction was issued at, in virtual
+	// seconds.
 	Time float64
 	// Loads reports per-machine load values and monitor diagnostics.
 	Loads []MachineReport

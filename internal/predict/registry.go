@@ -11,6 +11,7 @@ import (
 
 // Registry routes requests to the Service owning the named platform — the
 // multi-platform front a serving daemon puts before several Services.
+// Safe for concurrent use.
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*Service
@@ -94,8 +95,8 @@ func (r *Registry) Predict(req Request) (Prediction, error) {
 	return s.Predict(req)
 }
 
-// Observe routes a measured runtime to the service that issued the
-// prediction, closing the accuracy loop for that platform.
+// Observe routes a measured runtime (virtual seconds) to the service that
+// issued the prediction, closing the accuracy loop for that platform.
 func (r *Registry) Observe(platform string, id uint64, actual float64) (calib.Snapshot, error) {
 	s, err := r.Lookup(platform)
 	if err != nil {

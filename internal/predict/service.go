@@ -10,6 +10,7 @@ import (
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
 	"prodpred/internal/nws"
+	"prodpred/internal/obs"
 	"prodpred/internal/sched"
 	"prodpred/internal/simenv"
 	"prodpred/internal/sor"
@@ -45,6 +46,12 @@ type Config struct {
 	// take the calib package defaults (95% capture target, window 64,
 	// scale clamped to [0.5, 3]).
 	Calibration calib.Config
+	// Metrics, when non-nil, receives the service's telemetry: per-platform
+	// pipeline counters/gauges and per-stage wall-clock latency histograms
+	// (see the predict Metric* constants). Nil disables instrumentation at
+	// near-zero cost; telemetry never feeds back into predictions, so
+	// same-seed determinism is unaffected either way.
+	Metrics *obs.Registry
 }
 
 // maxOutstanding bounds how many issued-but-unobserved predictions a
@@ -80,6 +87,12 @@ type Service struct {
 	nextID      uint64
 	issued      map[uint64]issuedPrediction
 	issuedOrder []uint64 // issue order, for bounded eviction
+
+	// Telemetry (nil when Config.Metrics was nil). lastMissed tracks the
+	// missed-sample total already exported, so the fault-gap counter only
+	// ever advances by deltas.
+	metrics    *serviceMetrics
+	lastMissed int
 }
 
 // issuedPrediction remembers what Observe needs about one answered request.
@@ -127,6 +140,7 @@ func NewService(cfg Config) (*Service, error) {
 		prior:    prior,
 		tracker:  tracker,
 		issued:   make(map[uint64]issuedPrediction),
+		metrics:  newServiceMetrics(cfg.Metrics, cfg.Platform.Name),
 	}
 	_, constant := cfg.Net.(load.Constant)
 	s.netMon = !constant
@@ -164,7 +178,7 @@ func (s *Service) Machines() []cluster.Machine {
 	return append([]cluster.Machine(nil), s.machines...)
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time, in virtual seconds.
 func (s *Service) Now() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -204,7 +218,25 @@ func (s *Service) advanceToLocked(t float64) error {
 			return err
 		}
 	}
+	s.syncClockMetricsLocked()
 	return nil
+}
+
+// syncClockMetricsLocked publishes the virtual clock and the fault-gap
+// delta accumulated since the previous sync.
+func (s *Service) syncClockMetricsLocked() {
+	if s.metrics == nil {
+		return
+	}
+	missed := 0
+	for _, mon := range s.monitors {
+		missed += mon.Gaps().Missed
+	}
+	for _, mon := range s.bw {
+		missed += mon.Gaps().Missed
+	}
+	s.metrics.recordClock(s.now, missed-s.lastMissed)
+	s.lastMissed = missed
 }
 
 func (s *Service) checkPlatformLocked(name string) error {
@@ -226,14 +258,24 @@ func validateRequest(req Request) error {
 
 // loadsLocked reads one stochastic load value per machine: the override
 // when the request carries one, the gap-aware RobustReport fallback chain
-// (forecast -> running mean -> prior) otherwise.
+// (forecast -> running mean -> prior) otherwise. The two pipeline stages it
+// spans are timed separately: monitor_read (catching every monitor up to
+// the current virtual time — normally a no-op, since Advance already did)
+// and forecast (producing the stochastic load reports).
 func (s *Service) loadsLocked(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, error) {
+	stopRead := s.metrics.stageTimer("monitor_read")
+	for _, mon := range s.monitors {
+		if err := mon.RunUntil(s.now); err != nil {
+			stopRead()
+			return nil, err
+		}
+	}
+	stopRead()
+	stopForecast := s.metrics.stageTimer("forecast")
+	defer stopForecast()
 	loads := make([]stochastic.Value, len(s.monitors))
 	for i, mon := range s.monitors {
 		if override != nil {
-			if err := mon.RunUntil(s.now); err != nil {
-				return nil, err
-			}
 			v, err := override(i, mon)
 			if err != nil {
 				return nil, err
@@ -247,6 +289,7 @@ func (s *Service) loadsLocked(override func(int, *nws.Monitor) (stochastic.Value
 }
 
 func (s *Service) partitionLocked(req Request, loads []stochastic.Value) (*sor.Partition, error) {
+	defer s.metrics.stageTimer("schedule")()
 	if req.TimeBalanced {
 		return sched.TimeBalancedPartition(req.N, s.machines, loads, s.link, timeBalanceRefinements)
 	}
@@ -295,10 +338,26 @@ func (s *Service) bwMonitorLocked(n int) (*nws.Monitor, error) {
 
 // Predict answers one request at the current virtual time: read per-machine
 // load reports, choose (or reuse) the partition, parameterize the SOR
-// structural model, and evaluate it to a stochastic prediction.
+// structural model, and evaluate it to a stochastic prediction. When the
+// service carries a metrics registry, the call records per-stage wall-clock
+// latencies (monitor_read -> forecast -> schedule -> model_eval, plus the
+// whole call as stage "predict") and the per-platform counters/gauges.
 func (s *Service) Predict(req Request) (Prediction, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	stop := s.metrics.stageTimer("predict")
+	p, err := s.predictLocked(req)
+	stop()
+	if err != nil {
+		s.metrics.recordError()
+		return Prediction{}, err
+	}
+	s.metrics.recordPredict(p.CalibrationScale, len(s.issued))
+	s.syncClockMetricsLocked() // a first-use bandwidth monitor may have added gaps
+	return p, nil
+}
+
+func (s *Service) predictLocked(req Request) (Prediction, error) {
 	if err := s.checkPlatformLocked(req.Platform); err != nil {
 		return Prediction{}, err
 	}
@@ -349,7 +408,9 @@ func (s *Service) Predict(req Request) (Prediction, error) {
 		MaxStrategy:  req.MaxStrategy,
 		IterationRel: req.IterationRel,
 	}
+	stopEval := s.metrics.stageTimer("model_eval")
 	v, err := model.Predict(params)
+	stopEval()
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -398,8 +459,9 @@ func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
 	return id
 }
 
-// Observe closes the loop for one prediction: the measured runtime is fed
-// to the platform's accuracy tracker, which updates capture statistics,
+// Observe closes the loop for one prediction: the measured runtime (in
+// virtual seconds, like the prediction it answers) is fed to the
+// platform's accuracy tracker, which updates capture statistics,
 // adapts the interval multiplier, and checks for regime drift. The
 // prediction ID must have been issued by this service and not yet observed;
 // the returned snapshot reflects the state after ingestion.
@@ -414,17 +476,19 @@ func (s *Service) Observe(id uint64, actual float64) (calib.Snapshot, error) {
 		return calib.Snapshot{}, fmt.Errorf("predict: prediction id %d was never issued by platform %q (or was already observed)", id, s.name)
 	}
 	delete(s.issued, id)
-	s.tracker.Observe(calib.Outcome{
+	_, drifted := s.tracker.Observe(calib.Outcome{
 		ID:         id,
 		Time:       s.now,
 		Raw:        ip.raw,
 		Calibrated: ip.calibrated,
 		Actual:     actual,
 	})
+	s.metrics.recordObserve(s.tracker.Scale(), len(s.issued), drifted)
 	return s.tracker.Snapshot(), nil
 }
 
 // Accuracy returns the platform's online accuracy and calibration state.
+// Safe for concurrent use (the tracker carries its own lock).
 func (s *Service) Accuracy() calib.Snapshot {
 	return s.tracker.Snapshot()
 }

@@ -1,0 +1,92 @@
+package readmecheck
+
+// These tests keep OPERATIONS.md honest: every route the daemon actually
+// registers and every metric family the serving stack actually exposes
+// must appear in the runbook, and README.md must link to it. Adding an
+// endpoint or metric without documenting it fails here.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"prodpred/internal/api"
+	"prodpred/internal/obs"
+	"prodpred/internal/predict"
+)
+
+func readRepoFile(t *testing.T, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile("../../" + name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(raw)
+}
+
+// buildServingMetrics boots the daemon's serving stack (both platforms on
+// a shared registry plus the HTTP handler) and returns every registered
+// metric family name — the ground truth the runbook must cover.
+func buildServingMetrics(t *testing.T) []string {
+	t.Helper()
+	metrics := obs.NewRegistry()
+	reg := predict.NewRegistry()
+	for _, id := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Metrics = metrics
+		svc, err := predict.NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	api.NewHandler(reg, api.Options{Metrics: metrics})
+	return metrics.MetricNames()
+}
+
+func TestOperationsDocumentsEveryRoute(t *testing.T) {
+	ops := readRepoFile(t, "OPERATIONS.md")
+	for _, rt := range append(append([]api.Route{}, api.Routes...), api.PprofRoutes...) {
+		// The runbook headings use the pattern form ("POST /predict") or at
+		// minimum the path itself.
+		parts := strings.SplitN(rt.Pattern, " ", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed route pattern %q", rt.Pattern)
+		}
+		if !strings.Contains(ops, parts[1]) {
+			t.Errorf("OPERATIONS.md does not mention route %q", rt.Pattern)
+		}
+	}
+}
+
+func TestOperationsDocumentsEveryMetric(t *testing.T) {
+	ops := readRepoFile(t, "OPERATIONS.md")
+	names := buildServingMetrics(t)
+	if len(names) < 12 {
+		t.Fatalf("serving stack registers %d metric families, want >= 12: %v",
+			len(names), names)
+	}
+	for _, name := range names {
+		if !strings.Contains(ops, "`"+name+"`") {
+			t.Errorf("OPERATIONS.md does not document metric %q", name)
+		}
+	}
+	// And every pipeline stage label value.
+	for _, stage := range predict.Stages {
+		if !strings.Contains(ops, "`"+stage+"`") {
+			t.Errorf("OPERATIONS.md does not document stage %q", stage)
+		}
+	}
+}
+
+func TestReadmeLinksOperations(t *testing.T) {
+	readme := readRepoFile(t, "README.md")
+	if !strings.Contains(readme, "OPERATIONS.md") {
+		t.Error("README.md does not link to OPERATIONS.md")
+	}
+}

@@ -23,6 +23,17 @@
 //   - the prediction-service core     (internal/predict)
 //   - the paper's tables and figures  (internal/experiments)
 //
+// Serving infrastructure (the HTTP layer in internal/api and the metrics
+// registry in internal/obs) is not re-exported here; cmd/predictd and
+// cmd/loadtest consume it directly, and OPERATIONS.md documents it.
+//
+// Two time units appear throughout: simulation and prediction APIs run in
+// virtual seconds (the simulated platform clock), while telemetry
+// latencies are wall-clock seconds. Types in this facade are plain values
+// unless their doc says otherwise; PredictionService, PredictRegistry,
+// AccuracyTracker, FaultInjector, and Monitor-bearing types are the
+// concurrency-safe long-lived objects.
+//
 // See examples/ for runnable walk-throughs and cmd/ for the tools.
 package prodpred
 
@@ -346,7 +357,9 @@ func NewFaultInjector(seed int64) *FaultInjector { return faults.NewInjector(see
 type (
 	// PredictionService owns per-machine NWS monitors over a simulated
 	// production platform, advances them on a shared virtual clock, and
-	// answers concurrent Predict calls.
+	// answers concurrent Predict calls. Safe for concurrent use; every
+	// time in its API (clock positions, predictions, observed runtimes)
+	// is in virtual seconds.
 	PredictionService = predict.Service
 	// PredictConfig configures a PredictionService: platform, per-machine
 	// CPU load processes, network contention, monitoring period and
@@ -355,13 +368,14 @@ type (
 	// PredictRequest names what to predict: grid size, iteration count,
 	// partition strategy, Max strategy, and iteration relation.
 	PredictRequest = predict.Request
-	// Prediction is a stochastic execution-time prediction with the chosen
-	// partition, per-machine load reports, and gap/staleness diagnostics.
+	// Prediction is a stochastic execution-time prediction (virtual
+	// seconds) with the chosen partition, per-machine load reports, and
+	// gap/staleness diagnostics.
 	Prediction = predict.Prediction
 	// MachineReport is one machine's forecast load plus monitor health.
 	MachineReport = predict.MachineReport
 	// PredictRegistry routes prediction requests across several hosted
-	// platforms by name.
+	// platforms by name. Safe for concurrent use.
 	PredictRegistry = predict.Registry
 )
 
@@ -393,9 +407,10 @@ func SimulatedPredictConfig(platform int, seed int64) (PredictConfig, error) {
 // measured runtimes back, and subsequent predictions return conformally
 // calibrated intervals.
 type (
-	// AccuracyTracker ingests (prediction, actual) outcomes and maintains
-	// rolling capture/error/width statistics, a conformal half-width
-	// multiplier, and CUSUM + mode-count regime-drift detection.
+	// AccuracyTracker ingests (prediction, actual) outcomes — both sides
+	// in virtual seconds — and maintains rolling capture/error/width
+	// statistics, a conformal half-width multiplier, and CUSUM +
+	// mode-count regime-drift detection. Safe for concurrent use.
 	AccuracyTracker = calib.Tracker
 	// CalibrationConfig tunes an AccuracyTracker (capture target, window,
 	// scale floor/ceiling, CUSUM sensitivity); zero fields take defaults.

@@ -19,7 +19,13 @@ go test -race ./...
 # error (no measurement — regressions are caught by scripts/bench.sh).
 go test -bench=. -benchtime=1x -run '^$' ./...
 
+# Loadtest smoke: a short closed-loop run against the in-process serving
+# stack must produce nonzero throughput with zero request errors and a
+# parseable /metrics exposition (the asserting test wraps cmd/loadtest's
+# run function; ~2 s budget).
+go test -run TestRunInProcessSmoke -count=1 ./cmd/loadtest
+
 # Coverage summary for the online-calibration layer (report-only, no gate).
 go test -cover ./internal/calib ./internal/predict | awk '{print "check.sh: coverage:", $0}'
 
-echo "check.sh: gofmt, vet, race-enabled tests, and bench smoke all clean"
+echo "check.sh: gofmt, vet, race-enabled tests, bench smoke, and loadtest smoke all clean"
