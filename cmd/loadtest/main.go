@@ -16,6 +16,8 @@
 //	loadtest -duration 5 -workers 8 -observe 0.8 -advance 0.1
 //	loadtest -url http://localhost:8080 -duration 30
 //	loadtest -duration 2 -bench-out BENCH_$(date +%F).json
+//	loadtest -duration 3 -batch 16          # drive POST /predict/batch
+//	loadtest -duration 3 -no-cache          # A/B the tick cache off
 package main
 
 import (
@@ -50,6 +52,8 @@ func main() {
 	flag.IntVar(&cfg.Iterations, "iterations", 5, "SOR iterations per /predict request")
 	flag.Float64Var(&cfg.ObserveFrac, "observe", 0.8, "fraction of predictions fed back via /observe")
 	flag.Float64Var(&cfg.AdvanceFrac, "advance", 0.1, "fraction of loops issuing a /advance clock step")
+	flag.IntVar(&cfg.Batch, "batch", 0, "requests per POST /predict/batch call (0 = use POST /predict)")
+	flag.BoolVar(&cfg.NoCache, "no-cache", false, "disable the tick-scoped forecast cache on the in-process platforms")
 	flag.StringVar(&cfg.BenchOut, "bench-out", "", "JSON file to merge a \"serving\" entry into (BENCH_<date>.json style)")
 	flag.Parse()
 
@@ -79,6 +83,8 @@ type config struct {
 	Iterations  int
 	ObserveFrac float64
 	AdvanceFrac float64
+	Batch       int
+	NoCache     bool
 	BenchOut    string
 }
 
@@ -99,7 +105,8 @@ type result struct {
 	Target         string
 	Duration       float64 // actual wall seconds driven
 	Workers        int
-	Total          int
+	Batch          int // requests per batch call (0 = single-predict mode)
+	Total          int // individual requests (each batch item counts once)
 	Errors         int
 	Throughput     float64 // total requests per wall second
 	Ops            map[string]opStats
@@ -112,19 +119,21 @@ func run(cfg config) (result, error) {
 		return result{}, fmt.Errorf("need workers >= 1 and duration > 0")
 	}
 	target := cfg.URL
+	var ts *httptest.Server
 	if target == "" {
-		ts, err := inProcess(cfg.Seed, cfg.Warmup)
+		var err error
+		ts, err = inProcess(cfg.Seed, cfg.Warmup, cfg.NoCache)
 		if err != nil {
 			return result{}, err
 		}
-		defer ts.Close()
 		target = ts.URL
 	}
 
 	type sample struct {
-		op string
-		ms float64
-		ok bool
+		op    string
+		ms    float64
+		items int // requests this sample accounts for (batch > 1)
+		ok    bool
 	}
 	var (
 		mu      sync.Mutex
@@ -141,15 +150,23 @@ func run(cfg config) (result, error) {
 			var local []sample
 			for time.Now().Before(deadline) {
 				platform := fmt.Sprintf("platform%d", 1+rng.Intn(2))
-				pr, ms, err := doPredict(client, target, platform, cfg)
-				local = append(local, sample{"predict", ms, err == nil})
+				var pr api.PredictResponse
+				var ms float64
+				var err error
+				if cfg.Batch > 1 {
+					pr, ms, err = doBatch(client, target, platform, cfg)
+					local = append(local, sample{"batch", ms, cfg.Batch, err == nil})
+				} else {
+					pr, ms, err = doPredict(client, target, platform, cfg)
+					local = append(local, sample{"predict", ms, 1, err == nil})
+				}
 				if err == nil && rng.Float64() < cfg.ObserveFrac {
 					ms, err = doObserve(client, target, platform, pr)
-					local = append(local, sample{"observe", ms, err == nil})
+					local = append(local, sample{"observe", ms, 1, err == nil})
 				}
 				if rng.Float64() < cfg.AdvanceFrac {
 					ms, err := doAdvance(client, target, platform)
-					local = append(local, sample{"advance", ms, err == nil})
+					local = append(local, sample{"advance", ms, 1, err == nil})
 				}
 			}
 			mu.Lock()
@@ -157,17 +174,22 @@ func run(cfg config) (result, error) {
 			mu.Unlock()
 		}(w)
 	}
+	// Wait for every worker to finish before touching the server again: the
+	// metrics scrape below must not race in-flight requests, and the
+	// in-process server is closed only after the scrape so no worker ever
+	// sees a connection torn down mid-call (the old error-count flake).
 	wg.Wait()
 
 	res := result{
 		Target:   target,
 		Duration: cfg.Duration,
 		Workers:  cfg.Workers,
+		Batch:    cfg.Batch,
 		Ops:      map[string]opStats{},
 	}
 	byOp := map[string][]float64{}
 	for _, s := range samples {
-		res.Total++
+		res.Total += s.items
 		if !s.ok {
 			res.Errors++
 			continue
@@ -192,12 +214,15 @@ func run(cfg config) (result, error) {
 		}
 	}
 	res.MetricFamilies = scrapeMetrics(target)
+	if ts != nil {
+		ts.Close()
+	}
 	return res, nil
 }
 
 // inProcess builds the daemon's serving stack — both simulated platforms
 // on a shared metrics registry behind api.NewHandler — in this process.
-func inProcess(seed int64, warmup float64) (*httptest.Server, error) {
+func inProcess(seed int64, warmup float64, noCache bool) (*httptest.Server, error) {
 	metrics := obs.NewRegistry()
 	reg := predict.NewRegistry()
 	for _, id := range []int{1, 2} {
@@ -206,6 +231,7 @@ func inProcess(seed int64, warmup float64) (*httptest.Server, error) {
 			return nil, err
 		}
 		cfg.Metrics = metrics
+		cfg.DisableTickCache = noCache
 		svc, err := predict.NewService(cfg)
 		if err != nil {
 			return nil, err
@@ -227,6 +253,30 @@ func doPredict(client *http.Client, target, platform string, cfg config) (api.Pr
 	return pr, ms, err
 }
 
+// doBatch issues one POST /predict/batch of cfg.Batch identical requests
+// and returns the first item's prediction (for the observe feedback step).
+// Any per-item error fails the whole sample — batch runs should be as
+// clean as single-predict runs.
+func doBatch(client *http.Client, target, platform string, cfg config) (api.PredictResponse, float64, error) {
+	req := api.BatchPredictRequest{Requests: make([]api.PredictRequest, cfg.Batch)}
+	for i := range req.Requests {
+		req.Requests[i] = api.PredictRequest{Platform: platform, N: cfg.N, Iterations: cfg.Iterations}
+	}
+	var br api.BatchPredictResponse
+	ms, err := timedPost(client, target+"/predict/batch", req, &br)
+	if err != nil {
+		return api.PredictResponse{}, ms, err
+	}
+	if br.Errors > 0 || len(br.Responses) != cfg.Batch {
+		return api.PredictResponse{}, ms, fmt.Errorf("batch: %d item errors in %d responses", br.Errors, len(br.Responses))
+	}
+	first := br.Responses[0]
+	if first.PredictResponse == nil {
+		return api.PredictResponse{}, ms, fmt.Errorf("batch: first item has no prediction")
+	}
+	return *first.PredictResponse, ms, nil
+}
+
 func doObserve(client *http.Client, target, platform string, pr api.PredictResponse) (float64, error) {
 	// Close the loop with the predicted mean as the "measured" runtime — a
 	// well-calibrated steady state that exercises the full feedback path.
@@ -240,7 +290,10 @@ func doAdvance(client *http.Client, target, platform string) (float64, error) {
 }
 
 // timedPost posts a JSON body and decodes the response, returning the
-// request's wall-clock latency in milliseconds.
+// request's wall-clock latency in milliseconds. The body is always drained
+// to EOF before close so the keep-alive connection returns to the pool —
+// half-read bodies force new connections and, under load, sporadic dial
+// errors that showed up as a nonzero error count.
 func timedPost(client *http.Client, url string, body, out any) (float64, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -251,7 +304,10 @@ func timedPost(client *http.Client, url string, body, out any) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	ms := float64(time.Since(start).Microseconds()) / 1000
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
@@ -306,8 +362,9 @@ func (r result) print(w io.Writer) {
 	}
 }
 
-// mergeBenchEntry inserts/replaces a "serving" object in a BENCH_<date>
-// style JSON file, preserving the benchmark entries bench.sh wrote.
+// mergeBenchEntry inserts/replaces a "serving" object (or "serving_batch"
+// when the run drove POST /predict/batch) in a BENCH_<date> style JSON
+// file, preserving the benchmark entries bench.sh wrote.
 func mergeBenchEntry(path string, r result) error {
 	doc := map[string]any{}
 	if raw, err := os.ReadFile(path); err == nil {
@@ -326,7 +383,12 @@ func mergeBenchEntry(path string, r result) error {
 		serving[op+"_p50_ms"] = round2(s.P50MS)
 		serving[op+"_p95_ms"] = round2(s.P95MS)
 	}
-	doc["serving"] = serving
+	key := "serving"
+	if r.Batch > 1 {
+		key = "serving_batch"
+		serving["batch"] = r.Batch
+	}
+	doc[key] = serving
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -100,3 +100,58 @@ func TestResultPrint(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheVsUncachedSmoke is the serving-cache regression gate: with a
+// steady clock (no advances, so every repeated shape is a cache hit) the
+// cached serving path must never be slower than the same run with the
+// tick cache disabled. ~2 s budget.
+func TestCacheVsUncachedSmoke(t *testing.T) {
+	base := config{
+		Seed: 1, Warmup: 300, Duration: 1, Workers: 4,
+		N: 120, Iterations: 4, ObserveFrac: 0, AdvanceFrac: 0,
+	}
+	cachedCfg, uncachedCfg := base, base
+	uncachedCfg.NoCache = true
+	cached, err := run(cachedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := run(uncachedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Errors != 0 || uncached.Errors != 0 {
+		t.Fatalf("request errors: cached=%d uncached=%d", cached.Errors, uncached.Errors)
+	}
+	if cached.Throughput < uncached.Throughput {
+		t.Errorf("cached serving path slower than uncached: %.1f req/s vs %.1f req/s",
+			cached.Throughput, uncached.Throughput)
+	}
+	t.Logf("cached %.1f req/s, uncached %.1f req/s", cached.Throughput, uncached.Throughput)
+}
+
+// TestRunBatchSmoke drives the POST /predict/batch path in-process: batch
+// samples must appear, account for every item in the throughput, and stay
+// error-free.
+func TestRunBatchSmoke(t *testing.T) {
+	res, err := run(config{
+		Seed: 1, Warmup: 300, Duration: 1, Workers: 4, Batch: 8,
+		N: 120, Iterations: 4, ObserveFrac: 0.5, AdvanceFrac: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	bs, ok := res.Ops["batch"]
+	if !ok || bs.Count == 0 {
+		t.Fatalf("no batch samples: %+v", res.Ops)
+	}
+	if _, ok := res.Ops["predict"]; ok {
+		t.Error("batch mode still issued single predicts")
+	}
+	if res.Total < bs.Count*8 {
+		t.Errorf("total %d does not account for %d batches of 8", res.Total, bs.Count)
+	}
+}

@@ -8,6 +8,8 @@
 // Endpoints:
 //
 //	POST /predict  {"platform":"platform2","n":800,"iterations":10,...}
+//	POST /predict/batch  {"requests":[{...},{...}]} — up to 1024 predict
+//	               bodies answered positionally in one tick-coherent call
 //	POST /observe  {"platform":"platform2","id":7,"actual":41.3} — feed a
 //	               measured runtime back to the online calibrator
 //	GET  /accuracy ?platform=platform2 — capture rates, calibration

@@ -1,0 +1,623 @@
+// Hand-rolled JSON codec for the serving hot paths (POST /predict,
+// /predict/batch, /observe): append-style encoders writing straight from
+// the domain objects into pooled buffers, and a minimal non-reflective
+// parser for the small request payloads. Everything else (reports, health,
+// accuracy listings) stays on reflection-based encoding/json — those
+// routes are cold and stdlib is the clearer choice there.
+//
+// The encoders emit exactly the wire shape of the PredictResponse /
+// ObserveResponse / BatchPredictResponse structs (same keys, same
+// omitempty behavior, nil slices as null), so clients decoding with
+// encoding/json see no difference. The parser handles the flat objects the
+// hot requests actually are; any construct it does not support (escape
+// sequences, nesting in unknown fields it cannot skip, syntax errors)
+// makes it return an error and the handler falls back to encoding/json,
+// so correctness never depends on the fast path.
+package api
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"prodpred/internal/calib"
+	"prodpred/internal/nws"
+	"prodpred/internal/predict"
+)
+
+// bufPool recycles request/response byte buffers across requests. Buffers
+// above poolBufCap are dropped rather than pooled so one giant batch does
+// not pin memory forever.
+var bufPool = sync.Pool{New: func() any { return &poolBuf{b: make([]byte, 0, 4096)} }}
+
+const poolBufCap = 1 << 20
+
+type poolBuf struct{ b []byte }
+
+func getBuf() *poolBuf {
+	pb := bufPool.Get().(*poolBuf)
+	pb.b = pb.b[:0]
+	return pb
+}
+
+func (pb *poolBuf) release() {
+	if cap(pb.b) <= poolBufCap {
+		bufPool.Put(pb)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// appendString appends a JSON string literal, escaping quotes, backslashes,
+// and control characters (the platform names and error messages this layer
+// emits are ASCII; multi-byte runes pass through untouched, which is valid
+// JSON).
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}
+
+// appendFloat appends a JSON number. Non-finite values (which encoding/json
+// rejects outright) are clamped to 0 so the exposition stays parseable; the
+// pipeline never produces them.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+func appendGaps(b []byte, g nws.GapStats) []byte {
+	b = append(b, `{"clean":`...)
+	b = strconv.AppendInt(b, int64(g.Clean), 10)
+	b = append(b, `,"recovered":`...)
+	b = strconv.AppendInt(b, int64(g.Recovered), 10)
+	b = append(b, `,"retries":`...)
+	b = strconv.AppendInt(b, int64(g.Retries), 10)
+	b = append(b, `,"dropped":`...)
+	b = strconv.AppendInt(b, int64(g.Dropped), 10)
+	b = append(b, `,"outage":`...)
+	b = strconv.AppendInt(b, int64(g.Outage), 10)
+	b = append(b, `,"transient_lost":`...)
+	b = strconv.AppendInt(b, int64(g.TransientLost), 10)
+	b = append(b, `,"sensor_errors":`...)
+	b = strconv.AppendInt(b, int64(g.SensorErrors), 10)
+	b = append(b, `,"missed":`...)
+	b = strconv.AppendInt(b, int64(g.Missed), 10)
+	b = append(b, `,"longest_gap":`...)
+	b = strconv.AppendInt(b, int64(g.LongestGap), 10)
+	return append(b, '}')
+}
+
+func appendLoad(b []byte, r predict.MachineReport) []byte {
+	b = append(b, `{"machine":`...)
+	b = strconv.AppendInt(b, int64(r.Machine), 10)
+	b = append(b, `,"mean":`...)
+	b = appendFloat(b, r.Load.Mean)
+	b = append(b, `,"spread":`...)
+	b = appendFloat(b, r.Load.Spread)
+	b = append(b, `,"raw":`...)
+	b = appendFloat(b, r.Raw)
+	b = append(b, `,"staleness":`...)
+	b = appendFloat(b, r.Staleness)
+	b = append(b, `,"widening":`...)
+	b = appendFloat(b, r.Widening)
+	b = append(b, `,"gaps":`...)
+	b = appendGaps(b, r.Gaps)
+	return append(b, '}')
+}
+
+// appendPrediction encodes one prediction as the PredictResponse wire
+// shape, straight from the domain object — no intermediate wire struct, no
+// reflection, no per-field allocation.
+func appendPrediction(b []byte, platform string, p *predict.Prediction) []byte {
+	lo, hi := p.Value.Interval()
+	b = append(b, `{"platform":`...)
+	b = appendString(b, platform)
+	b = append(b, `,"time":`...)
+	b = appendFloat(b, p.Time)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendUint(b, p.ID, 10)
+	b = append(b, `,"mean":`...)
+	b = appendFloat(b, p.Value.Mean)
+	b = append(b, `,"spread":`...)
+	b = appendFloat(b, p.Value.Spread)
+	b = append(b, `,"lo":`...)
+	b = appendFloat(b, lo)
+	b = append(b, `,"hi":`...)
+	b = appendFloat(b, hi)
+	b = append(b, `,"raw_spread":`...)
+	b = appendFloat(b, p.Raw.Spread)
+	b = append(b, `,"calibration_scale":`...)
+	b = appendFloat(b, p.CalibrationScale)
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, p.Degraded())
+	b = append(b, `,"partition_rows":`...)
+	if p.Partition == nil || p.Partition.Rows == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, r := range p.Partition.Rows {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(r), 10)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"loads":`...)
+	if p.Loads == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range p.Loads {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendLoad(b, p.Loads[i])
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"bw_mean":`...)
+	b = appendFloat(b, p.Bandwidth.Mean)
+	b = append(b, `,"bw_spread":`...)
+	b = appendFloat(b, p.Bandwidth.Spread)
+	b = append(b, `,"bw_gaps":`...)
+	b = appendGaps(b, p.BWGaps)
+	return append(b, '}')
+}
+
+// appendAccuracy encodes a calibration snapshot as the AccuracyJSON wire
+// shape (drifts omitted when empty, matching omitempty).
+func appendAccuracy(b []byte, s calib.Snapshot) []byte {
+	b = append(b, `{"observed":`...)
+	b = strconv.AppendInt(b, int64(s.Observed), 10)
+	b = append(b, `,"window_fill":`...)
+	b = strconv.AppendInt(b, int64(s.WindowFill), 10)
+	b = append(b, `,"raw_capture":`...)
+	b = appendFloat(b, s.RawCapture)
+	b = append(b, `,"calibrated_capture":`...)
+	b = appendFloat(b, s.CalibratedCapture)
+	b = append(b, `,"cum_raw_capture":`...)
+	b = appendFloat(b, s.CumRawCapture)
+	b = append(b, `,"cum_calibrated_capture":`...)
+	b = appendFloat(b, s.CumCalibratedCapture)
+	b = append(b, `,"mean_signed_rel_err":`...)
+	b = appendFloat(b, s.MeanSignedRelErr)
+	b = append(b, `,"mean_abs_rel_err":`...)
+	b = appendFloat(b, s.MeanAbsRelErr)
+	b = append(b, `,"mean_raw_width":`...)
+	b = appendFloat(b, s.MeanRawWidth)
+	b = append(b, `,"mean_calibrated_width":`...)
+	b = appendFloat(b, s.MeanCalibratedWidth)
+	b = append(b, `,"scale":`...)
+	b = appendFloat(b, s.Scale)
+	b = append(b, `,"target":`...)
+	b = appendFloat(b, s.Target)
+	b = append(b, `,"since_reset":`...)
+	b = strconv.AppendInt(b, int64(s.SinceReset), 10)
+	if len(s.Drifts) > 0 {
+		b = append(b, `,"drifts":[`...)
+		for i, d := range s.Drifts {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"time":`...)
+			b = appendFloat(b, d.Time)
+			b = append(b, `,"seq":`...)
+			b = strconv.AppendInt(b, int64(d.Seq), 10)
+			b = append(b, `,"reason":`...)
+			b = appendString(b, d.Reason)
+			b = append(b, `,"stat":`...)
+			b = appendFloat(b, d.Stat)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"last_time":`...)
+	b = appendFloat(b, s.LastTime)
+	return append(b, '}')
+}
+
+// appendObserve encodes the ObserveResponse wire shape.
+func appendObserve(b []byte, platform string, s calib.Snapshot) []byte {
+	b = append(b, `{"platform":`...)
+	b = appendString(b, platform)
+	b = append(b, `,"accuracy":`...)
+	b = appendAccuracy(b, s)
+	return append(b, '}')
+}
+
+// appendErrorObj encodes the {"error":"..."} payload every failure path
+// returns.
+func appendErrorObj(b []byte, msg string) []byte {
+	b = append(b, `{"error":`...)
+	b = appendString(b, msg)
+	return append(b, '}')
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// errFallback tells the handler to re-parse with encoding/json: the payload
+// uses something the fast parser does not support, or is malformed (stdlib
+// then produces the user-visible error).
+var errFallback = fmt.Errorf("api: fast JSON parser fallback")
+
+// parser is a minimal JSON reader over a complete request body.
+type parser struct {
+	data []byte
+	pos  int
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipWS()
+	if p.pos >= len(p.data) || p.data[p.pos] != c {
+		return errFallback
+	}
+	p.pos++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (p *parser) peek() byte {
+	p.skipWS()
+	if p.pos >= len(p.data) {
+		return 0
+	}
+	return p.data[p.pos]
+}
+
+// rawString reads a string literal without escape support, returning the
+// raw bytes between the quotes. A backslash forces the stdlib fallback.
+func (p *parser) rawString() ([]byte, error) {
+	if err := p.expect('"'); err != nil {
+		return nil, err
+	}
+	start := p.pos
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '\\':
+			return nil, errFallback
+		case '"':
+			s := p.data[start:p.pos]
+			p.pos++
+			return s, nil
+		default:
+			p.pos++
+		}
+	}
+	return nil, errFallback
+}
+
+// number reads a JSON number as float64.
+func (p *parser) number() (float64, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, errFallback
+	}
+	v, err := strconv.ParseFloat(string(p.data[start:p.pos]), 64)
+	if err != nil {
+		return 0, errFallback
+	}
+	return v, nil
+}
+
+// integer reads a JSON number in plain integer syntax. Exponent or
+// fraction forms (1e2, 3.0) force the fallback — encoding/json rejects
+// them for int fields, and the fast path must never accept what stdlib
+// would refuse.
+func (p *parser) integer() (int64, error) {
+	p.skipWS()
+	start := p.pos
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	digits := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == digits {
+		return 0, errFallback
+	}
+	if p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '.', 'e', 'E', '+':
+			return 0, errFallback
+		}
+	}
+	v, err := strconv.ParseInt(string(p.data[start:p.pos]), 10, 64)
+	if err != nil {
+		return 0, errFallback
+	}
+	return v, nil
+}
+
+// skipValue consumes one value of any type (for unknown keys).
+func (p *parser) skipValue() error {
+	p.skipWS()
+	if p.pos >= len(p.data) {
+		return errFallback
+	}
+	switch c := p.data[p.pos]; c {
+	case '"':
+		_, err := p.rawString()
+		return err
+	case '{', '[':
+		open, close := c, byte('}')
+		if c == '[' {
+			close = ']'
+		}
+		depth := 0
+		inStr := false
+		for ; p.pos < len(p.data); p.pos++ {
+			b := p.data[p.pos]
+			if inStr {
+				if b == '\\' {
+					p.pos++
+				} else if b == '"' {
+					inStr = false
+				}
+				continue
+			}
+			switch b {
+			case '"':
+				inStr = true
+			case open:
+				depth++
+			case close:
+				depth--
+				if depth == 0 {
+					p.pos++
+					return nil
+				}
+			}
+		}
+		return errFallback
+	default: // number, true, false, null
+		for p.pos < len(p.data) {
+			switch p.data[p.pos] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return nil
+			}
+			p.pos++
+		}
+		return nil
+	}
+}
+
+// object walks one JSON object, calling field for every key. field returns
+// an error to abort (usually errFallback); unknown keys are skipped.
+func (p *parser) object(field func(key []byte) error) error {
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	if p.peek() == '}' {
+		p.pos++
+		return nil
+	}
+	for {
+		key, err := p.rawString()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return nil
+		default:
+			return errFallback
+		}
+	}
+}
+
+// end verifies nothing but whitespace remains.
+func (p *parser) end() error {
+	p.skipWS()
+	if p.pos != len(p.data) {
+		return errFallback
+	}
+	return nil
+}
+
+// predictRequestFields parses one PredictRequest object body in place.
+func (p *parser) predictRequestFields(pr *PredictRequest) error {
+	return p.object(func(key []byte) error {
+		switch string(key) {
+		case "platform":
+			s, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			pr.Platform = string(s)
+		case "n":
+			v, err := p.integer()
+			if err != nil {
+				return err
+			}
+			pr.N = int(v)
+		case "iterations":
+			v, err := p.integer()
+			if err != nil {
+				return err
+			}
+			pr.Iterations = int(v)
+		case "strategy":
+			s, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			pr.Strategy = string(s)
+		case "max_strategy":
+			s, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			pr.MaxStrategy = string(s)
+		case "iteration_rel":
+			s, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			pr.IterationRel = string(s)
+		case "advance":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			pr.Advance = v
+		default:
+			return p.skipValue()
+		}
+		return nil
+	})
+}
+
+// parsePredictRequest is the fast path for the POST /predict body.
+func parsePredictRequest(data []byte) (PredictRequest, error) {
+	var pr PredictRequest
+	p := parser{data: data}
+	if err := p.predictRequestFields(&pr); err != nil {
+		return pr, err
+	}
+	return pr, p.end()
+}
+
+// parseObserveRequest is the fast path for the POST /observe body.
+func parseObserveRequest(data []byte) (ObserveRequest, error) {
+	var or ObserveRequest
+	p := parser{data: data}
+	err := p.object(func(key []byte) error {
+		switch string(key) {
+		case "platform":
+			s, err := p.rawString()
+			if err != nil {
+				return err
+			}
+			or.Platform = string(s)
+		case "id":
+			v, err := p.integer()
+			if err != nil || v < 0 {
+				return errFallback
+			}
+			or.ID = uint64(v)
+		case "actual":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			or.Actual = v
+		default:
+			return p.skipValue()
+		}
+		return nil
+	})
+	if err != nil {
+		return or, err
+	}
+	return or, p.end()
+}
+
+// parseBatchRequest is the fast path for the POST /predict/batch body:
+// {"requests":[{...},{...}]}.
+func parseBatchRequest(data []byte) ([]PredictRequest, error) {
+	var reqs []PredictRequest
+	p := parser{data: data}
+	err := p.object(func(key []byte) error {
+		if string(key) != "requests" {
+			return p.skipValue()
+		}
+		if p.peek() == 'n' { // null
+			return p.skipValue()
+		}
+		if err := p.expect('['); err != nil {
+			return err
+		}
+		reqs = []PredictRequest{} // "[]" decodes empty, not nil, like stdlib
+		if p.peek() == ']' {
+			p.pos++
+			return nil
+		}
+		for {
+			var pr PredictRequest
+			if err := p.predictRequestFields(&pr); err != nil {
+				return err
+			}
+			reqs = append(reqs, pr)
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ']':
+				p.pos++
+				return nil
+			default:
+				return errFallback
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reqs, p.end()
+}

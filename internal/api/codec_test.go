@@ -1,0 +1,276 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"prodpred/internal/calib"
+	"prodpred/internal/predict"
+)
+
+// codecService builds one warmed simulated platform for codec tests and
+// benchmarks.
+func codecService(t testing.TB, seed int64) *predict.Service {
+	cfg, err := predict.SimulatedConfig(1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := predict.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(300); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// refPredictResponse is the reflection-path reference: the wire struct the
+// hand-rolled encoder must match byte-for-byte semantics with.
+func refPredictResponse(platform string, p predict.Prediction) PredictResponse {
+	lo, hi := p.Value.Interval()
+	pr := PredictResponse{
+		Platform: platform, Time: p.Time, ID: p.ID,
+		Mean: p.Value.Mean, Spread: p.Value.Spread, Lo: lo, Hi: hi,
+		RawSpread: p.Raw.Spread, CalibrationScale: p.CalibrationScale,
+		Degraded: p.Degraded(),
+		BWMean:   p.Bandwidth.Mean, BWSpread: p.Bandwidth.Spread,
+		BWGaps: toGapsJSON(p.BWGaps),
+	}
+	if p.Partition != nil {
+		pr.PartitionRows = p.Partition.Rows
+	}
+	for _, l := range p.Loads {
+		pr.Loads = append(pr.Loads, toLoadJSON(l))
+	}
+	return pr
+}
+
+// mustEqualJSON unmarshals both encodings into untyped values and requires
+// exact agreement — same keys, same values, same nesting.
+func mustEqualJSON(t *testing.T, got, want []byte) {
+	t.Helper()
+	var g, w any
+	if err := json.Unmarshal(got, &g); err != nil {
+		t.Fatalf("codec output is not valid JSON: %v\n%s", err, got)
+	}
+	if err := json.Unmarshal(want, &w); err != nil {
+		t.Fatalf("reference output is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Errorf("codec and stdlib encodings diverge:\ncodec:  %s\nstdlib: %s", got, want)
+	}
+}
+
+// TestAppendPredictionMatchesStdlib: the hand-rolled prediction encoder
+// must be indistinguishable from encoding/json over the PredictResponse
+// wire struct, on a real pipeline prediction.
+func TestAppendPredictionMatchesStdlib(t *testing.T) {
+	svc := codecService(t, 7)
+	p, err := svc.Predict(predict.Request{N: 120, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := appendPrediction(nil, svc.Name(), &p)
+	want, err := json.Marshal(refPredictResponse(svc.Name(), p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualJSON(t, got, want)
+}
+
+// TestAppendObserveMatchesStdlib covers the observe-path encoder, both with
+// an empty snapshot (drifts omitted) and a populated one.
+func TestAppendObserveMatchesStdlib(t *testing.T) {
+	snaps := []calib.Snapshot{
+		{Scale: 1, Target: 0.95},
+		{
+			Observed: 40, WindowFill: 32, RawCapture: 0.9, CalibratedCapture: 0.97,
+			CumRawCapture: 0.88, CumCalibratedCapture: 0.96,
+			MeanSignedRelErr: -0.02, MeanAbsRelErr: 0.07,
+			MeanRawWidth: 0.4, MeanCalibratedWidth: 0.55,
+			Scale: 1.3, Target: 0.95, SinceReset: 12, LastTime: 812.5,
+			Drifts: []calib.DriftEvent{
+				{Time: 400, Seq: 1, Reason: "shift \"up\"", Stat: 3.2},
+				{Time: 700, Seq: 2, Reason: "spread", Stat: 2.8},
+			},
+		},
+	}
+	for i, s := range snaps {
+		got := appendObserve(nil, "platform1", s)
+		want, err := json.Marshal(ObserveResponse{Platform: "platform1", Accuracy: toAccuracyJSON(s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualJSON(t, got, want)
+		if i == 0 && string(got) == "" {
+			t.Fatal("empty encoding")
+		}
+	}
+}
+
+// TestAppendErrorObjMatchesStdlib: error payloads escape like stdlib does.
+func TestAppendErrorObjMatchesStdlib(t *testing.T) {
+	for _, msg := range []string{"plain", `quote " and \ slash`, "line\nbreak\ttab", "ctrl\x01"} {
+		got := appendErrorObj(nil, msg)
+		want, err := json.Marshal(map[string]string{"error": msg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualJSON(t, got, want)
+	}
+}
+
+// TestParsePredictRequestMatchesStdlib: every body the fast parser accepts
+// must decode exactly as encoding/json does; bodies it cannot handle must
+// return an error so the handler falls back (never silently mis-parse).
+func TestParsePredictRequestMatchesStdlib(t *testing.T) {
+	accept := []string{
+		`{"platform":"platform1","n":200,"iterations":5}`,
+		`{"platform":"p2","n":80,"iterations":4,"strategy":"conservative","max_strategy":"magnitude","iteration_rel":"unrelated","advance":2.5}`,
+		` { "n" : 10 , "unknown" : {"nested":[1,2,{"x":"y"}]} , "iterations" : 1 } `,
+		`{"platform":"p","n":100,"iterations":5,"advance":-3.5e-1}`,
+		`{}`,
+	}
+	for _, body := range accept {
+		got, err := parsePredictRequest([]byte(body))
+		if err != nil {
+			t.Errorf("fast parser rejected %s: %v", body, err)
+			continue
+		}
+		var want PredictRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("parse diverged for %s:\nfast:   %+v\nstdlib: %+v", body, got, want)
+		}
+	}
+	fallback := []string{
+		`{"platform":"esc\"aped","n":1}`, // escape sequences
+		`{"n":1e2}`,                      // exponent form: stdlib rejects for int fields
+		`{"n":1} trailing`,
+		`{"n":}`,
+		`[1,2]`,
+		`{"n":1,}`,
+		``,
+	}
+	for _, body := range fallback {
+		if _, err := parsePredictRequest([]byte(body)); err == nil {
+			t.Errorf("fast parser accepted unsupported body %q", body)
+		}
+	}
+}
+
+// TestParseObserveRequestMatchesStdlib mirrors the predict-request test for
+// the observe path.
+func TestParseObserveRequestMatchesStdlib(t *testing.T) {
+	for _, body := range []string{
+		`{"platform":"platform1","id":17,"actual":0.42}`,
+		`{"id":1,"actual":3}`,
+	} {
+		got, err := parseObserveRequest([]byte(body))
+		if err != nil {
+			t.Fatalf("fast parser rejected %s: %v", body, err)
+		}
+		var want ObserveRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("parse diverged for %s: %+v vs %+v", body, got, want)
+		}
+	}
+}
+
+// TestParseBatchRequestMatchesStdlib: the batch wrapper parses item lists
+// exactly as stdlib, and falls back on anything else.
+func TestParseBatchRequestMatchesStdlib(t *testing.T) {
+	accept := []string{
+		`{"requests":[{"platform":"platform1","n":10,"iterations":2},{"platform":"platform2","n":20,"iterations":3,"strategy":"optimistic"}]}`,
+		`{"requests":[]}`,
+		`{"requests":null}`,
+		`{}`,
+	}
+	for _, body := range accept {
+		got, err := parseBatchRequest([]byte(body))
+		if err != nil {
+			t.Errorf("fast parser rejected %s: %v", body, err)
+			continue
+		}
+		var want BatchPredictRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want.Requests) {
+			t.Errorf("parse diverged for %s:\nfast:   %+v\nstdlib: %+v", body, got, want.Requests)
+		}
+	}
+	for _, body := range []string{`{"requests":[{"platform":"a\"b"}]}`, `{"requests":[1]}`, `{"requests":[{}],"x"}`} {
+		if _, err := parseBatchRequest([]byte(body)); err == nil {
+			t.Errorf("fast parser accepted unsupported body %q", body)
+		}
+	}
+}
+
+// TestCodecFewerAllocs is the allocation claim itself: encoding a
+// prediction through the pooled codec must allocate strictly less than the
+// reflection path, and parsing a predict request must not allocate beyond
+// its field strings.
+func TestCodecFewerAllocs(t *testing.T) {
+	svc := codecService(t, 11)
+	p, err := svc.Predict(predict.Request{N: 120, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := svc.Name()
+	codec := testing.AllocsPerRun(200, func() {
+		out := getBuf()
+		out.b = appendPrediction(out.b, name, &p)
+		out.release()
+	})
+	stdlib := testing.AllocsPerRun(200, func() {
+		if _, err := json.Marshal(refPredictResponse(name, p)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if codec >= stdlib {
+		t.Errorf("codec path allocates %.1f/op, stdlib %.1f/op — want strictly fewer", codec, stdlib)
+	}
+	if codec > 1 {
+		t.Errorf("pooled codec encode allocates %.1f/op, want ≤1", codec)
+	}
+}
+
+// BenchmarkServicePredictParallel measures the serving hot path end to end
+// — Predict plus response encoding — under parallel load, once per codec.
+// The codec flavor must show fewer allocs/op than the stdjson flavor.
+func BenchmarkServicePredictParallel(b *testing.B) {
+	for _, mode := range []string{"codec", "stdjson"} {
+		b.Run(mode, func(b *testing.B) {
+			svc := codecService(b, 13)
+			req := predict.Request{N: 120, Iterations: 6}
+			name := svc.Name()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p, err := svc.Predict(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "codec" {
+						out := getBuf()
+						out.b = appendPrediction(out.b, name, &p)
+						out.release()
+					} else {
+						if _, err := json.Marshal(refPredictResponse(name, p)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
+	}
+}

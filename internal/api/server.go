@@ -17,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"prodpred/internal/obs"
@@ -40,6 +41,7 @@ type Route struct {
 // drift.
 var Routes = []Route{
 	{"POST /predict", "issue a stochastic runtime prediction"},
+	{"POST /predict/batch", "issue many predictions in one round trip"},
 	{"POST /observe", "feed a measured runtime back to the online calibrator"},
 	{"GET /accuracy", "capture rates, calibration scale, and drift events"},
 	{"GET /report", "per-machine monitor reports plus calibration state"},
@@ -90,13 +92,14 @@ func NewHandler(reg *predict.Registry, opts Options) http.Handler {
 
 	s := &server{reg: reg}
 	handlers := map[string]http.Handler{
-		"POST /predict": http.HandlerFunc(s.handlePredict),
-		"POST /observe": http.HandlerFunc(s.handleObserve),
-		"GET /accuracy": http.HandlerFunc(s.handleAccuracy),
-		"GET /report":   http.HandlerFunc(s.handleReport),
-		"GET /healthz":  http.HandlerFunc(s.handleHealthz),
-		"POST /advance": http.HandlerFunc(s.handleAdvance),
-		"GET /metrics":  opts.Metrics.Handler(),
+		"POST /predict":       http.HandlerFunc(s.handlePredict),
+		"POST /predict/batch": http.HandlerFunc(s.handleBatchPredict),
+		"POST /observe":       http.HandlerFunc(s.handleObserve),
+		"GET /accuracy":       http.HandlerFunc(s.handleAccuracy),
+		"GET /report":         http.HandlerFunc(s.handleReport),
+		"GET /healthz":        http.HandlerFunc(s.handleHealthz),
+		"POST /advance":       http.HandlerFunc(s.handleAdvance),
+		"GET /metrics":        opts.Metrics.Handler(),
 	}
 	mux := http.NewServeMux()
 	for _, rt := range Routes {
@@ -143,11 +146,52 @@ func platformFrom(r *http.Request) string {
 	return peek.Platform
 }
 
+// maxBodyBytes bounds a request body read into a pooled buffer.
+const maxBodyBytes = 1 << 20
+
+// readBody reads the whole request body into pb, growing as needed.
+func readBody(r *http.Request, pb *poolBuf) error {
+	for {
+		if len(pb.b) == cap(pb.b) {
+			pb.b = append(pb.b, 0)[:len(pb.b)]
+		}
+		n, err := r.Body.Read(pb.b[len(pb.b):cap(pb.b)])
+		pb.b = pb.b[:len(pb.b)+n]
+		if len(pb.b) > maxBodyBytes {
+			return fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// writeRaw sends a pre-encoded JSON payload.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var pr PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
+	in := getBuf()
+	defer in.release()
+	if err := readBody(r, in); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
+	}
+	pr, perr := parsePredictRequest(in.b)
+	if perr != nil {
+		// Fast parser bailed — let encoding/json either handle the exotic
+		// payload or produce the user-visible syntax error.
+		pr = PredictRequest{}
+		if err := json.Unmarshal(in.b, &pr); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
 	}
 	req, err := pr.ToRequest()
 	if err != nil {
@@ -170,27 +214,92 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	lo, hi := pred.Value.Interval()
-	resp := PredictResponse{
-		Platform:         svc.Name(),
-		Time:             pred.Time,
-		ID:               pred.ID,
-		Mean:             pred.Value.Mean,
-		Spread:           pred.Value.Spread,
-		Lo:               lo,
-		Hi:               hi,
-		RawSpread:        pred.Raw.Spread,
-		CalibrationScale: pred.CalibrationScale,
-		Degraded:         pred.Degraded(),
-		PartitionRows:    pred.Partition.Rows,
-		BWMean:           pred.Bandwidth.Mean,
-		BWSpread:         pred.Bandwidth.Spread,
-		BWGaps:           toGapsJSON(pred.BWGaps),
+	out := getBuf()
+	defer out.release()
+	out.b = appendPrediction(out.b, svc.Name(), &pred)
+	writeRaw(w, http.StatusOK, out.b)
+}
+
+// handleBatchPredict answers POST /predict/batch: every item resolves
+// against one frozen virtual tick per platform, repeated request shapes
+// share a single pipeline evaluation, and the whole batch costs one
+// request/response round trip. Items fail independently — the call itself
+// fails only on a malformed envelope, an empty batch, or one above
+// MaxBatchSize.
+func (s *server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
+	in := getBuf()
+	defer in.release()
+	if err := readBody(r, in); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
 	}
-	for _, l := range pred.Loads {
-		resp.Loads = append(resp.Loads, toLoadJSON(l))
+	items, perr := parseBatchRequest(in.b)
+	if perr != nil {
+		var br BatchPredictRequest
+		if err := json.Unmarshal(in.b, &br); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		items = br.Requests
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if len(items) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(items) > MaxBatchSize {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(items), MaxBatchSize))
+		return
+	}
+	// Translate the wire items, remembering which ones are well-formed;
+	// translation failures become positional errors, not a failed batch.
+	reqs := make([]predict.Request, 0, len(items))
+	valid := make([]int, 0, len(items))
+	itemErrs := make([]error, len(items))
+	for i, pr := range items {
+		if pr.Advance != 0 {
+			itemErrs[i] = fmt.Errorf("advance is not supported in a batch (tick-coherent by design)")
+			continue
+		}
+		req, err := pr.ToRequest()
+		if err != nil {
+			itemErrs[i] = err
+			continue
+		}
+		reqs = append(reqs, req)
+		valid = append(valid, i)
+	}
+	preds, predErrs := s.reg.PredictBatch(reqs)
+	predFor := make([]*predict.Prediction, len(items))
+	for j, i := range valid {
+		if predErrs[j] != nil {
+			itemErrs[i] = predErrs[j]
+		} else {
+			predFor[i] = &preds[j]
+		}
+	}
+	out := getBuf()
+	defer out.release()
+	out.b = append(out.b, `{"responses":[`...)
+	errCount := 0
+	for i := range items {
+		if i > 0 {
+			out.b = append(out.b, ',')
+		}
+		if itemErrs[i] != nil {
+			errCount++
+			out.b = appendErrorObj(out.b, itemErrs[i].Error())
+			continue
+		}
+		name := items[i].Platform
+		if svc, err := s.reg.Lookup(name); err == nil {
+			name = svc.Name()
+		}
+		out.b = appendPrediction(out.b, name, predFor[i])
+	}
+	out.b = append(out.b, `],"errors":`...)
+	out.b = strconv.AppendInt(out.b, int64(errCount), 10)
+	out.b = append(out.b, '}')
+	writeRaw(w, http.StatusOK, out.b)
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -221,10 +330,19 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	var or ObserveRequest
-	if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
+	in := getBuf()
+	defer in.release()
+	if err := readBody(r, in); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
+	}
+	or, perr := parseObserveRequest(in.b)
+	if perr != nil {
+		or = ObserveRequest{}
+		if err := json.Unmarshal(in.b, &or); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
 	}
 	svc, err := s.reg.Lookup(or.Platform)
 	if err != nil {
@@ -236,7 +354,10 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ObserveResponse{Platform: svc.Name(), Accuracy: toAccuracyJSON(snap)})
+	out := getBuf()
+	defer out.release()
+	out.b = appendObserve(out.b, svc.Name(), snap)
+	writeRaw(w, http.StatusOK, out.b)
 }
 
 func (s *server) handleAccuracy(w http.ResponseWriter, r *http.Request) {

@@ -233,13 +233,111 @@ func TestAccessLogPlatformFromBody(t *testing.T) {
 // TestRoutesHaveHandlers: the route table and handler map stay in sync —
 // NewHandler panics otherwise, so constructing it is the assertion.
 func TestRoutesHaveHandlers(t *testing.T) {
-	if len(Routes) != 7 {
-		t.Errorf("route table has %d entries, want 7", len(Routes))
+	if len(Routes) != 8 {
+		t.Errorf("route table has %d entries, want 8", len(Routes))
 	}
 	for _, rt := range Routes {
 		parts := strings.SplitN(rt.Pattern, " ", 2)
 		if len(parts) != 2 || rt.Summary == "" {
 			t.Errorf("malformed route %+v", rt)
 		}
+	}
+}
+
+// TestBatchPredict drives POST /predict/batch end to end: mixed platforms
+// in one call, positional results, per-item errors that do not fail the
+// batch, and predictions that remain observable afterwards.
+func TestBatchPredict(t *testing.T) {
+	ts, _, _ := newStack(t, Options{})
+	body, _ := json.Marshal(BatchPredictRequest{Requests: []PredictRequest{
+		{Platform: "platform1", N: 100, Iterations: 4},
+		{Platform: "platform2", N: 100, Iterations: 4},
+		{Platform: "nope", N: 100, Iterations: 4},
+		{Platform: "platform1", N: 100, Iterations: 4}, // same shape: cache hit
+		{Platform: "platform1", N: 0, Iterations: 4},   // invalid: n must be positive
+	}})
+	resp, err := http.Post(ts.URL+"/predict/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchPredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Responses) != 5 {
+		t.Fatalf("got %d responses, want 5", len(br.Responses))
+	}
+	if br.Errors != 2 {
+		t.Errorf("Errors=%d, want 2", br.Errors)
+	}
+	for i, ok := range []bool{true, true, false, true, false} {
+		item := br.Responses[i]
+		if ok && (item.PredictResponse == nil || item.Error != "" || item.ID == 0) {
+			t.Errorf("item %d: want a prediction, got %+v", i, item)
+		}
+		if !ok && (item.Error == "" || item.PredictResponse != nil) {
+			t.Errorf("item %d: want an error, got %+v", i, item)
+		}
+	}
+	// Same tick + same shape must yield the same interval with a fresh ID.
+	a, b := br.Responses[0], br.Responses[3]
+	if a.ID == b.ID {
+		t.Error("cache hit reused a ledger ID")
+	}
+	if a.Mean != b.Mean || a.Spread != b.Spread || a.Time != b.Time {
+		t.Errorf("same-tick same-shape predictions diverged: %+v vs %+v", a, b)
+	}
+	// The batch-issued prediction closes the loop like a single one.
+	obody, _ := json.Marshal(ObserveRequest{Platform: "platform1", ID: a.ID, Actual: a.Mean})
+	oresp, err := http.Post(ts.URL+"/observe", "application/json", bytes.NewReader(obody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusOK {
+		t.Errorf("observe on batch prediction: status %d", oresp.StatusCode)
+	}
+}
+
+// TestBatchPredictRejections: malformed shapes that must 400 — an empty
+// batch, an oversized one — and the per-item advance rejection that keeps
+// a batch tick-coherent.
+func TestBatchPredictRejections(t *testing.T) {
+	ts, _, _ := newStack(t, Options{})
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/predict/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post([]byte(`{"requests":[]}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	big := BatchPredictRequest{Requests: make([]PredictRequest, MaxBatchSize+1)}
+	for i := range big.Requests {
+		big.Requests[i] = PredictRequest{Platform: "platform1", N: 10, Iterations: 1}
+	}
+	bigBody, _ := json.Marshal(big)
+	if resp := post(bigBody); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+	// advance inside a batch item is refused per-item, not per-call.
+	resp := post([]byte(`{"requests":[{"platform":"platform1","n":10,"iterations":1,"advance":5},{"platform":"platform1","n":10,"iterations":1}]}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with advance item: status %d, want 200", resp.StatusCode)
+	}
+	var br BatchPredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Errors != 1 || br.Responses[0].Error == "" || br.Responses[1].PredictResponse == nil {
+		t.Errorf("advance item should fail alone: %+v", br)
 	}
 }

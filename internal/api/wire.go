@@ -168,6 +168,32 @@ type PredictResponse struct {
 	BWGaps           GapsJSON   `json:"bw_gaps"`
 }
 
+// BatchPredictRequest is the POST /predict/batch payload: up to
+// MaxBatchSize independent predict requests answered in one round trip.
+// Requests may target different platforms; each platform's group is
+// resolved in a single shared-clock visit, so repeated request shapes
+// within one virtual tick share a single pipeline evaluation.
+type BatchPredictRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchPredictItem is one positional result in a batch response: either an
+// embedded PredictResponse or an error string, never both.
+type BatchPredictItem struct {
+	*PredictResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchPredictResponse is the POST /predict/batch payload: one item per
+// request, in request order, plus the count of failed items.
+type BatchPredictResponse struct {
+	Responses []BatchPredictItem `json:"responses"`
+	Errors    int                `json:"errors"`
+}
+
+// MaxBatchSize bounds one POST /predict/batch call.
+const MaxBatchSize = 1024
+
 // ReportResponse is the GET /report payload: one platform's monitor
 // reports plus its calibration state.
 type ReportResponse struct {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -75,13 +76,44 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // Wrap instruments next under the given route name. The route name is used
 // as the metric label and log field — use the registered pattern (e.g.
 // "POST /predict"), not the raw request path, to keep cardinality bounded.
+//
+// The per-route series are resolved once at Wrap time and the per-status
+// counter series are cached after first use, so the steady-state request
+// path does no label-key formatting or registry map walks. PlatformFrom
+// (which may peek at the request body) is only consulted when the access
+// log is enabled.
 func (m *HTTPMiddleware) Wrap(route string, next http.Handler) http.Handler {
 	if m == nil {
 		return next
 	}
+	var duration *Histogram
+	if m.duration != nil {
+		duration = m.duration.With(route)
+	}
+	var statusMu sync.RWMutex
+	statusCounters := make(map[[2]string]*Counter)
+	counterFor := func(method string, status int) *Counter {
+		if m.requests == nil {
+			return nil
+		}
+		key := [2]string{method, itoa3(status)}
+		statusMu.RLock()
+		c, ok := statusCounters[key]
+		statusMu.RUnlock()
+		if ok {
+			return c
+		}
+		statusMu.Lock()
+		defer statusMu.Unlock()
+		if c, ok = statusCounters[key]; !ok {
+			c = m.requests.With(route, key[0], key[1])
+			statusCounters[key] = c
+		}
+		return c
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		platform := ""
-		if m.PlatformFrom != nil {
+		if m.Log != nil && m.PlatformFrom != nil {
 			platform = m.PlatformFrom(r)
 		}
 		m.inflight.Add(1)
@@ -91,8 +123,8 @@ func (m *HTTPMiddleware) Wrap(route string, next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
 
-		m.requests.With(route, r.Method, itoa3(rec.status)).Inc()
-		m.duration.With(route).Observe(elapsed.Seconds())
+		counterFor(r.Method, rec.status).Inc()
+		duration.Observe(elapsed.Seconds())
 		if m.Log != nil {
 			line, _ := json.Marshal(map[string]any{
 				"ts":          time.Now().UTC().Format(time.RFC3339Nano),

@@ -110,13 +110,19 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
-// Add adds d to the current value (not atomic against concurrent Add; the
-// serving stack only Sets gauges under the owning service's lock).
+// Add adds d to the current value, atomically: concurrent Adds (the HTTP
+// in-flight gauge) never lose updates.
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
 	}
-	g.Set(g.Value() + d)
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the current value (0 on a nil receiver).

@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"sync"
+
+	"prodpred/internal/nws"
+	"prodpred/internal/sched"
+	"prodpred/internal/sor"
+	"prodpred/internal/stochastic"
+	"prodpred/internal/structural"
+)
+
+// tickCache memoizes the expensive half of Predict — monitor read, robust
+// forecast, partition choice, and structural-model evaluation — within one
+// virtual tick. The whole pipeline is a pure function of (monitor state,
+// request shape), and monitor state only changes when the virtual clock
+// advances, so every Predict between two Advance calls that shares a
+// request shape can share one computed predictionCore.
+//
+// Coherence rule: cache generation == virtual clock. Advance bumps the
+// generation and drops every entry under the service's clock write lock, so
+// a cached core can never be served across a tick boundary — readers hold
+// the clock read lock for the whole lookup-or-compute, and the swap happens
+// only while no reader is inside.
+//
+// Per-request state (ledger ID, calibration multiplier, accuracy snapshot)
+// is deliberately not cached: each hit still issues a fresh ID and applies
+// the calibrator's current scale, so the Observe feedback loop behaves
+// exactly as it does on the uncached path.
+type tickCache struct {
+	mu      sync.RWMutex
+	gen     uint64
+	entries map[cacheKey]*cacheEntry
+}
+
+// cacheKey is the request shape the pipeline output depends on. Requests
+// carrying a pinned Partition or a LoadOverride bypass the cache entirely
+// (the experiments' knobs — their output depends on caller state the key
+// cannot name).
+type cacheKey struct {
+	n, iterations int
+	strategy      sched.Strategy
+	timeBalanced  bool
+	maxStrategy   stochastic.MaxStrategy
+	iterationRel  structural.Relation
+}
+
+// cacheable reports whether req's pipeline output is a pure function of the
+// monitor state and the key fields.
+func cacheable(req Request) bool {
+	return req.Partition == nil && req.LoadOverride == nil
+}
+
+func keyFor(req Request) cacheKey {
+	return cacheKey{
+		n:            req.N,
+		iterations:   req.Iterations,
+		strategy:     req.Strategy,
+		timeBalanced: req.TimeBalanced,
+		maxStrategy:  req.MaxStrategy,
+		iterationRel: req.IterationRel,
+	}
+}
+
+// cacheEntry is one memoized pipeline result. The first goroutine to reach
+// a fresh entry computes under the entry lock; concurrent requests for the
+// same shape block on it and then read the result, so the pipeline runs at
+// most once per (shape, tick) even under a request storm.
+type cacheEntry struct {
+	mu   sync.Mutex
+	gen  uint64 // generation stamped at creation, for diagnostics
+	done bool
+	core *predictionCore
+	err  error
+}
+
+// predictionCore is the tick-scoped, request-shape-scoped part of a
+// Prediction: everything Predict returns except the per-request ledger ID
+// and calibration overlay. Loads and Partition are shared across every
+// prediction served from one core; callers own Prediction values but must
+// not mutate these slices (the pre-cache contract already shared Partition).
+type predictionCore struct {
+	raw       stochastic.Value
+	partition *sor.Partition
+	loads     []MachineReport
+	bandwidth stochastic.Value
+	bwGaps    nws.GapStats
+	time      float64
+}
+
+func newTickCache() *tickCache {
+	return &tickCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// invalidate starts a new generation, dropping every entry. Callers must
+// hold the owning service's clock write lock so no reader is mid-lookup.
+func (c *tickCache) invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gen++
+	c.entries = make(map[cacheKey]*cacheEntry)
+	c.mu.Unlock()
+}
+
+// generation returns the current generation: the number of clock movements
+// since the service was built.
+func (c *tickCache) generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// entry returns the live entry for key, creating an empty one on first
+// touch. The double-checked read keeps the common hit path on the shared
+// read lock.
+func (c *tickCache) entry(key cacheKey) *cacheEntry {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	c.mu.Lock()
+	if e = c.entries[key]; e == nil {
+		e = &cacheEntry{gen: c.gen}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	return e
+}

@@ -20,7 +20,15 @@ const (
 	MetricOutstanding      = "predict_outstanding_predictions"
 	MetricVirtualTime      = "predict_virtual_time_seconds"
 	MetricStageDuration    = "predict_stage_duration_seconds"
+	MetricCacheHits        = "predict_cache_hits_total"
+	MetricCacheMisses      = "predict_cache_misses_total"
+	MetricBatchSize        = "predict_batch_size"
 )
+
+// BatchSizeBuckets are the upper bounds of the predict_batch_size
+// histogram: powers of two spanning a single request to the largest batch
+// the API accepts.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // Stage label values of MetricStageDuration, in pipeline order: catch the
 // monitors up (monitor_read), read their robust stochastic reports
@@ -37,6 +45,9 @@ type serviceMetrics struct {
 	observations *obs.Counter
 	drifts       *obs.Counter
 	gapSamples   *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	batchSize    *obs.Histogram
 	scale        *obs.Gauge
 	outstanding  *obs.Gauge
 	vtime        *obs.Gauge
@@ -61,6 +72,13 @@ func newServiceMetrics(reg *obs.Registry, platform string) *serviceMetrics {
 			"Load-regime drift events detected by the calibrator, by platform.", "platform").With(platform),
 		gapSamples: reg.NewCounterVec(MetricFaultGapSamples,
 			"Sensor samples lost to faults (drops, outages, exhausted transients), by platform.", "platform").With(platform),
+		cacheHits: reg.NewCounterVec(MetricCacheHits,
+			"Predictions served from the tick-scoped forecast cache, by platform.", "platform").With(platform),
+		cacheMisses: reg.NewCounterVec(MetricCacheMisses,
+			"Predictions that ran the full pipeline (first touch per tick, or uncacheable request), by platform.", "platform").With(platform),
+		batchSize: reg.NewHistogramVec(MetricBatchSize,
+			"Requests per POST /predict/batch call, by platform.",
+			BatchSizeBuckets, "platform").With(platform),
 		scale: reg.NewGaugeVec(MetricCalibrationScale,
 			"Current conformal half-width multiplier, by platform (1 = uncalibrated).", "platform").With(platform),
 		outstanding: reg.NewGaugeVec(MetricOutstanding,
@@ -92,6 +110,25 @@ func (m *serviceMetrics) stageTimer(stage string) func() {
 func (m *serviceMetrics) recordError() {
 	if m != nil {
 		m.errors.Inc()
+	}
+}
+
+func (m *serviceMetrics) recordCacheHit() {
+	if m != nil {
+		m.cacheHits.Inc()
+	}
+}
+
+func (m *serviceMetrics) recordCacheMiss() {
+	if m != nil {
+		m.cacheMisses.Inc()
+	}
+}
+
+// recordBatch records one PredictBatch call's size.
+func (m *serviceMetrics) recordBatch(n int) {
+	if m != nil {
+		m.batchSize.Observe(float64(n))
 	}
 }
 

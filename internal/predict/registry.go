@@ -95,6 +95,45 @@ func (r *Registry) Predict(req Request) (Prediction, error) {
 	return s.Predict(req)
 }
 
+// PredictBatch routes many requests in one call: requests are grouped by
+// platform (preserving first-appearance order) and each group is resolved
+// with a single shared-clock visit to its service, so a batch touching one
+// platform's monitors pays the shard/cache walk once per distinct request
+// shape. Results and errors are positional, parallel to reqs; a request for
+// an unknown platform gets the lookup error at its index without failing
+// the rest.
+func (r *Registry) PredictBatch(reqs []Request) ([]Prediction, []error) {
+	preds := make([]Prediction, len(reqs))
+	errs := make([]error, len(reqs))
+	byPlat := make(map[string][]int)
+	var order []string
+	for i, req := range reqs {
+		if _, ok := byPlat[req.Platform]; !ok {
+			order = append(order, req.Platform)
+		}
+		byPlat[req.Platform] = append(byPlat[req.Platform], i)
+	}
+	for _, name := range order {
+		idxs := byPlat[name]
+		svc, err := r.Lookup(name)
+		if err != nil {
+			for _, i := range idxs {
+				errs[i] = err
+			}
+			continue
+		}
+		sub := make([]Request, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reqs[i]
+		}
+		subPreds, subErrs := svc.PredictBatch(sub)
+		for j, i := range idxs {
+			preds[i], errs[i] = subPreds[j], subErrs[j]
+		}
+	}
+	return preds, errs
+}
+
 // Observe routes a measured runtime (virtual seconds) to the service that
 // issued the prediction, closing the accuracy loop for that platform.
 func (r *Registry) Observe(platform string, id uint64, actual float64) (calib.Snapshot, error) {

@@ -52,12 +52,31 @@ type Config struct {
 	// near-zero cost; telemetry never feeds back into predictions, so
 	// same-seed determinism is unaffected either way.
 	Metrics *obs.Registry
+	// DisableTickCache turns off the tick-scoped forecast cache, forcing
+	// every Predict through the full pipeline — the reference path the
+	// stress tests and the cached-vs-uncached CI smoke compare against.
+	// Cached and uncached services are bit-identical for the same seed and
+	// clock schedule; the cache only changes how often the (pure) pipeline
+	// runs.
+	DisableTickCache bool
 }
 
 // maxOutstanding bounds how many issued-but-unobserved predictions a
 // service remembers for the Observe path; beyond it the oldest are evicted
 // (a caller that never observes must not grow the service without bound).
 const maxOutstanding = 4096
+
+// monitorShard is one independently locked monitor. CPU monitors get one
+// shard per machine and bandwidth monitors one shard per probe size, so
+// concurrent Predicts touching different monitors never serialize on a
+// service-wide lock. A bandwidth shard is inserted into the map before its
+// monitor exists; the monitor is built lazily under the shard's own lock
+// (double-checked), so a first-touch probe size stalls only requests for
+// that same probe size.
+type monitorShard struct {
+	mu  sync.Mutex
+	mon *nws.Monitor
+}
 
 // Service is a long-lived, goroutine-safe prediction service over one
 // simulated production platform. It owns the platform's NWS monitors and a
@@ -66,32 +85,53 @@ const maxOutstanding = 4096
 // methods may be called concurrently; results are deterministic for a
 // given seed and clock schedule because every sensor and fault decision is
 // a pure function of virtual time.
+//
+// Locking: clockMu orders everything against clock movement — Advance holds
+// it exclusively while it runs monitors forward and invalidates the tick
+// cache; every reader (Predict, Reports, Observe, ...) holds it shared, so
+// all requests between two advances see one frozen monitor state. Under the
+// shared clock lock, per-monitor shard locks serialize access to individual
+// (non-thread-safe) monitors, and ledgerMu guards the Observe ledger. Lock
+// order: clockMu > cache entry > shard > ledgerMu; the calibration tracker
+// carries its own internal lock and is never held across another.
 type Service struct {
-	mu       sync.Mutex
 	name     string
 	plat     *cluster.Platform
 	env      *simenv.Env
 	machines []cluster.Machine
 	link     cluster.Link
-	monitors []*nws.Monitor
-	bw       map[float64]*nws.Monitor // keyed by probe size (bytes)
 	netMon   bool
 	period   float64
 	history  int
 	prior    stochastic.Value
-	now      float64
+
+	clockMu sync.RWMutex
+	now     float64
+
+	shards []monitorShard // one per machine, CPU monitors
+
+	bwMu sync.RWMutex
+	bw   map[float64]*monitorShard // keyed by probe size (bytes)
+
+	// cache is the tick-scoped forecast cache (nil when disabled): all
+	// Predicts between two Advance calls that share a request shape share
+	// one pipeline evaluation.
+	cache *tickCache
 
 	// Online accuracy state: the per-platform tracker plus the ledger of
 	// issued-but-unobserved predictions the Observe path resolves against.
+	// The tracker locks internally; ledgerMu guards the ledger maps.
 	tracker     *calib.Tracker
+	ledgerMu    sync.Mutex
 	nextID      uint64
 	issued      map[uint64]issuedPrediction
 	issuedOrder []uint64 // issue order, for bounded eviction
 
 	// Telemetry (nil when Config.Metrics was nil). lastMissed tracks the
 	// missed-sample total already exported, so the fault-gap counter only
-	// ever advances by deltas.
+	// ever advances by deltas; metricsMu serializes the delta computation.
 	metrics    *serviceMetrics
+	metricsMu  sync.Mutex
 	lastMissed int
 }
 
@@ -133,14 +173,17 @@ func NewService(cfg Config) (*Service, error) {
 		plat:     cfg.Platform,
 		env:      env,
 		machines: make([]cluster.Machine, p),
-		monitors: make([]*nws.Monitor, p),
-		bw:       make(map[float64]*nws.Monitor),
+		shards:   make([]monitorShard, p),
+		bw:       make(map[float64]*monitorShard),
 		period:   period,
 		history:  history,
 		prior:    prior,
 		tracker:  tracker,
 		issued:   make(map[uint64]issuedPrediction),
 		metrics:  newServiceMetrics(cfg.Metrics, cfg.Platform.Name),
+	}
+	if !cfg.DisableTickCache {
+		s.cache = newTickCache()
 	}
 	_, constant := cfg.Net.(load.Constant)
 	s.netMon = !constant
@@ -156,7 +199,7 @@ func NewService(cfg Config) (*Service, error) {
 		if cfg.Injector != nil {
 			sensor = cfg.Injector.Sensor(i, sensor)
 		}
-		if s.monitors[i], err = nws.NewSensorMonitor(sensor, period, history); err != nil {
+		if s.shards[i].mon, err = nws.NewSensorMonitor(sensor, period, history); err != nil {
 			return nil, err
 		}
 	}
@@ -180,10 +223,16 @@ func (s *Service) Machines() []cluster.Machine {
 
 // Now returns the current virtual time, in virtual seconds.
 func (s *Service) Now() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
 	return s.now
 }
+
+// CacheGeneration returns the tick cache's generation counter: the number
+// of clock movements since the service was built (0 when the cache is
+// disabled). The coherence invariant is generation == virtual clock — a
+// cached forecast is never served across an Advance.
+func (s *Service) CacheGeneration() uint64 { return s.cache.generation() }
 
 // Advance moves the clock forward by dt virtual seconds, taking every
 // sensor measurement that falls due.
@@ -191,55 +240,99 @@ func (s *Service) Advance(dt float64) error {
 	if dt < 0 {
 		return fmt.Errorf("predict: negative advance %g", dt)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.Lock()
+	defer s.clockMu.Unlock()
 	return s.advanceToLocked(s.now + dt)
 }
 
 // AdvanceTo moves the clock to absolute virtual time t >= Now().
 func (s *Service) AdvanceTo(t float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.Lock()
+	defer s.clockMu.Unlock()
 	if t < s.now {
 		return fmt.Errorf("predict: cannot advance backwards from %g to %g", s.now, t)
 	}
 	return s.advanceToLocked(t)
 }
 
+// advanceToLocked moves the clock under the exclusive clock lock: monitors
+// run forward shard by shard, then the tick cache generation rolls so no
+// stale forecast survives the tick boundary. A no-op advance (t == now)
+// leaves the cache intact — monitor state cannot have changed.
 func (s *Service) advanceToLocked(t float64) error {
+	moved := t != s.now
 	s.now = t
-	for _, mon := range s.monitors {
-		if err := mon.RunUntil(t); err != nil {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.mon.RunUntil(t)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	for _, mon := range s.bw {
-		if err := mon.RunUntil(t); err != nil {
+	s.bwMu.RLock()
+	bwShards := make([]*monitorShard, 0, len(s.bw))
+	for _, sh := range s.bw {
+		bwShards = append(bwShards, sh)
+	}
+	s.bwMu.RUnlock()
+	for _, sh := range bwShards {
+		sh.mu.Lock()
+		var err error
+		if sh.mon != nil {
+			err = sh.mon.RunUntil(t)
+		}
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	s.syncClockMetricsLocked()
+	if moved {
+		s.cache.invalidate()
+	}
+	s.syncClockMetrics()
 	return nil
 }
 
-// syncClockMetricsLocked publishes the virtual clock and the fault-gap
-// delta accumulated since the previous sync.
-func (s *Service) syncClockMetricsLocked() {
+// syncClockMetrics publishes the virtual clock and the fault-gap delta
+// accumulated since the previous sync. Callers must hold clockMu (shared or
+// exclusive); shard locks are taken briefly per monitor.
+func (s *Service) syncClockMetrics() {
 	if s.metrics == nil {
 		return
 	}
 	missed := 0
-	for _, mon := range s.monitors {
-		missed += mon.Gaps().Missed
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		missed += sh.mon.Gaps().Missed
+		sh.mu.Unlock()
 	}
-	for _, mon := range s.bw {
-		missed += mon.Gaps().Missed
+	s.bwMu.RLock()
+	bwShards := make([]*monitorShard, 0, len(s.bw))
+	for _, sh := range s.bw {
+		bwShards = append(bwShards, sh)
 	}
-	s.metrics.recordClock(s.now, missed-s.lastMissed)
-	s.lastMissed = missed
+	s.bwMu.RUnlock()
+	for _, sh := range bwShards {
+		sh.mu.Lock()
+		if sh.mon != nil {
+			missed += sh.mon.Gaps().Missed
+		}
+		sh.mu.Unlock()
+	}
+	s.metricsMu.Lock()
+	if missed > s.lastMissed {
+		s.metrics.recordClock(s.now, missed-s.lastMissed)
+		s.lastMissed = missed
+	} else {
+		s.metrics.recordClock(s.now, 0)
+	}
+	s.metricsMu.Unlock()
 }
 
-func (s *Service) checkPlatformLocked(name string) error {
+func (s *Service) checkPlatform(name string) error {
 	if name != "" && name != s.name {
 		return fmt.Errorf("predict: request for platform %q on service for %q", name, s.name)
 	}
@@ -256,39 +349,58 @@ func validateRequest(req Request) error {
 	return nil
 }
 
-// loadsLocked reads one stochastic load value per machine: the override
-// when the request carries one, the gap-aware RobustReport fallback chain
-// (forecast -> running mean -> prior) otherwise. The two pipeline stages it
-// spans are timed separately: monitor_read (catching every monitor up to
-// the current virtual time — normally a no-op, since Advance already did)
-// and forecast (producing the stochastic load reports).
-func (s *Service) loadsLocked(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, error) {
+// readLoads reads one stochastic load value per machine — the override when
+// the request carries one, the gap-aware RobustReport fallback chain
+// (forecast -> running mean -> prior) otherwise — plus the per-machine
+// diagnostic reports. Callers hold the shared clock lock; each machine's
+// shard lock is taken per pass. The two pipeline stages it spans are timed
+// separately: monitor_read (catching every monitor up to the current
+// virtual time — normally a no-op, since Advance already did) and forecast
+// (producing the stochastic load reports).
+func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, []MachineReport, error) {
 	stopRead := s.metrics.stageTimer("monitor_read")
-	for _, mon := range s.monitors {
-		if err := mon.RunUntil(s.now); err != nil {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.mon.RunUntil(s.now)
+		sh.mu.Unlock()
+		if err != nil {
 			stopRead()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	stopRead()
 	stopForecast := s.metrics.stageTimer("forecast")
 	defer stopForecast()
-	loads := make([]stochastic.Value, len(s.monitors))
-	for i, mon := range s.monitors {
+	loads := make([]stochastic.Value, len(s.shards))
+	reports := make([]MachineReport, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
 		if override != nil {
-			v, err := override(i, mon)
+			v, err := override(i, sh.mon)
 			if err != nil {
-				return nil, err
+				sh.mu.Unlock()
+				return nil, nil, err
 			}
 			loads[i] = v
 		} else {
-			loads[i] = mon.RobustReport(s.now, s.prior)
+			loads[i] = sh.mon.RobustReport(s.now, s.prior)
 		}
+		reports[i] = MachineReport{
+			Machine:   i,
+			Load:      loads[i],
+			Raw:       s.env.RawCPUAvail(i, s.now),
+			Staleness: sh.mon.Staleness(),
+			Widening:  sh.mon.DegradationFactor(),
+			Gaps:      sh.mon.Gaps(),
+		}
+		sh.mu.Unlock()
 	}
-	return loads, nil
+	return loads, reports, nil
 }
 
-func (s *Service) partitionLocked(req Request, loads []stochastic.Value) (*sor.Partition, error) {
+func (s *Service) choosePartition(req Request, loads []stochastic.Value) (*sor.Partition, error) {
 	defer s.metrics.stageTimer("schedule")()
 	if req.TimeBalanced {
 		return sched.TimeBalancedPartition(req.N, s.machines, loads, s.link, timeBalanceRefinements)
@@ -301,77 +413,169 @@ func (s *Service) partitionLocked(req Request, loads []stochastic.Value) (*sor.P
 // series can pin one decomposition (via Request.Partition) across many
 // Predict calls, the way the paper fixes the schedule once per series.
 func (s *Service) Partition(req Request) (*sor.Partition, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkPlatformLocked(req.Platform); err != nil {
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	if err := s.checkPlatform(req.Platform); err != nil {
 		return nil, err
 	}
 	if err := validateRequest(req); err != nil {
 		return nil, err
 	}
-	loads, err := s.loadsLocked(req.LoadOverride)
+	loads, _, err := s.readLoads(req.LoadOverride)
 	if err != nil {
 		return nil, err
 	}
-	return s.partitionLocked(req, loads)
+	return s.choosePartition(req, loads)
 }
 
-// bwMonitorLocked returns the bandwidth monitor probing with n's
-// ghost-row-sized messages, creating and catching it up on first use.
-// Monitors are pure functions of virtual time, so a late-created monitor
-// has exactly the history an early-created one would.
-func (s *Service) bwMonitorLocked(n int) (*nws.Monitor, error) {
+// bwReport returns the bandwidth fraction forecast for n's ghost-row-sized
+// probe messages, creating the monitor on first use behind a double-checked
+// per-shard lock: the shard is published under a brief map write lock, and
+// the (expensive) monitor construction and catch-up happen under that
+// shard's own lock, so a first-touch probe size can never stall Predicts
+// for other probe sizes or other machines. Monitors are pure functions of
+// virtual time, so a late-created monitor has exactly the history an
+// early-created one would.
+func (s *Service) bwReport(n int) (stochastic.Value, nws.GapStats, error) {
 	probeBytes := float64(n-2) * 8
-	if mon, ok := s.bw[probeBytes]; ok {
-		return mon, nil
+	s.bwMu.RLock()
+	sh := s.bw[probeBytes]
+	s.bwMu.RUnlock()
+	if sh == nil {
+		s.bwMu.Lock()
+		if sh = s.bw[probeBytes]; sh == nil {
+			sh = &monitorShard{}
+			s.bw[probeBytes] = sh
+		}
+		s.bwMu.Unlock()
 	}
-	mon, err := nws.NewBandwidthMonitor(s.env, 0, 1, probeBytes, s.period, s.history)
-	if err != nil {
-		return nil, err
+	sh.mu.Lock()
+	created := false
+	if sh.mon == nil {
+		mon, err := nws.NewBandwidthMonitor(s.env, 0, 1, probeBytes, s.period, s.history)
+		if err != nil {
+			sh.mu.Unlock()
+			return stochastic.Value{}, nws.GapStats{}, err
+		}
+		if err := mon.RunUntil(s.now); err != nil {
+			sh.mu.Unlock()
+			return stochastic.Value{}, nws.GapStats{}, err
+		}
+		sh.mon = mon
+		created = true
 	}
-	if err := mon.RunUntil(s.now); err != nil {
-		return nil, err
+	bw := sh.mon.RobustReport(s.now, stochastic.New(s.link.DedBW/2, s.link.DedBW/2))
+	gaps := sh.mon.Gaps()
+	sh.mu.Unlock()
+	if created {
+		// A first-use bandwidth monitor may have accumulated gaps while
+		// catching up; fold them into the fault-gap counter.
+		s.syncClockMetrics()
 	}
-	s.bw[probeBytes] = mon
-	return mon, nil
+	frac := bw.MulPoint(1 / s.link.DedBW)
+	if frac.Mean <= 0.01 {
+		frac = stochastic.New(0.01, frac.Spread)
+	}
+	return frac, gaps, nil
 }
 
 // Predict answers one request at the current virtual time: read per-machine
 // load reports, choose (or reuse) the partition, parameterize the SOR
-// structural model, and evaluate it to a stochastic prediction. When the
-// service carries a metrics registry, the call records per-stage wall-clock
-// latencies (monitor_read -> forecast -> schedule -> model_eval, plus the
-// whole call as stage "predict") and the per-platform counters/gauges.
+// structural model, and evaluate it to a stochastic prediction. Between two
+// Advance calls the pipeline result for a given request shape is computed
+// once and served from the tick cache (each hit still issues a fresh ledger
+// ID and applies the current calibration multiplier). When the service
+// carries a metrics registry, the call records per-stage wall-clock
+// latencies (monitor_read -> forecast -> schedule -> model_eval on cache
+// misses, plus the whole call as stage "predict") and the per-platform
+// counters/gauges.
 func (s *Service) Predict(req Request) (Prediction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
 	stop := s.metrics.stageTimer("predict")
-	p, err := s.predictLocked(req)
+	p, err := s.predictShared(req)
 	stop()
 	if err != nil {
 		s.metrics.recordError()
 		return Prediction{}, err
 	}
-	s.metrics.recordPredict(p.CalibrationScale, len(s.issued))
-	s.syncClockMetricsLocked() // a first-use bandwidth monitor may have added gaps
 	return p, nil
 }
 
-func (s *Service) predictLocked(req Request) (Prediction, error) {
-	if err := s.checkPlatformLocked(req.Platform); err != nil {
+// PredictBatch answers many requests in one shared-clock visit: every
+// request resolves against the same frozen tick, distinct request shapes
+// run the pipeline once each, and repeated shapes are served from the tick
+// cache. Results and errors are positional; a failed request leaves a zero
+// Prediction and a non-nil error at its index without failing the rest.
+func (s *Service) PredictBatch(reqs []Request) ([]Prediction, []error) {
+	preds := make([]Prediction, len(reqs))
+	errs := make([]error, len(reqs))
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	s.metrics.recordBatch(len(reqs))
+	for i, req := range reqs {
+		stop := s.metrics.stageTimer("predict")
+		p, err := s.predictShared(req)
+		stop()
+		if err != nil {
+			s.metrics.recordError()
+			errs[i] = err
+			continue
+		}
+		preds[i] = p
+	}
+	return preds, errs
+}
+
+// predictShared resolves one request under the shared clock lock: validate,
+// fetch-or-compute the tick-scoped pipeline core, then apply the
+// per-request overlay (calibration, ledger ID, accuracy snapshot).
+func (s *Service) predictShared(req Request) (Prediction, error) {
+	if err := s.checkPlatform(req.Platform); err != nil {
 		return Prediction{}, err
 	}
 	if err := validateRequest(req); err != nil {
 		return Prediction{}, err
 	}
-	loads, err := s.loadsLocked(req.LoadOverride)
+	core, err := s.resolveCore(req)
 	if err != nil {
 		return Prediction{}, err
 	}
+	return s.finishPrediction(core), nil
+}
+
+// resolveCore returns the pipeline result for req — from the tick cache
+// when possible, computing (and memoizing) it on first touch. Uncacheable
+// requests (pinned Partition or LoadOverride) always run the pipeline.
+func (s *Service) resolveCore(req Request) (*predictionCore, error) {
+	if s.cache == nil || !cacheable(req) {
+		s.metrics.recordCacheMiss()
+		return s.computeCore(req)
+	}
+	e := s.cache.entry(keyFor(req))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		s.metrics.recordCacheHit()
+		return e.core, e.err
+	}
+	s.metrics.recordCacheMiss()
+	e.core, e.err = s.computeCore(req)
+	e.done = true
+	return e.core, e.err
+}
+
+// computeCore runs the full monitor -> forecast -> schedule -> model
+// pipeline once at the current tick. Callers hold the shared clock lock.
+func (s *Service) computeCore(req Request) (*predictionCore, error) {
+	loads, reports, err := s.readLoads(req.LoadOverride)
+	if err != nil {
+		return nil, err
+	}
 	part := req.Partition
 	if part == nil {
-		if part, err = s.partitionLocked(req, loads); err != nil {
-			return Prediction{}, err
+		if part, err = s.choosePartition(req, loads); err != nil {
+			return nil, err
 		}
 	}
 	params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
@@ -382,18 +586,13 @@ func (s *Service) predictLocked(req Request) (Prediction, error) {
 		// achieved bytes/s, expressed as a fraction of the dedicated link
 		// rate. Same fallback chain as the CPU monitors; the prior claims
 		// half the dedicated rate ± the full range.
-		mon, err := s.bwMonitorLocked(req.N)
+		frac, gaps, err := s.bwReport(req.N)
 		if err != nil {
-			return Prediction{}, err
-		}
-		bw := mon.RobustReport(s.now, stochastic.New(s.link.DedBW/2, s.link.DedBW/2))
-		frac := bw.MulPoint(1 / s.link.DedBW)
-		if frac.Mean <= 0.01 {
-			frac = stochastic.New(0.01, frac.Spread)
+			return nil, err
 		}
 		params[structural.BWAvailParam] = frac
 		bwFrac = frac
-		bwGaps = mon.Gaps()
+		bwGaps = gaps
 	}
 	for i, l := range loads {
 		params[structural.LoadParam(i)] = l
@@ -412,41 +611,49 @@ func (s *Service) predictLocked(req Request) (Prediction, error) {
 	v, err := model.Predict(params)
 	stopEval()
 	if err != nil {
-		return Prediction{}, err
+		return nil, err
 	}
-	reports := make([]MachineReport, len(loads))
-	for i := range loads {
-		reports[i] = MachineReport{
-			Machine:   i,
-			Load:      loads[i],
-			Raw:       s.env.RawCPUAvail(i, s.now),
-			Staleness: s.monitors[i].Staleness(),
-			Widening:  s.monitors[i].DegradationFactor(),
-			Gaps:      s.monitors[i].Gaps(),
-		}
-	}
-	cal := s.tracker.Calibrate(v)
+	return &predictionCore{
+		raw:       v,
+		partition: part,
+		loads:     reports,
+		bandwidth: bwFrac,
+		bwGaps:    bwGaps,
+		time:      s.now,
+	}, nil
+}
+
+// finishPrediction applies the per-request overlay to a (possibly shared)
+// pipeline core: the calibrator's current multiplier, a fresh ledger ID,
+// and the accuracy snapshot at issue time.
+func (s *Service) finishPrediction(core *predictionCore) Prediction {
+	cal := s.tracker.Calibrate(core.raw)
 	scale := 1.0
-	if v.Spread > 0 {
-		scale = cal.Spread / v.Spread
+	if core.raw.Spread > 0 {
+		scale = cal.Spread / core.raw.Spread
 	}
-	id := s.issueLocked(v, cal)
+	s.ledgerMu.Lock()
+	id := s.issueLocked(core.raw, cal)
+	outstanding := len(s.issued)
+	s.ledgerMu.Unlock()
+	s.metrics.recordPredict(scale, outstanding)
 	return Prediction{
 		ID:               id,
 		Value:            cal,
-		Raw:              v,
+		Raw:              core.raw,
 		CalibrationScale: scale,
 		Calibration:      s.tracker.Snapshot(),
-		Partition:        part,
-		Time:             s.now,
-		Loads:            reports,
-		Bandwidth:        bwFrac,
-		BWGaps:           bwGaps,
-	}, nil
+		Partition:        core.partition,
+		Time:             core.time,
+		Loads:            core.loads,
+		Bandwidth:        core.bandwidth,
+		BWGaps:           core.bwGaps,
+	}
 }
 
 // issueLocked registers a freshly answered prediction in the Observe
 // ledger, evicting the oldest unobserved entry past the retention bound.
+// Callers hold ledgerMu.
 func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
 	s.nextID++
 	id := s.nextID
@@ -469,13 +676,18 @@ func (s *Service) Observe(id uint64, actual float64) (calib.Snapshot, error) {
 	if actual <= 0 {
 		return calib.Snapshot{}, fmt.Errorf("predict: non-positive actual runtime %g", actual)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	s.ledgerMu.Lock()
 	ip, ok := s.issued[id]
+	if ok {
+		delete(s.issued, id)
+	}
+	outstanding := len(s.issued)
+	s.ledgerMu.Unlock()
 	if !ok {
 		return calib.Snapshot{}, fmt.Errorf("predict: prediction id %d was never issued by platform %q (or was already observed)", id, s.name)
 	}
-	delete(s.issued, id)
 	_, drifted := s.tracker.Observe(calib.Outcome{
 		ID:         id,
 		Time:       s.now,
@@ -483,7 +695,7 @@ func (s *Service) Observe(id uint64, actual float64) (calib.Snapshot, error) {
 		Calibrated: ip.calibrated,
 		Actual:     actual,
 	})
-	s.metrics.recordObserve(s.tracker.Scale(), len(s.issued), drifted)
+	s.metrics.recordObserve(s.tracker.Scale(), outstanding, drifted)
 	return s.tracker.Snapshot(), nil
 }
 
@@ -495,37 +707,43 @@ func (s *Service) Accuracy() calib.Snapshot {
 
 // Outstanding reports how many issued predictions await an Observe call.
 func (s *Service) Outstanding() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ledgerMu.Lock()
+	defer s.ledgerMu.Unlock()
 	return len(s.issued)
 }
 
 // Reports returns the current per-machine load reports (robust fallback
 // chain) without evaluating a model — the /report endpoint's view.
 func (s *Service) Reports() []MachineReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reports := make([]MachineReport, len(s.monitors))
-	for i, mon := range s.monitors {
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	reports := make([]MachineReport, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
 		reports[i] = MachineReport{
 			Machine:   i,
-			Load:      mon.RobustReport(s.now, s.prior),
+			Load:      sh.mon.RobustReport(s.now, s.prior),
 			Raw:       s.env.RawCPUAvail(i, s.now),
-			Staleness: mon.Staleness(),
-			Widening:  mon.DegradationFactor(),
-			Gaps:      mon.Gaps(),
+			Staleness: sh.mon.Staleness(),
+			Widening:  sh.mon.DegradationFactor(),
+			Gaps:      sh.mon.Gaps(),
 		}
+		sh.mu.Unlock()
 	}
 	return reports
 }
 
 // CPUGaps returns each CPU monitor's per-fault-class gap counters.
 func (s *Service) CPUGaps() []nws.GapStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	gaps := make([]nws.GapStats, len(s.monitors))
-	for i, mon := range s.monitors {
-		gaps[i] = mon.Gaps()
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	gaps := make([]nws.GapStats, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		gaps[i] = sh.mon.Gaps()
+		sh.mu.Unlock()
 	}
 	return gaps
 }
@@ -534,11 +752,23 @@ func (s *Service) CPUGaps() []nws.GapStats {
 // sizes (LongestGap is the max). It is zero when the network is
 // contention-free or no prediction has consulted bandwidth yet.
 func (s *Service) BWGaps() nws.GapStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	s.bwMu.RLock()
+	bwShards := make([]*monitorShard, 0, len(s.bw))
+	for _, sh := range s.bw {
+		bwShards = append(bwShards, sh)
+	}
+	s.bwMu.RUnlock()
 	var total nws.GapStats
-	for _, mon := range s.bw {
-		g := mon.Gaps()
+	for _, sh := range bwShards {
+		sh.mu.Lock()
+		if sh.mon == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		g := sh.mon.Gaps()
+		sh.mu.Unlock()
 		total.Clean += g.Clean
 		total.Recovered += g.Recovered
 		total.Retries += g.Retries

@@ -1,0 +1,192 @@
+package predict_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"prodpred/internal/predict"
+	"prodpred/internal/stochastic"
+)
+
+// shardService builds the stress platform with the tick cache on or off —
+// the two serving paths the coherence tests compare.
+func shardService(t *testing.T, seed int64, noCache bool) *predict.Service {
+	t.Helper()
+	cfg, err := predict.SimulatedConfig(2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Injector = stressInjector(t, seed, 4)
+	cfg.History = 256
+	cfg.DisableTickCache = noCache
+	svc, err := predict.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// stressShapes are distinct request shapes — distinct cache keys — so the
+// stress tests exercise several cache entries per tick, not one.
+func stressShapes() []predict.Request {
+	return []predict.Request{
+		{N: 120, Iterations: 6, MaxStrategy: stochastic.LargestMean},
+		{N: 60, Iterations: 3, MaxStrategy: stochastic.LargestMean},
+		{N: 240, Iterations: 6, MaxStrategy: stochastic.LargestMagnitude},
+		{N: 120, Iterations: 6, MaxStrategy: stochastic.LargestMean, TimeBalanced: true},
+	}
+}
+
+// TestShardedPredictTickCoherence is the sharded-state -race stress test:
+// many goroutines Predict with mixed request shapes while another advances
+// the clock. Two invariants must hold no matter how the scheduler
+// interleaves them: (a) every prediction carries a virtual time the clock
+// actually stood at, and all predictions sharing a (time, shape) pair are
+// identical — a cache hit can never leak a core computed at an older tick;
+// (b) once an Advance call has returned, no later Predict may be stamped
+// with a pre-advance time.
+func TestShardedPredictTickCoherence(t *testing.T) {
+	svc := shardService(t, 47, false)
+	shapes := stressShapes()
+	startGen := svc.CacheGeneration()
+
+	type obs struct {
+		time  float64
+		shape int
+		value stochastic.Value
+	}
+	var (
+		mu   sync.Mutex
+		seen []obs
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				shape := (w + i) % len(shapes)
+				p, err := svc.Predict(shapes[shape])
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				seen = append(seen, obs{p.Time, shape, p.Value})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Let the workers land predictions at every tick before moving the
+	// clock, so each advance genuinely interleaves with concurrent hits.
+	waitForSamples := func(n int) {
+		for {
+			mu.Lock()
+			c := len(seen)
+			mu.Unlock()
+			if c >= n {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	ticks := map[float64]bool{svc.Now(): true}
+	for i := 0; i < 6; i++ {
+		waitForSamples((i + 1) * 16)
+		if err := svc.Advance(31); err != nil {
+			t.Fatal(err)
+		}
+		ticks[svc.Now()] = true
+		// A Predict issued strictly after Advance returned must see the
+		// new clock, never a cached pre-advance core.
+		p, err := svc.Predict(shapes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Time != svc.Now() {
+			t.Fatalf("stale prediction escaped: issued at %v after advancing to %v", p.Time, svc.Now())
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	byKey := map[string]stochastic.Value{}
+	for _, o := range seen {
+		if !ticks[o.time] {
+			t.Fatalf("prediction stamped with time %v, which the clock never stood at", o.time)
+		}
+		key := fmt.Sprintf("%v/%d", o.time, o.shape)
+		if first, ok := byKey[key]; !ok {
+			byKey[key] = o.value
+		} else if first != o.value {
+			t.Fatalf("tick %s: predictions diverged: %v vs %v", key, first, o.value)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("stress run produced no concurrent predictions")
+	}
+	if svc.CacheGeneration() == startGen {
+		t.Error("advances did not move the cache generation")
+	}
+}
+
+// TestCachedMatchesUncached locks down the cache's core guarantee: the
+// tick-scoped cache is a pure memoization, so a cached service and a
+// DisableTickCache service with the same seed, driven through the same
+// predict/observe/advance sequence, must emit byte-identical predictions
+// (IDs, calibration state, monitor diagnostics — everything).
+func TestCachedMatchesUncached(t *testing.T) {
+	run := func(noCache bool) []string {
+		svc := shardService(t, 51, noCache)
+		shapes := stressShapes()
+		var got []string
+		for r := 0; r < 5; r++ {
+			for rep := 0; rep < 3; rep++ { // repeats hit the cache on the cached service
+				for _, req := range shapes {
+					p, err := svc.Predict(req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// %#v renders the partition as a pointer address;
+					// compare its contents instead.
+					part := "<nil>"
+					if p.Partition != nil {
+						part = fmt.Sprintf("%#v", *p.Partition)
+					}
+					p.Partition = nil
+					got = append(got, fmt.Sprintf("%#v|%s", p, part))
+					if rep == 0 {
+						if _, err := svc.Observe(p.ID, p.Raw.Mean*1.03); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if err := svc.Advance(29); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got = append(got, fmt.Sprintf("%#v", svc.Accuracy()))
+		return got
+	}
+	cached, uncached := run(false), run(true)
+	if len(cached) != len(uncached) {
+		t.Fatalf("run lengths diverged: %d vs %d", len(cached), len(uncached))
+	}
+	for i := range cached {
+		if cached[i] != uncached[i] {
+			t.Fatalf("step %d diverged:\ncached:   %s\nuncached: %s", i, cached[i], uncached[i])
+		}
+	}
+}

@@ -82,6 +82,23 @@ func TestOperationsDocumentsEveryMetric(t *testing.T) {
 			t.Errorf("OPERATIONS.md does not document stage %q", stage)
 		}
 	}
+	// The serving-cache and batch families must be both registered (the
+	// enumeration above would miss a family that silently stopped being
+	// registered) and documented.
+	registered := make(map[string]bool, len(names))
+	for _, name := range names {
+		registered[name] = true
+	}
+	for _, name := range []string{
+		predict.MetricCacheHits, predict.MetricCacheMisses, predict.MetricBatchSize,
+	} {
+		if !registered[name] {
+			t.Errorf("serving stack no longer registers %q", name)
+		}
+		if !strings.Contains(ops, "`"+name+"`") {
+			t.Errorf("OPERATIONS.md does not document metric %q", name)
+		}
+	}
 }
 
 func TestReadmeLinksOperations(t *testing.T) {

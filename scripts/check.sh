@@ -19,11 +19,12 @@ go test -race ./...
 # error (no measurement — regressions are caught by scripts/bench.sh).
 go test -bench=. -benchtime=1x -run '^$' ./...
 
-# Loadtest smoke: a short closed-loop run against the in-process serving
+# Loadtest smokes: a short closed-loop run against the in-process serving
 # stack must produce nonzero throughput with zero request errors and a
-# parseable /metrics exposition (the asserting test wraps cmd/loadtest's
-# run function; ~2 s budget).
-go test -run TestRunInProcessSmoke -count=1 ./cmd/loadtest
+# parseable /metrics exposition, and the tick-cached serving path must not
+# be slower than the same run with the cache disabled (~4 s budget total;
+# the asserting tests wrap cmd/loadtest's run function).
+go test -run 'TestRunInProcessSmoke|TestCacheVsUncachedSmoke' -count=1 ./cmd/loadtest
 
 # Coverage summary for the online-calibration layer (report-only, no gate).
 go test -cover ./internal/calib ./internal/predict | awk '{print "check.sh: coverage:", $0}'
