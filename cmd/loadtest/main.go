@@ -18,6 +18,15 @@
 //	loadtest -duration 2 -bench-out BENCH_$(date +%F).json
 //	loadtest -duration 3 -batch 16          # drive POST /predict/batch
 //	loadtest -duration 3 -no-cache          # A/B the tick cache off
+//	loadtest -platforms 1000 -kill-restore  # multi-tenant fleet mode
+//
+// With -platforms N, the in-process server hosts a fleet of N declarative
+// tenant specs (lazily instantiated on first request) instead of the two
+// paper platforms, and workers spread requests across the whole fleet.
+// With -kill-restore, the driver snapshots the server mid-run via
+// POST /snapshot, tears it down, restores a new server from the image,
+// and the workload continues against the restored fleet — the run must
+// still finish with zero errors.
 package main
 
 import (
@@ -55,6 +64,8 @@ func main() {
 	flag.IntVar(&cfg.Batch, "batch", 0, "requests per POST /predict/batch call (0 = use POST /predict)")
 	flag.BoolVar(&cfg.NoCache, "no-cache", false, "disable the tick-scoped forecast cache on the in-process platforms")
 	flag.StringVar(&cfg.BenchOut, "bench-out", "", "JSON file to merge a \"serving\" entry into (BENCH_<date>.json style)")
+	flag.IntVar(&cfg.Platforms, "platforms", 0, "host a fleet of N lazily-instantiated tenant specs instead of the two paper platforms")
+	flag.BoolVar(&cfg.KillRestore, "kill-restore", false, "snapshot, kill, and restore the in-process server mid-run")
 	flag.Parse()
 
 	res, err := run(cfg)
@@ -86,6 +97,8 @@ type config struct {
 	Batch       int
 	NoCache     bool
 	BenchOut    string
+	Platforms   int  // fleet size (0 = the two paper platforms)
+	KillRestore bool // snapshot/kill/restore the in-process server mid-run
 }
 
 // opStats summarizes one operation's latency sample: the stochastic
@@ -111,6 +124,51 @@ type result struct {
 	Throughput     float64 // total requests per wall second
 	Ops            map[string]opStats
 	MetricFamilies int // families on GET /metrics (0 if the scrape failed)
+	Platforms      int // fleet size (0 = the two paper platforms)
+	Restores       int // mid-run snapshot/kill/restore cycles completed
+}
+
+// serverHandle is the workload's swappable view of the target server.
+// Workers hold the read lock for one whole closed-loop iteration (predict
+// through observe), so the kill/restore sequence — which takes the write
+// lock — only ever runs between iterations: no prediction is issued on the
+// old server and observed on the restored one before the snapshot captured
+// it.
+type serverHandle struct {
+	mu       sync.RWMutex
+	target   string
+	ts       *httptest.Server // nil when driving an external -url daemon
+	restores int
+}
+
+// killRestore snapshots the in-process server over its own HTTP API, tears
+// it down, and brings up a new server restored from the image — the
+// operator's crash-recovery drill, compressed into one run.
+func (h *serverHandle) killRestore() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	resp, err := http.Post(h.target+"/snapshot", "application/octet-stream", nil)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("snapshot body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot: status %d: %s", resp.StatusCode, snap)
+	}
+	h.ts.Close()
+	metrics := obs.NewRegistry()
+	reg, err := predict.ReadSnapshot(bytes.NewReader(snap), predict.RegistryOptions{Metrics: metrics})
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	h.ts = httptest.NewServer(api.NewHandler(reg, api.Options{Metrics: metrics}))
+	h.target = h.ts.URL
+	h.restores++
+	return nil
 }
 
 // run drives the closed-loop workload and aggregates the latency samples.
@@ -118,15 +176,16 @@ func run(cfg config) (result, error) {
 	if cfg.Workers < 1 || cfg.Duration <= 0 {
 		return result{}, fmt.Errorf("need workers >= 1 and duration > 0")
 	}
-	target := cfg.URL
-	var ts *httptest.Server
-	if target == "" {
-		var err error
-		ts, err = inProcess(cfg.Seed, cfg.Warmup, cfg.NoCache)
+	h := &serverHandle{target: cfg.URL}
+	if h.target == "" {
+		ts, err := inProcess(cfg)
 		if err != nil {
 			return result{}, err
 		}
-		target = ts.URL
+		h.ts, h.target = ts, ts.URL
+	}
+	if cfg.KillRestore && h.ts == nil {
+		return result{}, fmt.Errorf("-kill-restore needs the in-process server (drop -url)")
 	}
 
 	type sample struct {
@@ -149,7 +208,12 @@ func run(cfg config) (result, error) {
 			client := &http.Client{Timeout: 30 * time.Second}
 			var local []sample
 			for time.Now().Before(deadline) {
+				h.mu.RLock()
+				target := h.target
 				platform := fmt.Sprintf("platform%d", 1+rng.Intn(2))
+				if cfg.Platforms > 0 {
+					platform = fmt.Sprintf("tenant-%04d", rng.Intn(cfg.Platforms))
+				}
 				var pr api.PredictResponse
 				var ms float64
 				var err error
@@ -168,24 +232,42 @@ func run(cfg config) (result, error) {
 					ms, err := doAdvance(client, target, platform)
 					local = append(local, sample{"advance", ms, 1, err == nil})
 				}
+				h.mu.RUnlock()
 			}
 			mu.Lock()
 			samples = append(samples, local...)
 			mu.Unlock()
 		}(w)
 	}
+	killErr := make(chan error, 1)
+	if cfg.KillRestore {
+		go func() {
+			// Halfway through the run: enough traffic before the snapshot to
+			// make the image non-trivial, enough after to prove the restored
+			// fleet serves.
+			time.Sleep(time.Duration(cfg.Duration * float64(time.Second) / 2))
+			killErr <- h.killRestore()
+		}()
+	} else {
+		killErr <- nil
+	}
 	// Wait for every worker to finish before touching the server again: the
 	// metrics scrape below must not race in-flight requests, and the
 	// in-process server is closed only after the scrape so no worker ever
 	// sees a connection torn down mid-call (the old error-count flake).
 	wg.Wait()
+	if err := <-killErr; err != nil {
+		return result{}, err
+	}
 
 	res := result{
-		Target:   target,
-		Duration: cfg.Duration,
-		Workers:  cfg.Workers,
-		Batch:    cfg.Batch,
-		Ops:      map[string]opStats{},
+		Target:    h.target,
+		Duration:  cfg.Duration,
+		Workers:   cfg.Workers,
+		Batch:     cfg.Batch,
+		Platforms: cfg.Platforms,
+		Restores:  h.restores,
+		Ops:       map[string]opStats{},
 	}
 	byOp := map[string][]float64{}
 	for _, s := range samples {
@@ -213,30 +295,41 @@ func run(cfg config) (result, error) {
 			P50MS:  p50, P95MS: p95, P99MS: p99,
 		}
 	}
-	res.MetricFamilies = scrapeMetrics(target)
-	if ts != nil {
-		ts.Close()
+	res.MetricFamilies = scrapeMetrics(h.target)
+	if h.ts != nil {
+		h.ts.Close()
 	}
 	return res, nil
 }
 
-// inProcess builds the daemon's serving stack — both simulated platforms
-// on a shared metrics registry behind api.NewHandler — in this process.
-func inProcess(seed int64, warmup float64, noCache bool) (*httptest.Server, error) {
+// inProcess builds the daemon's serving stack in this process: both
+// simulated platforms on a shared metrics registry behind api.NewHandler,
+// or — with cfg.Platforms > 0 — a fleet of that many declarative tenant
+// specs, registered cold so instantiation cost lands on first request.
+func inProcess(cfg config) (*httptest.Server, error) {
 	metrics := obs.NewRegistry()
-	reg := predict.NewRegistry()
+	reg := predict.NewRegistryWith(predict.RegistryOptions{Metrics: metrics})
+	if cfg.Platforms > 0 {
+		for _, spec := range predict.FleetSpecs(cfg.Platforms, cfg.Seed) {
+			spec.DisableTickCache = cfg.NoCache
+			if err := reg.RegisterSpec(spec); err != nil {
+				return nil, err
+			}
+		}
+		return httptest.NewServer(api.NewHandler(reg, api.Options{Metrics: metrics})), nil
+	}
 	for _, id := range []int{1, 2} {
-		cfg, err := predict.SimulatedConfig(id, seed)
+		c, err := predict.SimulatedConfig(id, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Metrics = metrics
-		cfg.DisableTickCache = noCache
-		svc, err := predict.NewService(cfg)
+		c.Metrics = metrics
+		c.DisableTickCache = cfg.NoCache
+		svc, err := predict.NewService(c)
 		if err != nil {
 			return nil, err
 		}
-		if err := svc.AdvanceTo(warmup); err != nil {
+		if err := svc.AdvanceTo(cfg.Warmup); err != nil {
 			return nil, err
 		}
 		if err := reg.Register(svc); err != nil {
@@ -344,6 +437,9 @@ func scrapeMetrics(target string) int {
 // stable layout.
 func (r result) print(w io.Writer) {
 	fmt.Fprintf(w, "loadtest: %d workers for %.1fs against %s\n", r.Workers, r.Duration, r.Target)
+	if r.Platforms > 0 {
+		fmt.Fprintf(w, "fleet: %d tenant platforms, %d kill/restore cycles\n", r.Platforms, r.Restores)
+	}
 	fmt.Fprintf(w, "total %d requests (%.1f req/s), %d errors\n", r.Total, r.Throughput, r.Errors)
 	ops := make([]string, 0, len(r.Ops))
 	for op := range r.Ops {
@@ -384,7 +480,12 @@ func mergeBenchEntry(path string, r result) error {
 		serving[op+"_p95_ms"] = round2(s.P95MS)
 	}
 	key := "serving"
-	if r.Batch > 1 {
+	switch {
+	case r.Platforms > 0:
+		key = "serving_fleet"
+		serving["platforms"] = r.Platforms
+		serving["kill_restores"] = r.Restores
+	case r.Batch > 1:
 		key = "serving_batch"
 		serving["batch"] = r.Batch
 	}

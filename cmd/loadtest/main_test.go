@@ -130,6 +130,32 @@ func TestCacheVsUncachedSmoke(t *testing.T) {
 	t.Logf("cached %.1f req/s, uncached %.1f req/s", cached.Throughput, uncached.Throughput)
 }
 
+// TestRunFleetKillRestoreSmoke is the fleet-mode acceptance: 1,000
+// lazily-instantiated tenant platforms, a mid-run snapshot/kill/restore
+// cycle, and the run still completes with zero request errors.
+func TestRunFleetKillRestoreSmoke(t *testing.T) {
+	res, err := run(config{
+		Seed: 1, Duration: 2, Workers: 8,
+		N: 120, Iterations: 4, ObserveFrac: 0.8, AdvanceFrac: 0.1,
+		Platforms: 1000, KillRestore: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors across the kill/restore cycle", res.Errors)
+	}
+	if res.Restores != 1 {
+		t.Errorf("restores = %d, want 1", res.Restores)
+	}
+	if p := res.Ops["predict"]; p.Count == 0 {
+		t.Fatalf("no predict samples: %+v", res.Ops)
+	}
+	if res.Platforms != 1000 {
+		t.Errorf("result platforms = %d", res.Platforms)
+	}
+}
+
 // TestRunBatchSmoke drives the POST /predict/batch path in-process: batch
 // samples must appear, account for every item in the throughput, and stay
 // error-free.

@@ -18,16 +18,24 @@
 //	               the platform's calibration state
 //	GET  /healthz  — status plus per-fault-class gap counters
 //	POST /advance  {"platform":"platform2","seconds":60} — manual clock step
+//	POST /snapshot — stream a binary image of the full fleet state,
+//	               restorable with -restore
 //	GET  /metrics  — Prometheus text exposition (see OPERATIONS.md for the
 //	               full metric catalog)
 //
-// With -pprof, net/http/pprof is mounted under /debug/pprof/; with
-// -log-requests, one JSON access-log line per request goes to stderr. The
-// operator runbook is OPERATIONS.md at the repo root.
+// With -specs fleet.json, the daemon serves the declarative fleet in the
+// file instead of the built-in paper platforms; tenants instantiate lazily
+// on their first request. With -restore snap.bin, the daemon resumes a
+// fleet captured by POST /snapshot, bit-identical to a run that never
+// stopped. With -pprof, net/http/pprof is mounted under /debug/pprof/;
+// with -log-requests, one JSON access-log line per request goes to stderr.
+// The operator runbook is OPERATIONS.md at the repo root.
 //
 // Usage:
 //
 //	predictd -addr :8080 -seed 1 -warmup 600 -tick 5 -drop 0.1 -pprof
+//	predictd -specs fleet.json
+//	predictd -restore snap.bin
 package main
 
 import (
@@ -61,12 +69,14 @@ func main() {
 		outageEnd = flag.Float64("outage-end", 0, "outage window end on machine 0 (virtual s)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logReqs   = flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
+		specsPath = flag.String("specs", "", "serve the declarative fleet in this JSON file instead of the built-in platforms")
+		restore   = flag.String("restore", "", "resume the fleet captured in this POST /snapshot image")
 	)
 	flag.Parse()
 	if err := run(*addr, *seed, *warmup, *tick, faultFlags{
 		drop: *drop, transient: *transient, spike: *spike,
 		outageStart: *outageAt, outageEnd: *outageEnd,
-	}, *pprofOn, *logReqs); err != nil {
+	}, *specsPath, *restore, *pprofOn, *logReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "predictd:", err)
 		os.Exit(1)
 	}
@@ -104,37 +114,99 @@ func (f faultFlags) injector(seed int64, machines int) (*faults.Injector, error)
 	return in, nil
 }
 
+// specs translates the flags into the declarative per-machine fault
+// schedules a PlatformSpec carries — the same shape injector builds, so a
+// spec-hosted platform serves bit-identical values to a config-hosted one.
+func (f faultFlags) specs(machines int) []predict.FaultSpec {
+	hasOutage := f.outageEnd > f.outageStart
+	if f.drop == 0 && f.transient == 0 && f.spike == 0 && !hasOutage {
+		return nil
+	}
+	out := make([]predict.FaultSpec, machines)
+	for m := range out {
+		out[m] = predict.FaultSpec{Machine: m, Drop: f.drop, Transient: f.transient, Spike: f.spike}
+		if m == 0 && hasOutage {
+			out[m].Outages = []predict.OutageSpec{{Start: f.outageStart, End: f.outageEnd}}
+		}
+	}
+	return out
+}
+
 // buildRegistry hosts both paper platforms under the same seed, warmup,
-// and fault schedule. A non-nil metrics registry instruments every service
-// (per-stage timings, per-platform counters); nil disables telemetry.
+// and fault schedule, declared as specs so the fleet is snapshottable.
+// The hosted defaults are instantiated eagerly: the daemon pays warmup at
+// startup, not on the first request. A non-nil metrics registry
+// instruments every service (per-stage timings, per-platform counters);
+// nil disables telemetry.
 func buildRegistry(seed int64, warmup float64, ff faultFlags, metrics *obs.Registry) (*predict.Registry, error) {
-	reg := predict.NewRegistry()
+	reg := predict.NewRegistryWith(predict.RegistryOptions{Metrics: metrics})
 	for _, id := range []int{1, 2} {
-		cfg, err := predict.SimulatedConfig(id, seed)
+		spec, err := predict.SimulatedSpec(id, seed)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Metrics = metrics
-		if cfg.Injector, err = ff.injector(seed+int64(id), cfg.Platform.Size()); err != nil {
+		spec.Warmup = warmup
+		spec.FaultSeed = seed + int64(id)
+		spec.Faults = ff.specs(len(spec.Machines))
+		if err := reg.RegisterSpec(spec); err != nil {
 			return nil, err
 		}
-		svc, err := predict.NewService(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := svc.AdvanceTo(warmup); err != nil {
-			return nil, err
-		}
-		if err := reg.Register(svc); err != nil {
+		if _, err := reg.Lookup(spec.Name); err != nil {
 			return nil, err
 		}
 	}
 	return reg, nil
 }
 
-func run(addr string, seed int64, warmup, tick float64, ff faultFlags, pprofOn, logReqs bool) error {
+// specRegistry serves the declarative fleet in path: every spec registers
+// cold and instantiates lazily on its first request.
+func specRegistry(path string, metrics *obs.Registry) (*predict.Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := predict.ParseSpecs(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	reg := predict.NewRegistryWith(predict.RegistryOptions{Metrics: metrics})
+	for _, spec := range specs {
+		if err := reg.RegisterSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// restoreRegistry resumes the fleet captured in a POST /snapshot image.
+func restoreRegistry(path string, metrics *obs.Registry) (*predict.Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reg, err := predict.ReadSnapshot(f, predict.RegistryOptions{Metrics: metrics})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reg, nil
+}
+
+func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath, restorePath string, pprofOn, logReqs bool) error {
 	metrics := obs.NewRegistry()
-	reg, err := buildRegistry(seed, warmup, ff, metrics)
+	var reg *predict.Registry
+	var err error
+	switch {
+	case restorePath != "" && specsPath != "":
+		return errors.New("-specs and -restore are mutually exclusive")
+	case restorePath != "":
+		reg, err = restoreRegistry(restorePath, metrics)
+	case specsPath != "":
+		reg, err = specRegistry(specsPath, metrics)
+	default:
+		reg, err = buildRegistry(seed, warmup, ff, metrics)
+	}
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,7 @@ var Routes = []Route{
 	{"GET /report", "per-machine monitor reports plus calibration state"},
 	{"GET /healthz", "serving status plus per-fault-class gap counters"},
 	{"POST /advance", "manually advance a platform's virtual clock"},
+	{"POST /snapshot", "stream a binary snapshot of the full fleet state"},
 	{"GET /metrics", "Prometheus text exposition of the metric catalog"},
 }
 
@@ -99,6 +100,7 @@ func NewHandler(reg *predict.Registry, opts Options) http.Handler {
 		"GET /report":         http.HandlerFunc(s.handleReport),
 		"GET /healthz":        http.HandlerFunc(s.handleHealthz),
 		"POST /advance":       http.HandlerFunc(s.handleAdvance),
+		"POST /snapshot":      http.HandlerFunc(s.handleSnapshot),
 		"GET /metrics":        opts.Metrics.Handler(),
 	}
 	mux := http.NewServeMux()
@@ -439,6 +441,23 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		out[svc.Name()] = svc.Now()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSnapshot answers POST /snapshot: the versioned binary image of
+// every registered platform — cold specs included — suitable for
+// `predictd -restore`. POST, not GET: exporting takes each live service's
+// clock lock exclusively, briefly pausing its serving path, so the
+// operation is not a safe idempotent read.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WriteSnapshot(&buf); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

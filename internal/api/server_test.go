@@ -233,8 +233,8 @@ func TestAccessLogPlatformFromBody(t *testing.T) {
 // TestRoutesHaveHandlers: the route table and handler map stay in sync —
 // NewHandler panics otherwise, so constructing it is the assertion.
 func TestRoutesHaveHandlers(t *testing.T) {
-	if len(Routes) != 8 {
-		t.Errorf("route table has %d entries, want 8", len(Routes))
+	if len(Routes) != 9 {
+		t.Errorf("route table has %d entries, want 9", len(Routes))
 	}
 	for _, rt := range Routes {
 		parts := strings.SplitN(rt.Pattern, " ", 2)

@@ -1,0 +1,112 @@
+package calib
+
+import "fmt"
+
+// WindowRec is one windowed outcome in exported form — the portable mirror
+// of the private rec.
+type WindowRec struct {
+	ID       uint64
+	Time     float64
+	Z        float64
+	Score    float64
+	Signed   float64
+	Abs      float64
+	RawW     float64
+	CalW     float64
+	RawIn    bool
+	CalIn    bool
+	Armed    bool
+	Excluded bool
+}
+
+// State is the complete dynamic state of a Tracker in portable form, for
+// the snapshot/restore path: a Tracker evolves only through Observe, so
+// exporting this state and importing it into a Tracker built with the same
+// Config yields byte-identical future behavior for the same observation
+// sequence.
+type State struct {
+	Window []WindowRec
+	Drifts []DriftEvent
+
+	Observed int
+	CumRawIn int
+	CumCalIn int
+	LastTime float64
+
+	// Per-regime state (cleared by drift resets).
+	SinceReset int
+	Scale      float64
+	BaseN      int
+	BaseSum    float64
+	CusumPos   float64
+	CusumNeg   float64
+	SinceCheck int
+	BaseModes  int
+}
+
+// ExportState returns a consistent copy of the tracker's full dynamic
+// state.
+func (t *Tracker) ExportState() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{
+		Window:     make([]WindowRec, len(t.window)),
+		Drifts:     append([]DriftEvent(nil), t.drifts...),
+		Observed:   t.observed,
+		CumRawIn:   t.cumRawIn,
+		CumCalIn:   t.cumCalIn,
+		LastTime:   t.lastTime,
+		SinceReset: t.sinceReset,
+		Scale:      t.scale,
+		BaseN:      t.baseN,
+		BaseSum:    t.baseSum,
+		CusumPos:   t.cusumPos,
+		CusumNeg:   t.cusumNeg,
+		SinceCheck: t.sinceCheck,
+		BaseModes:  t.baseModes,
+	}
+	for i, r := range t.window {
+		st.Window[i] = WindowRec{
+			ID: r.id, Time: r.time, Z: r.z, Score: r.score,
+			Signed: r.signed, Abs: r.abs, RawW: r.rawW, CalW: r.calW,
+			RawIn: r.rawIn, CalIn: r.calIn, Armed: r.armed, Excluded: r.excluded,
+		}
+	}
+	return st
+}
+
+// ImportState replaces the tracker's dynamic state with st. The tracker
+// must carry the same Config the state was exported under (the window
+// bound, in particular, is validated here).
+func (t *Tracker) ImportState(st State) error {
+	if len(st.Window) > t.cfg.Window {
+		return fmt.Errorf("calib: state window %d exceeds configured window %d", len(st.Window), t.cfg.Window)
+	}
+	if !(st.Scale > 0) {
+		return fmt.Errorf("calib: state scale %g must be positive", st.Scale)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.window = make([]rec, len(st.Window))
+	for i, r := range st.Window {
+		t.window[i] = rec{
+			id: r.ID, time: r.Time, z: r.Z, score: r.Score,
+			signed: r.Signed, abs: r.Abs, rawW: r.RawW, calW: r.CalW,
+			rawIn: r.RawIn, calIn: r.CalIn, armed: r.Armed, excluded: r.Excluded,
+		}
+	}
+	t.drifts = append([]DriftEvent(nil), st.Drifts...)
+	t.observed = st.Observed
+	t.cumRawIn = st.CumRawIn
+	t.cumCalIn = st.CumCalIn
+	t.lastTime = st.LastTime
+	t.sinceReset = st.SinceReset
+	t.scale = st.Scale
+	t.baseN = st.BaseN
+	t.baseSum = st.BaseSum
+	t.cusumPos = st.CusumPos
+	t.cusumNeg = st.CusumNeg
+	t.sinceCheck = st.SinceCheck
+	t.baseModes = st.BaseModes
+	return nil
+}

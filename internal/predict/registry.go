@@ -4,25 +4,160 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"prodpred/internal/calib"
+	"prodpred/internal/obs"
 )
 
+// DefaultRegistryShards is how many independently locked shards platform
+// names are consistent-hashed across when RegistryOptions.Shards is zero.
+const DefaultRegistryShards = 32
+
+// ringVNodes is the number of virtual nodes each shard contributes to the
+// hash ring; more vnodes spread tenants more evenly across shards.
+const ringVNodes = 64
+
+// RegistryOptions tunes a fleet registry.
+type RegistryOptions struct {
+	// Shards is the number of lock shards (DefaultRegistryShards when 0).
+	Shards int
+	// Metrics, when non-nil, instruments every lazily instantiated service
+	// (eagerly Register()ed services carry whatever their Config chose).
+	Metrics *obs.Registry
+}
+
 // Registry routes requests to the Service owning the named platform — the
-// multi-platform front a serving daemon puts before several Services.
-// Safe for concurrent use.
+// multi-tenant front a serving daemon puts before its fleet. Platform
+// names are consistent-hashed across independently locked shards, so
+// Lookup and PredictBatch on thousands of tenants never contend on one
+// registry-wide mutex. Platforms register either as live services
+// (Register) or as declarative specs (RegisterSpec) that instantiate
+// lazily — build, warm up, publish — on the first request that names
+// them. Safe for concurrent use.
 type Registry struct {
-	mu sync.RWMutex
-	m  map[string]*Service
+	shards  []registryShard
+	ring    []ringPoint
+	metrics *obs.Registry
+
+	// countMu guards the registration count and the sole-platform name the
+	// empty-name Lookup convenience resolves through.
+	countMu  sync.Mutex
+	count    int
+	soleName string
 }
 
-// NewRegistry returns an empty registry.
+// registryShard is one lock domain of the registry: the subset of
+// platforms whose names hash to it. services is the live fast path
+// (published under the write lock once a service exists); entries holds
+// every registration, cold or live.
+type registryShard struct {
+	mu       sync.RWMutex
+	services map[string]*Service
+	entries  map[string]*platformEntry
+}
+
+// platformEntry is one registered platform. A spec entry starts cold and
+// memoizes its build (service or error) under its own mutex, so
+// concurrent first requests for a cold tenant build it exactly once and a
+// slow build never blocks requests for other tenants on the same shard.
+type platformEntry struct {
+	spec *PlatformSpec // nil for directly registered services
+
+	mu    sync.Mutex
+	built bool
+	svc   *Service
+	err   error
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard uint32
+}
+
+// NewRegistry returns an empty registry with default options.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*Service)}
+	return NewRegistryWith(RegistryOptions{})
 }
 
-// Register adds a service under its platform name.
+// NewRegistryWith returns an empty registry with the given shard count and
+// instrumentation.
+func NewRegistryWith(opts RegistryOptions) *Registry {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultRegistryShards
+	}
+	r := &Registry{
+		shards:  make([]registryShard, n),
+		ring:    buildRing(n),
+		metrics: opts.Metrics,
+	}
+	for i := range r.shards {
+		r.shards[i].services = make(map[string]*Service)
+		r.shards[i].entries = make(map[string]*platformEntry)
+	}
+	return r
+}
+
+// buildRing hashes ringVNodes virtual nodes per shard onto a sorted ring.
+func buildRing(shards int) []ringPoint {
+	ring := make([]ringPoint, 0, shards*ringVNodes)
+	var key [16]byte
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVNodes; v++ {
+			n := copy(key[:], "shard")
+			key[n] = byte(s)
+			key[n+1] = byte(s >> 8)
+			key[n+2] = byte(v)
+			key[n+3] = byte(v >> 8)
+			ring = append(ring, ringPoint{hash: fnv64a(string(key[:n+4])), shard: uint32(s)})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	return ring
+}
+
+// fnv64a is an inline FNV-1a so the per-request hash allocates nothing.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shardFor maps a platform name to its shard: the first ring point at or
+// clockwise after the name's hash.
+func (r *Registry) shardFor(name string) *registryShard {
+	h := fnv64a(name)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return &r.shards[r.ring[i].shard]
+}
+
+// registered records a new registration for the empty-name resolution
+// bookkeeping.
+func (r *Registry) registered(name string) {
+	r.countMu.Lock()
+	r.count++
+	if r.count == 1 {
+		r.soleName = name
+	} else {
+		r.soleName = ""
+	}
+	r.countMu.Unlock()
+}
+
+// Register adds a live service under its platform name.
 func (r *Registry) Register(s *Service) error {
 	if s == nil {
 		return errors.New("predict: nil service")
@@ -30,60 +165,203 @@ func (r *Registry) Register(s *Service) error {
 	if s.Name() == "" {
 		return errors.New("predict: service platform has no name")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.m[s.Name()]; ok {
+	sh := r.shardFor(s.Name())
+	sh.mu.Lock()
+	if _, ok := sh.entries[s.Name()]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("predict: platform %q already registered", s.Name())
 	}
-	r.m[s.Name()] = s
+	sh.entries[s.Name()] = &platformEntry{spec: s.Spec(), built: true, svc: s}
+	sh.services[s.Name()] = s
+	sh.mu.Unlock()
+	r.registered(s.Name())
 	return nil
 }
 
-// Lookup finds the service for a platform name. An empty name resolves only
-// when exactly one service is registered.
+// RegisterSpec adds a cold declarative platform: the spec is validated and
+// deep-copied now, and the Service is built — config, constructor, warmup
+// — on the first request that names it.
+func (r *Registry) RegisterSpec(spec PlatformSpec) error {
+	if spec.Name == "" {
+		return errors.New("predict: spec missing platform name")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	sh := r.shardFor(spec.Name)
+	sh.mu.Lock()
+	if _, ok := sh.entries[spec.Name]; ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("predict: platform %q already registered", spec.Name)
+	}
+	sh.entries[spec.Name] = &platformEntry{spec: spec.clone()}
+	sh.mu.Unlock()
+	r.registered(spec.Name)
+	return nil
+}
+
+// registerRestored installs a spec together with its already-live restored
+// service — the snapshot restore path.
+func (r *Registry) registerRestored(spec *PlatformSpec, s *Service) error {
+	sh := r.shardFor(spec.Name)
+	sh.mu.Lock()
+	if _, ok := sh.entries[spec.Name]; ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("predict: platform %q already registered", spec.Name)
+	}
+	sh.entries[spec.Name] = &platformEntry{spec: spec, built: true, svc: s}
+	sh.services[spec.Name] = s
+	sh.mu.Unlock()
+	r.registered(spec.Name)
+	return nil
+}
+
+// Lookup finds (or lazily instantiates) the service for a platform name.
+// An empty name resolves only when exactly one platform is registered.
+// Misses allocate a bounded error — a count plus the few nearest names —
+// never the full tenant list.
 func (r *Registry) Lookup(name string) (*Service, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if name == "" {
-		if len(r.m) == 1 {
-			for _, s := range r.m {
-				return s, nil
-			}
+		r.countMu.Lock()
+		count, sole := r.count, r.soleName
+		r.countMu.Unlock()
+		if count == 1 && sole != "" {
+			return r.Lookup(sole)
 		}
-		return nil, fmt.Errorf("predict: no platform named; registered: %v", r.namesLocked())
+		return nil, r.missError("predict: no platform named", "")
 	}
-	s, ok := r.m[name]
-	if !ok {
-		return nil, fmt.Errorf("predict: unknown platform %q; registered: %v", name, r.namesLocked())
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	svc := sh.services[name]
+	e := sh.entries[name]
+	sh.mu.RUnlock()
+	if svc != nil {
+		return svc, nil
 	}
-	return s, nil
+	if e == nil {
+		return nil, r.missError(fmt.Sprintf("predict: unknown platform %q", name), name)
+	}
+	return e.instantiate(r, sh)
 }
 
-// Names returns the registered platform names, sorted.
+// instantiate builds the entry's service exactly once, memoizing the
+// result (or the error) and publishing the live service on the shard's
+// fast path.
+func (e *platformEntry) instantiate(r *Registry, sh *registryShard) (*Service, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.built {
+		return e.svc, e.err
+	}
+	svc, err := NewServiceFromSpec(e.spec, r.metrics)
+	if err != nil {
+		err = fmt.Errorf("predict: instantiating platform %q: %w", e.spec.Name, err)
+	}
+	e.svc, e.err, e.built = svc, err, true
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	sh.services[e.spec.Name] = svc
+	sh.mu.Unlock()
+	return svc, nil
+}
+
+// missError builds the bounded lookup-failure error: prefix, registration
+// count, and up to three nearest registered names (longest shared prefix
+// first) — never the full fleet roster.
+func (r *Registry) missError(prefix, miss string) error {
+	count, nearest := r.nearestNames(miss, 3)
+	if count == 0 {
+		return fmt.Errorf("%s; no platforms registered", prefix)
+	}
+	return fmt.Errorf("%s; %d platform(s) registered (nearest: %s)", prefix, count, strings.Join(nearest, ", "))
+}
+
+// nearestNames returns the total registration count and the k registered
+// names nearest to miss, ranked by longest shared prefix then
+// lexicographically. O(fleet) time on the error path only; the happy path
+// never calls it.
+func (r *Registry) nearestNames(miss string, k int) (int, []string) {
+	type cand struct {
+		name   string
+		shared int
+	}
+	var cands []cand
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name := range sh.entries {
+			cands = append(cands, cand{name: name, shared: sharedPrefix(name, miss)})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].shared != cands[j].shared {
+			return cands[i].shared > cands[j].shared
+		}
+		return cands[i].name < cands[j].name
+	})
+	n := len(cands)
+	if k > n {
+		k = n
+	}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = cands[i].name
+	}
+	return n, names
+}
+
+func sharedPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Names returns every registered platform name (live or cold), sorted.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.namesLocked()
-}
-
-func (r *Registry) namesLocked() []string {
-	names := make([]string, 0, len(r.m))
-	for name := range r.m {
-		names = append(names, name)
+	var names []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name := range sh.entries {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Services returns the registered services in platform-name order.
+// Services returns the live (instantiated) services in platform-name
+// order; cold specs are not materialized.
 func (r *Registry) Services() []*Service {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Service, 0, len(r.m))
-	for _, name := range r.namesLocked() {
-		out = append(out, r.m[name])
+	var out []*Service
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, svc := range sh.services {
+			out = append(out, svc)
+		}
+		sh.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
 	return out
+}
+
+// LiveCount returns how many platforms have been instantiated so far.
+func (r *Registry) LiveCount() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.services)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Predict routes the request to the service named by req.Platform.

@@ -105,6 +105,12 @@ type Service struct {
 	history  int
 	prior    stochastic.Value
 
+	// spec, when non-nil, is the declarative description the service was
+	// built from. Snapshots require it: the restore path rebuilds the
+	// static structure (platform, load processes, faults) from the spec
+	// and imports only dynamic state on top.
+	spec *PlatformSpec
+
 	clockMu sync.RWMutex
 	now     float64
 
@@ -211,6 +217,11 @@ func (s *Service) Name() string { return s.name }
 
 // Platform returns the platform description.
 func (s *Service) Platform() *cluster.Platform { return s.plat }
+
+// Spec returns the declarative spec the service was built from, or nil for
+// a service assembled directly from a Config. Only spec-built services can
+// be snapshotted.
+func (s *Service) Spec() *PlatformSpec { return s.spec }
 
 // Env exposes the simulated environment, read-only in virtual time — the
 // seam execution backends (sor.NewSimBackend) attach to.
@@ -652,18 +663,48 @@ func (s *Service) finishPrediction(core *predictionCore) Prediction {
 }
 
 // issueLocked registers a freshly answered prediction in the Observe
-// ledger, evicting the oldest unobserved entry past the retention bound.
+// ledger, evicting the oldest still-unobserved entry once maxOutstanding
+// predictions are truly outstanding. Observe deletes from issued but leaves
+// the ID behind in issuedOrder as a dead slot; those never count against
+// the bound and are skipped (and dropped) during eviction, and
+// compactOrderLocked rebuilds the order slice before dead slots dominate.
 // Callers hold ledgerMu.
 func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
 	s.nextID++
 	id := s.nextID
-	if len(s.issuedOrder) >= maxOutstanding {
-		delete(s.issued, s.issuedOrder[0])
-		s.issuedOrder = s.issuedOrder[1:]
+	if len(s.issued) >= maxOutstanding {
+		for len(s.issuedOrder) > 0 {
+			oldest := s.issuedOrder[0]
+			s.issuedOrder = s.issuedOrder[1:]
+			if _, live := s.issued[oldest]; live {
+				delete(s.issued, oldest)
+				break
+			}
+		}
 	}
 	s.issued[id] = issuedPrediction{raw: raw, calibrated: calibrated}
 	s.issuedOrder = append(s.issuedOrder, id)
+	s.compactOrderLocked()
 	return id
+}
+
+// compactOrderLocked rebuilds issuedOrder without dead slots once they
+// outnumber live entries. The rebuild allocates a fresh backing array, so
+// the issuedOrder[1:] reslicing above can never pin retired memory
+// indefinitely; with the 2x trigger the cost is amortized O(1) per issue.
+// Callers hold ledgerMu.
+func (s *Service) compactOrderLocked() {
+	const compactFloor = 64
+	if len(s.issuedOrder) < compactFloor || len(s.issuedOrder) < 2*len(s.issued) {
+		return
+	}
+	compact := make([]uint64, 0, len(s.issued))
+	for _, id := range s.issuedOrder {
+		if _, live := s.issued[id]; live {
+			compact = append(compact, id)
+		}
+	}
+	s.issuedOrder = compact
 }
 
 // Observe closes the loop for one prediction: the measured runtime (in

@@ -1,0 +1,526 @@
+package predict
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"prodpred/internal/calib"
+	"prodpred/internal/nws"
+)
+
+// Snapshot format: a versioned little-endian binary image of the full
+// fleet — every registered platform's declarative spec plus, for live
+// (instantiated) platforms, the complete dynamic service state:
+//
+//   - the virtual clock,
+//   - every CPU and bandwidth monitor (ring history, forecaster-mix
+//     postmortem scores, gap counters, staleness),
+//   - the prediction ledger (next ID and issued-but-unobserved entries in
+//     issue order),
+//   - the calibration tracker (window, CUSUM, regime state, drift log).
+//
+// Restore rebuilds each platform's static structure from its embedded
+// spec — load processes and fault decisions are pure functions of
+// (seed, virtual time), so they need no serialization — and imports the
+// dynamic state on top. A restored fleet is bit-identical to one that
+// never stopped: same predictions, same IDs, same calibration, asserted
+// by TestSnapshotRestoreBitIdentical.
+const (
+	snapshotMagic   = "PPSNAP"
+	snapshotVersion = 1
+)
+
+// snapEnc builds the snapshot image with append-only little-endian
+// primitives.
+type snapEnc struct {
+	b []byte
+}
+
+func (e *snapEnc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *snapEnc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *snapEnc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *snapEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *snapEnc) boolean(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *snapEnc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *snapEnc) str(v string) { e.bytes([]byte(v)) }
+
+// snapDec consumes a snapshot image; the first malformed read poisons the
+// decoder and every subsequent read returns zero values, so call sites
+// check err once per section.
+type snapDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *snapDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("predict: snapshot truncated at offset %d (need %d bytes)", d.off, n)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *snapDec) u32() uint32 {
+	if v := d.take(4); v != nil {
+		return binary.LittleEndian.Uint32(v)
+	}
+	return 0
+}
+
+func (d *snapDec) u64() uint64 {
+	if v := d.take(8); v != nil {
+		return binary.LittleEndian.Uint64(v)
+	}
+	return 0
+}
+
+func (d *snapDec) i64() int64   { return int64(d.u64()) }
+func (d *snapDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *snapDec) boolean() bool {
+	if v := d.take(1); v != nil {
+		return v[0] != 0
+	}
+	return false
+}
+
+// count reads a u32 length and bounds-checks it against the remaining
+// bytes at elemSize each, so a corrupt length cannot drive a huge
+// allocation.
+func (d *snapDec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.b)-d.off {
+		d.fail("predict: snapshot count %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+		return 0
+	}
+	return n
+}
+
+func (d *snapDec) bytes() []byte { return d.take(d.count(1)) }
+func (d *snapDec) str() string   { return string(d.bytes()) }
+
+// WriteSnapshot serializes the full fleet — cold specs and live service
+// state — to w. Every live platform must have been built from a spec
+// (Register a spec-less Service and the snapshot fails: restore would
+// have no way to rebuild its structure). Platforms are written in name
+// order, so equal fleets produce byte-identical snapshots.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	type platSnap struct {
+		name  string
+		entry *platformEntry
+	}
+	var plats []platSnap
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name, e := range sh.entries {
+			plats = append(plats, platSnap{name: name, entry: e})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(plats, func(i, j int) bool { return plats[i].name < plats[j].name })
+
+	e := &snapEnc{b: make([]byte, 0, 1<<16)}
+	e.b = append(e.b, snapshotMagic...)
+	e.u32(snapshotVersion)
+	e.u32(uint32(len(plats)))
+	for _, p := range plats {
+		p.entry.mu.Lock()
+		svc, built := p.entry.svc, p.entry.built && p.entry.err == nil
+		p.entry.mu.Unlock()
+		live := built && svc != nil
+		var spec *PlatformSpec
+		if live {
+			spec = svc.Spec()
+		} else {
+			spec = p.entry.spec
+		}
+		if spec == nil {
+			return fmt.Errorf("predict: platform %q was not built from a spec; cannot snapshot", p.name)
+		}
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return fmt.Errorf("predict: encoding spec %q: %w", p.name, err)
+		}
+		e.str(p.name)
+		e.bytes(specJSON)
+		e.boolean(live)
+		if live {
+			svc.exportTo(e)
+		}
+	}
+	_, err := w.Write(e.b)
+	return err
+}
+
+// ReadSnapshot rebuilds a fleet registry from a snapshot image: cold specs
+// re-register cold, live platforms are reconstructed from their spec and
+// their dynamic state imported, so the restored registry continues exactly
+// where the snapshotted one stopped.
+func ReadSnapshot(rd io.Reader, opts RegistryOptions) (*Registry, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("predict: reading snapshot: %w", err)
+	}
+	d := &snapDec{b: data}
+	if got := string(d.take(len(snapshotMagic))); d.err == nil && got != snapshotMagic {
+		return nil, fmt.Errorf("predict: bad snapshot magic %q", got)
+	}
+	if v := d.u32(); d.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("predict: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	reg := NewRegistryWith(opts)
+	n := d.count(1)
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.str()
+		specJSON := d.bytes()
+		live := d.boolean()
+		if d.err != nil {
+			break
+		}
+		var spec PlatformSpec
+		if err := json.Unmarshal(specJSON, &spec); err != nil {
+			return nil, fmt.Errorf("predict: decoding spec %q: %w", name, err)
+		}
+		if spec.Name != name {
+			return nil, fmt.Errorf("predict: snapshot spec name %q does not match entry %q", spec.Name, name)
+		}
+		if !live {
+			if err := reg.RegisterSpec(spec); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		svc, err := restoreService(&spec, reg, d)
+		if err != nil {
+			return nil, fmt.Errorf("predict: restoring platform %q: %w", name, err)
+		}
+		if err := reg.registerRestored(svc.Spec(), svc); err != nil {
+			return nil, err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("predict: %d trailing bytes after snapshot", len(d.b)-d.off)
+	}
+	return reg, nil
+}
+
+// restoreService rebuilds one live platform: static structure from the
+// spec (no warmup — the imported clock supersedes it), dynamic state from
+// the decoder.
+func restoreService(spec *PlatformSpec, reg *Registry, d *snapDec) (*Service, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = reg.metrics
+	svc, err := NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.spec = spec.clone()
+	if err := svc.importFrom(d); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// exportTo writes the service's full dynamic state. It takes the clock
+// lock exclusively, so the image is a consistent cut: no Predict, Observe,
+// or Advance is in flight while the state is read.
+func (s *Service) exportTo(e *snapEnc) {
+	s.clockMu.Lock()
+	defer s.clockMu.Unlock()
+
+	e.f64(s.now)
+
+	// CPU monitors, machine order.
+	e.u32(uint32(len(s.shards)))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.mon.ExportState()
+		sh.mu.Unlock()
+		encodeMonitorState(e, st)
+	}
+
+	// Bandwidth monitors, sorted by probe size for a deterministic image.
+	s.bwMu.RLock()
+	probes := make([]float64, 0, len(s.bw))
+	for p := range s.bw {
+		probes = append(probes, p)
+	}
+	s.bwMu.RUnlock()
+	sort.Float64s(probes)
+	e.u32(uint32(len(probes)))
+	for _, p := range probes {
+		s.bwMu.RLock()
+		sh := s.bw[p]
+		s.bwMu.RUnlock()
+		e.f64(p)
+		sh.mu.Lock()
+		if sh.mon == nil {
+			e.boolean(false)
+		} else {
+			e.boolean(true)
+			encodeMonitorState(e, sh.mon.ExportState())
+		}
+		sh.mu.Unlock()
+	}
+
+	// Prediction ledger: live entries in issue order (dead slots dropped —
+	// they carry no state the restored eviction path could need).
+	s.ledgerMu.Lock()
+	e.u64(s.nextID)
+	liveOrder := make([]uint64, 0, len(s.issued))
+	for _, id := range s.issuedOrder {
+		if _, ok := s.issued[id]; ok {
+			liveOrder = append(liveOrder, id)
+		}
+	}
+	e.u32(uint32(len(liveOrder)))
+	for _, id := range liveOrder {
+		ip := s.issued[id]
+		e.u64(id)
+		e.f64(ip.raw.Mean)
+		e.f64(ip.raw.Spread)
+		e.f64(ip.calibrated.Mean)
+		e.f64(ip.calibrated.Spread)
+	}
+	s.ledgerMu.Unlock()
+
+	encodeTrackerState(e, s.tracker.ExportState())
+}
+
+// importFrom replaces a freshly built service's dynamic state with a
+// decoded snapshot section. The service must not yet be published to other
+// goroutines.
+func (s *Service) importFrom(d *snapDec) error {
+	s.now = d.f64()
+
+	nCPU := d.count(1)
+	if d.err == nil && nCPU != len(s.shards) {
+		return fmt.Errorf("predict: snapshot has %d CPU monitors, platform has %d machines", nCPU, len(s.shards))
+	}
+	for i := 0; i < nCPU && d.err == nil; i++ {
+		st := decodeMonitorState(d)
+		if d.err != nil {
+			break
+		}
+		if err := s.shards[i].mon.ImportState(st); err != nil {
+			return err
+		}
+	}
+
+	nBW := d.count(1)
+	for i := 0; i < nBW && d.err == nil; i++ {
+		probe := d.f64()
+		sh := &monitorShard{}
+		if d.boolean() {
+			st := decodeMonitorState(d)
+			if d.err != nil {
+				break
+			}
+			mon, err := nws.NewBandwidthMonitor(s.env, 0, 1, probe, s.period, s.history)
+			if err != nil {
+				return err
+			}
+			if err := mon.ImportState(st); err != nil {
+				return err
+			}
+			sh.mon = mon
+		}
+		s.bw[probe] = sh
+	}
+
+	s.nextID = d.u64()
+	nLedger := d.count(8 + 4*8)
+	s.issuedOrder = make([]uint64, 0, nLedger)
+	for i := 0; i < nLedger && d.err == nil; i++ {
+		id := d.u64()
+		ip := issuedPrediction{}
+		ip.raw.Mean = d.f64()
+		ip.raw.Spread = d.f64()
+		ip.calibrated.Mean = d.f64()
+		ip.calibrated.Spread = d.f64()
+		s.issued[id] = ip
+		s.issuedOrder = append(s.issuedOrder, id)
+	}
+
+	ts := decodeTrackerState(d)
+	if d.err != nil {
+		return d.err
+	}
+	if err := s.tracker.ImportState(ts); err != nil {
+		return err
+	}
+
+	// Seed the metrics delta baseline so the first post-restore advance
+	// exports only new gaps, not the whole historical total again.
+	missed := 0
+	for i := range s.shards {
+		missed += s.shards[i].mon.Gaps().Missed
+	}
+	for _, sh := range s.bw {
+		if sh.mon != nil {
+			missed += sh.mon.Gaps().Missed
+		}
+	}
+	s.lastMissed = missed
+	return nil
+}
+
+func encodeMonitorState(e *snapEnc, st nws.MonitorState) {
+	e.f64(st.NextT)
+	e.boolean(st.Started)
+	e.f64(st.Stale)
+	e.i64(int64(st.CurGap))
+	g := st.Stats
+	for _, v := range []int{g.Clean, g.Recovered, g.Retries, g.Dropped, g.Outage, g.TransientLost, g.SensorErrors, g.Missed, g.LongestGap} {
+		e.i64(int64(v))
+	}
+	e.u32(uint32(len(st.Times)))
+	for i := range st.Times {
+		e.f64(st.Times[i])
+		e.f64(st.Values[i])
+	}
+	e.u32(uint32(len(st.MixSqErr)))
+	for i := range st.MixSqErr {
+		e.f64(st.MixSqErr[i])
+		e.i64(int64(st.MixN[i]))
+	}
+}
+
+func decodeMonitorState(d *snapDec) nws.MonitorState {
+	var st nws.MonitorState
+	st.NextT = d.f64()
+	st.Started = d.boolean()
+	st.Stale = d.f64()
+	st.CurGap = int(d.i64())
+	g := &st.Stats
+	for _, p := range []*int{&g.Clean, &g.Recovered, &g.Retries, &g.Dropped, &g.Outage, &g.TransientLost, &g.SensorErrors, &g.Missed, &g.LongestGap} {
+		*p = int(d.i64())
+	}
+	nHist := d.count(16)
+	st.Times = make([]float64, nHist)
+	st.Values = make([]float64, nHist)
+	for i := 0; i < nHist; i++ {
+		st.Times[i] = d.f64()
+		st.Values[i] = d.f64()
+	}
+	nMix := d.count(16)
+	st.MixSqErr = make([]float64, nMix)
+	st.MixN = make([]int, nMix)
+	for i := 0; i < nMix; i++ {
+		st.MixSqErr[i] = d.f64()
+		st.MixN[i] = int(d.i64())
+	}
+	return st
+}
+
+func encodeTrackerState(e *snapEnc, st calib.State) {
+	e.u32(uint32(len(st.Window)))
+	for _, r := range st.Window {
+		e.u64(r.ID)
+		e.f64(r.Time)
+		e.f64(r.Z)
+		e.f64(r.Score)
+		e.f64(r.Signed)
+		e.f64(r.Abs)
+		e.f64(r.RawW)
+		e.f64(r.CalW)
+		e.boolean(r.RawIn)
+		e.boolean(r.CalIn)
+		e.boolean(r.Armed)
+		e.boolean(r.Excluded)
+	}
+	e.u32(uint32(len(st.Drifts)))
+	for _, ev := range st.Drifts {
+		e.f64(ev.Time)
+		e.i64(int64(ev.Seq))
+		e.str(ev.Reason)
+		e.f64(ev.Stat)
+	}
+	e.i64(int64(st.Observed))
+	e.i64(int64(st.CumRawIn))
+	e.i64(int64(st.CumCalIn))
+	e.f64(st.LastTime)
+	e.i64(int64(st.SinceReset))
+	e.f64(st.Scale)
+	e.i64(int64(st.BaseN))
+	e.f64(st.BaseSum)
+	e.f64(st.CusumPos)
+	e.f64(st.CusumNeg)
+	e.i64(int64(st.SinceCheck))
+	e.i64(int64(st.BaseModes))
+}
+
+func decodeTrackerState(d *snapDec) calib.State {
+	var st calib.State
+	nWin := d.count(8 + 7*8 + 4)
+	st.Window = make([]calib.WindowRec, nWin)
+	for i := 0; i < nWin; i++ {
+		r := &st.Window[i]
+		r.ID = d.u64()
+		r.Time = d.f64()
+		r.Z = d.f64()
+		r.Score = d.f64()
+		r.Signed = d.f64()
+		r.Abs = d.f64()
+		r.RawW = d.f64()
+		r.CalW = d.f64()
+		r.RawIn = d.boolean()
+		r.CalIn = d.boolean()
+		r.Armed = d.boolean()
+		r.Excluded = d.boolean()
+	}
+	nDrifts := d.count(8 + 8 + 4 + 8)
+	st.Drifts = make([]calib.DriftEvent, nDrifts)
+	for i := 0; i < nDrifts; i++ {
+		st.Drifts[i].Time = d.f64()
+		st.Drifts[i].Seq = int(d.i64())
+		st.Drifts[i].Reason = d.str()
+		st.Drifts[i].Stat = d.f64()
+	}
+	st.Observed = int(d.i64())
+	st.CumRawIn = int(d.i64())
+	st.CumCalIn = int(d.i64())
+	st.LastTime = d.f64()
+	st.SinceReset = int(d.i64())
+	st.Scale = d.f64()
+	st.BaseN = int(d.i64())
+	st.BaseSum = d.f64()
+	st.CusumPos = d.f64()
+	st.CusumNeg = d.f64()
+	st.SinceCheck = int(d.i64())
+	st.BaseModes = int(d.i64())
+	return st
+}

@@ -1,0 +1,247 @@
+package predict_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prodpred/internal/predict"
+)
+
+// snapshotSpec is the platform the snapshot tests drive: the bursty paper
+// platform with sensor faults on machine 0, so the snapshot carries
+// non-trivial gap counters, staleness, and fault-injector wiring.
+func snapshotSpec(t *testing.T) predict.PlatformSpec {
+	t.Helper()
+	spec, err := predict.SimulatedSpec(2, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Warmup = 600
+	spec.History = 256
+	spec.FaultSeed = 99
+	spec.Faults = []predict.FaultSpec{
+		{Machine: 0, Drop: 0.08, Transient: 0.05, Outages: []predict.OutageSpec{{Start: 620, End: 680}}},
+	}
+	return spec
+}
+
+// driveState carries the drive loop's continuation: the not-yet-observed
+// prediction IDs and the round counter, so a run can be split at an
+// arbitrary point and resumed identically on a restored registry.
+type driveState struct {
+	pending []uint64
+	round   int
+}
+
+func (d *driveState) fork() *driveState {
+	return &driveState{pending: append([]uint64(nil), d.pending...), round: d.round}
+}
+
+// drive runs a deterministic serving sequence — advance, two prediction
+// shapes, observe the two oldest pending IDs with actuals derived from
+// the prediction stream itself — and returns everything it saw. Two
+// registries in identical states driven with identical states produce
+// identical outputs.
+func drive(t *testing.T, reg *predict.Registry, name string, rounds int, st *driveState) []predict.Prediction {
+	t.Helper()
+	req1 := baseRequest()
+	req1.Platform = name
+	req2 := req1
+	req2.N = 200
+	req2.Iterations = 9
+	var out []predict.Prediction
+	for i := 0; i < rounds; i++ {
+		st.round++
+		svc, err := reg.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Advance(5); err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range []predict.Request{req1, req2} {
+			p, err := reg.Predict(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+			st.pending = append(st.pending, p.ID)
+		}
+		for k := 0; k < 2 && len(st.pending) > 0; k++ {
+			id := st.pending[0]
+			st.pending = st.pending[1:]
+			actual := 10 + math.Mod(float64(id)*0.37+float64(st.round)*0.11, 5)
+			if _, err := reg.Observe(name, id, actual); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
+// TestSnapshotRestoreBitIdentical is the tentpole acceptance: kill a fleet
+// mid-run, restore it from its snapshot, and every subsequent prediction,
+// ID, and calibration snapshot is bit-identical to a run that never
+// stopped.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	regA := predict.NewRegistry()
+	if err := regA.RegisterSpec(snapshotSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := &driveState{}
+	drive(t, regA, "platform2", 40, st)
+
+	var snap bytes.Buffer
+	if err := regA.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	regB, err := predict.ReadSnapshot(bytes.NewReader(snap.Bytes()), predict.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A restored fleet re-snapshots to the same bytes: the image is a
+	// fixed point of restore.
+	var resnap bytes.Buffer
+	if err := regB.WriteSnapshot(&resnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), resnap.Bytes()) {
+		t.Fatal("restored registry re-snapshots to different bytes")
+	}
+
+	svcA, err := regA.Lookup("platform2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB, err := regB.Lookup("platform2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcA.Now() != svcB.Now() {
+		t.Fatalf("clocks diverge after restore: %g vs %g", svcA.Now(), svcB.Now())
+	}
+	if svcA.Outstanding() != svcB.Outstanding() {
+		t.Fatalf("ledgers diverge after restore: %d vs %d outstanding", svcA.Outstanding(), svcB.Outstanding())
+	}
+	if !reflect.DeepEqual(svcA.Accuracy(), svcB.Accuracy()) {
+		t.Fatal("calibration state diverges after restore")
+	}
+
+	// The uninterrupted original and the restored copy continue in
+	// lockstep through another mixed predict/observe/advance phase.
+	stB := st.fork()
+	outA := drive(t, regA, "platform2", 40, st)
+	outB := drive(t, regB, "platform2", 40, stB)
+	if !reflect.DeepEqual(outA, outB) {
+		for i := range outA {
+			if !reflect.DeepEqual(outA[i], outB[i]) {
+				t.Fatalf("prediction %d diverges after restore:\n%+v\nvs\n%+v", i, outA[i], outB[i])
+			}
+		}
+		t.Fatal("post-restore predictions diverge")
+	}
+	if !reflect.DeepEqual(svcA.Accuracy(), svcB.Accuracy()) {
+		t.Fatal("calibration state diverges after continued run")
+	}
+	if !reflect.DeepEqual(svcA.Reports(), svcB.Reports()) {
+		t.Fatal("machine reports diverge after continued run")
+	}
+}
+
+// TestSnapshotDeterministic asserts snapshotting is a pure read: two
+// snapshots of the same state are byte-identical and do not perturb the
+// serving state.
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := predict.NewRegistry()
+	if err := reg.RegisterSpec(snapshotSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, reg, "platform2", 10, &driveState{})
+	var a, b bytes.Buffer
+	if err := reg.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("back-to-back snapshots differ")
+	}
+}
+
+// TestSnapshotColdSpecs asserts never-instantiated tenants ride through a
+// snapshot as cold specs: present, still lazy, still cold on the other
+// side.
+func TestSnapshotColdSpecs(t *testing.T) {
+	reg := predict.NewRegistry()
+	for _, spec := range predict.FleetSpecs(20, 3) {
+		if err := reg.RegisterSpec(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Instantiate exactly one tenant.
+	if _, err := reg.Lookup("tenant-0004"); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := reg.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := predict.ReadSnapshot(&snap, predict.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Names(), reg.Names()) {
+		t.Fatalf("names diverge: %v vs %v", back.Names(), reg.Names())
+	}
+	if got := back.LiveCount(); got != 1 {
+		t.Fatalf("restored LiveCount = %d, want 1 (cold specs must stay cold)", got)
+	}
+}
+
+// TestSnapshotRejectsSpeclessService: a service assembled directly from a
+// Config carries no spec, so the restore path could not rebuild it —
+// snapshotting must fail loudly, not silently drop the platform.
+func TestSnapshotRejectsSpeclessService(t *testing.T) {
+	reg := predict.NewRegistry()
+	svc := burstyService(t, 3, 50, nil)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := reg.WriteSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "not built from a spec") {
+		t.Fatalf("want spec-less snapshot error, got %v", err)
+	}
+}
+
+func TestReadSnapshotRejectsCorrupt(t *testing.T) {
+	reg := predict.NewRegistry()
+	if err := reg.RegisterSpec(predict.FleetSpecs(1, 2)[0]); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := reg.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	full := snap.Bytes()
+	if _, err := predict.ReadSnapshot(bytes.NewReader([]byte("NOTASNAP")), predict.RegistryOptions{}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := predict.ReadSnapshot(bytes.NewReader(full[:len(full)-3]), predict.RegistryOptions{}); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	mangled := append([]byte(nil), full...)
+	mangled[6] = 0xFF // version field
+	if _, err := predict.ReadSnapshot(bytes.NewReader(mangled), predict.RegistryOptions{}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := predict.ReadSnapshot(bytes.NewReader(append(append([]byte(nil), full...), 0xAA)), predict.RegistryOptions{}); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,496 @@
+package predict
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"prodpred/internal/calib"
+	"prodpred/internal/cluster"
+	"prodpred/internal/faults"
+	"prodpred/internal/load"
+	"prodpred/internal/obs"
+)
+
+// PlatformSpec is the declarative, JSON-serializable description of one
+// tenant platform: machines, link, load processes, fault schedules, and
+// calibration config. It is everything needed to (re)build a Service —
+// the registry instantiates cold specs lazily on first request, and the
+// snapshot format embeds each platform's spec so restore can rebuild the
+// static structure and import only dynamic state on top.
+//
+// Determinism contract: Build is a pure function of the spec, and every
+// load process and fault decision it wires up is a pure function of
+// (seed, virtual time). Two services built from equal specs and advanced
+// through the same clock schedule are bit-identical.
+type PlatformSpec struct {
+	// Name is the platform (tenant) identifier requests route on.
+	Name string `json:"name"`
+	// Machines describes the compute nodes, in index order.
+	Machines []MachineSpec `json:"machines"`
+	// Link is the shared interconnect; nil means 10 Mbit shared ethernet
+	// (the paper's platform interconnect).
+	Link *LinkSpec `json:"link,omitempty"`
+	// CPU holds one load-process spec per machine; empty means light load
+	// everywhere. A single entry is broadcast to every machine.
+	CPU []LoadSpec `json:"cpu,omitempty"`
+	// Net is the network contention process; nil means a contention-free
+	// (constant, unmonitored) network.
+	Net *LoadSpec `json:"net,omitempty"`
+	// Seed is the platform's base random seed. Load specs with Seed 0
+	// derive theirs from it (Seed + machine index; Seed + 999 for Net).
+	Seed int64 `json:"seed"`
+	// Period is the sensor cadence in virtual seconds (nws.DefaultPeriod
+	// when 0); History the monitor ring size (512 when 0).
+	Period  float64 `json:"period,omitempty"`
+	History int     `json:"history,omitempty"`
+	// Warmup is how many virtual seconds of measurements to take at
+	// instantiation before the service answers its first request.
+	Warmup float64 `json:"warmup,omitempty"`
+	// FaultSeed seeds the fault injector when Faults is non-empty (Seed
+	// when 0).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Faults holds per-machine sensor-fault schedules.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// Calibration overrides the online-calibrator defaults.
+	Calibration *CalibrationSpec `json:"calibration,omitempty"`
+	// DisableTickCache turns off the tick-scoped forecast cache (see
+	// Config.DisableTickCache).
+	DisableTickCache bool `json:"disable_tick_cache,omitempty"`
+}
+
+// MachineSpec names one machine, either by catalog kind — "sparc2",
+// "sparc5", "sparc10", "ultra" (the paper's benchmarked machine classes) —
+// or by explicit rate/memory numbers when Kind is empty.
+type MachineSpec struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind,omitempty"`
+	ElemRate float64 `json:"elem_rate,omitempty"`
+	MemoryMB float64 `json:"memory_mb,omitempty"`
+}
+
+func (m MachineSpec) build() (cluster.Machine, error) {
+	switch m.Kind {
+	case "sparc2":
+		return cluster.Sparc2(m.Name), nil
+	case "sparc5":
+		return cluster.Sparc5(m.Name), nil
+	case "sparc10":
+		return cluster.Sparc10(m.Name), nil
+	case "ultra":
+		return cluster.UltraSparc(m.Name), nil
+	case "":
+		if !(m.ElemRate > 0) || !(m.MemoryMB > 0) {
+			return cluster.Machine{}, fmt.Errorf("predict: machine %q needs a kind or positive elem_rate/memory_mb", m.Name)
+		}
+		return cluster.Machine{Name: m.Name, ElemRate: m.ElemRate, MemoryMB: m.MemoryMB}, nil
+	default:
+		return cluster.Machine{}, fmt.Errorf("predict: unknown machine kind %q", m.Kind)
+	}
+}
+
+// LinkSpec describes the shared interconnect.
+type LinkSpec struct {
+	// DedBW is the dedicated bandwidth in bytes/s; Latency the one-way
+	// latency in seconds.
+	DedBW   float64 `json:"ded_bw"`
+	Latency float64 `json:"latency,omitempty"`
+}
+
+// LoadSpec describes one load process. Kind selects the generator; the
+// remaining fields parameterize it (unused fields are ignored). Presets
+// ("light", "platform1-center", "platform1-trimodal", "platform2-bursty",
+// "ethernet-contention") need only a seed.
+type LoadSpec struct {
+	// Kind is one of: constant, light, platform1-center,
+	// platform1-trimodal, platform2-bursty, ethernet-contention,
+	// single-mode, markov-modal, user-sessions, long-tailed, congested.
+	Kind string `json:"kind"`
+	// Seed seeds the process; 0 derives a seed from the platform seed and
+	// the machine index.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Constant.
+	Level float64 `json:"level,omitempty"`
+	// SingleMode / shared AR(1) shape.
+	Mean  float64 `json:"mean,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	Phi   float64 `json:"phi,omitempty"`
+	DT    float64 `json:"dt,omitempty"`
+	// MarkovModal.
+	Modes      []ModeSpec `json:"modes,omitempty"`
+	Weights    []float64  `json:"weights,omitempty"`
+	SwitchProb float64    `json:"switch_prob,omitempty"`
+	// UserSessions.
+	Lambda float64 `json:"lambda,omitempty"`
+	Mu     float64 `json:"mu,omitempty"`
+	// LongTailed / Congested.
+	Peak      float64 `json:"peak,omitempty"`
+	DropMean  float64 `json:"drop_mean,omitempty"`
+	DropStd   float64 `json:"drop_std,omitempty"`
+	BaseMean  float64 `json:"base_mean,omitempty"`
+	BaseStd   float64 `json:"base_std,omitempty"`
+	BurstProb float64 `json:"burst_prob,omitempty"`
+	BurstMean float64 `json:"burst_mean,omitempty"`
+	BurstStd  float64 `json:"burst_std,omitempty"`
+}
+
+// ModeSpec is one availability mode of a markov-modal load.
+type ModeSpec struct {
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma"`
+}
+
+// build materializes the process, with defaultSeed used when Seed is 0.
+func (l LoadSpec) build(defaultSeed int64) (load.Process, error) {
+	seed := l.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	dt := l.DT
+	if dt == 0 {
+		dt = 1.0
+	}
+	switch l.Kind {
+	case "constant":
+		return load.NewConstant(l.Level), nil
+	case "light":
+		return load.LightLoad(seed)
+	case "platform1-center":
+		return load.Platform1CenterMode(seed)
+	case "platform1-trimodal":
+		return load.Platform1TriModal(seed)
+	case "platform2-bursty":
+		return load.Platform2FourModeBursty(seed)
+	case "ethernet-contention":
+		return load.EthernetContention(seed)
+	case "single-mode":
+		return load.NewSingleMode(l.Mean, l.Sigma, l.Phi, dt, seed)
+	case "markov-modal":
+		modes := make([]load.ModeSpec, len(l.Modes))
+		for i, m := range l.Modes {
+			modes[i] = load.ModeSpec{Mean: m.Mean, Sigma: m.Sigma}
+		}
+		return load.NewMarkovModal(modes, l.Weights, l.SwitchProb, l.Phi, dt, seed)
+	case "user-sessions":
+		return load.NewUserSessions(l.Lambda, l.Mu, dt, seed)
+	case "long-tailed":
+		return load.NewLongTailed(l.Peak, l.DropMean, l.DropStd, dt, seed)
+	case "congested":
+		return load.NewCongested(l.Peak, l.BaseMean, l.BaseStd, l.BurstProb, l.BurstMean, l.BurstStd, dt, seed)
+	case "":
+		return nil, errors.New("predict: load spec missing kind")
+	default:
+		return nil, fmt.Errorf("predict: unknown load kind %q", l.Kind)
+	}
+}
+
+// FaultSpec is one machine's sensor-fault schedule.
+type FaultSpec struct {
+	Machine     int          `json:"machine"`
+	Drop        float64      `json:"drop,omitempty"`
+	Transient   float64      `json:"transient,omitempty"`
+	Spike       float64      `json:"spike,omitempty"`
+	SpikeFactor float64      `json:"spike_factor,omitempty"`
+	Outages     []OutageSpec `json:"outages,omitempty"`
+}
+
+// OutageSpec is one timed outage window, in virtual seconds.
+type OutageSpec struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// CalibrationSpec mirrors calib.Config with JSON tags; zero fields take
+// the calib defaults.
+type CalibrationSpec struct {
+	TargetCapture  float64 `json:"target_capture,omitempty"`
+	Window         int     `json:"window,omitempty"`
+	MinObserved    int     `json:"min_observed,omitempty"`
+	ScaleFloor     float64 `json:"scale_floor,omitempty"`
+	ScaleCeil      float64 `json:"scale_ceil,omitempty"`
+	CUSUMSlack     float64 `json:"cusum_slack,omitempty"`
+	CUSUMLimit     float64 `json:"cusum_limit,omitempty"`
+	ModeCheckEvery int     `json:"mode_check_every,omitempty"`
+	MaxModes       int     `json:"max_modes,omitempty"`
+}
+
+func (c *CalibrationSpec) config() calib.Config {
+	if c == nil {
+		return calib.Config{}
+	}
+	return calib.Config{
+		TargetCapture:  c.TargetCapture,
+		Window:         c.Window,
+		MinObserved:    c.MinObserved,
+		ScaleFloor:     c.ScaleFloor,
+		ScaleCeil:      c.ScaleCeil,
+		CUSUMSlack:     c.CUSUMSlack,
+		CUSUMLimit:     c.CUSUMLimit,
+		ModeCheckEvery: c.ModeCheckEvery,
+		MaxModes:       c.MaxModes,
+	}
+}
+
+// Config materializes the spec into a service Config. It is side-effect
+// free and deterministic; errors name the offending field.
+func (ps *PlatformSpec) Config() (Config, error) {
+	if ps.Name == "" {
+		return Config{}, errors.New("predict: spec missing platform name")
+	}
+	if len(ps.Machines) < 2 {
+		return Config{}, fmt.Errorf("predict: spec %q has %d machines (a platform needs at least 2)", ps.Name, len(ps.Machines))
+	}
+	if ps.Warmup < 0 {
+		return Config{}, fmt.Errorf("predict: spec %q has negative warmup %g", ps.Name, ps.Warmup)
+	}
+	machines := make([]cluster.Machine, len(ps.Machines))
+	for i, m := range ps.Machines {
+		var err error
+		if machines[i], err = m.build(); err != nil {
+			return Config{}, fmt.Errorf("predict: spec %q machine %d: %w", ps.Name, i, err)
+		}
+	}
+	link := cluster.Ethernet10Mbit()
+	if ps.Link != nil {
+		if !(ps.Link.DedBW > 0) {
+			return Config{}, fmt.Errorf("predict: spec %q link bandwidth %g must be positive", ps.Name, ps.Link.DedBW)
+		}
+		link = cluster.Link{DedBW: ps.Link.DedBW, Latency: ps.Link.Latency}
+	}
+	plat, err := cluster.NewPlatform(ps.Name, machines, link)
+	if err != nil {
+		return Config{}, fmt.Errorf("predict: spec %q: %w", ps.Name, err)
+	}
+	cpuSpecs := ps.CPU
+	switch len(cpuSpecs) {
+	case 0:
+		cpuSpecs = make([]LoadSpec, len(machines))
+		for i := range cpuSpecs {
+			cpuSpecs[i] = LoadSpec{Kind: "light"}
+		}
+	case 1:
+		if len(machines) > 1 {
+			one := cpuSpecs[0]
+			cpuSpecs = make([]LoadSpec, len(machines))
+			for i := range cpuSpecs {
+				cpuSpecs[i] = one
+			}
+		}
+	case len(machines):
+	default:
+		return Config{}, fmt.Errorf("predict: spec %q has %d cpu loads for %d machines (want 0, 1, or %d)",
+			ps.Name, len(cpuSpecs), len(machines), len(machines))
+	}
+	cpu := make([]load.Process, len(machines))
+	for i, ls := range cpuSpecs {
+		if cpu[i], err = ls.build(ps.Seed + int64(i)); err != nil {
+			return Config{}, fmt.Errorf("predict: spec %q cpu %d: %w", ps.Name, i, err)
+		}
+	}
+	var net load.Process = load.NewConstant(1)
+	if ps.Net != nil {
+		if net, err = ps.Net.build(ps.Seed + 999); err != nil {
+			return Config{}, fmt.Errorf("predict: spec %q net: %w", ps.Name, err)
+		}
+	}
+	var injector *faults.Injector
+	if len(ps.Faults) > 0 {
+		faultSeed := ps.FaultSeed
+		if faultSeed == 0 {
+			faultSeed = ps.Seed
+		}
+		injector = faults.NewInjector(faultSeed)
+		for _, f := range ps.Faults {
+			if f.Machine < 0 || f.Machine >= len(machines) {
+				return Config{}, fmt.Errorf("predict: spec %q fault machine %d out of range", ps.Name, f.Machine)
+			}
+			sched := faults.Schedule{
+				DropProb:      f.Drop,
+				TransientProb: f.Transient,
+				SpikeProb:     f.Spike,
+				SpikeFactor:   f.SpikeFactor,
+			}
+			for _, w := range f.Outages {
+				sched.Outages = append(sched.Outages, faults.Window{Start: w.Start, End: w.End})
+			}
+			if err := injector.Set(f.Machine, sched); err != nil {
+				return Config{}, fmt.Errorf("predict: spec %q fault machine %d: %w", ps.Name, f.Machine, err)
+			}
+		}
+	}
+	return Config{
+		Platform:         plat,
+		CPU:              cpu,
+		Net:              net,
+		Period:           ps.Period,
+		History:          ps.History,
+		Injector:         injector,
+		Calibration:      ps.Calibration.config(),
+		DisableTickCache: ps.DisableTickCache,
+	}, nil
+}
+
+// Validate builds (and discards) the spec's Config, surfacing any spec
+// error eagerly — the check RegisterSpec and the daemon's spec-file loader
+// run so a typo fails at registration, not on the first request.
+func (ps *PlatformSpec) Validate() error {
+	_, err := ps.Config()
+	return err
+}
+
+// clone returns a deep copy, so registered specs are immune to caller
+// mutation.
+func (ps *PlatformSpec) clone() *PlatformSpec {
+	c := *ps
+	c.Machines = append([]MachineSpec(nil), ps.Machines...)
+	c.CPU = append([]LoadSpec(nil), ps.CPU...)
+	for i, ls := range c.CPU {
+		c.CPU[i].Modes = append([]ModeSpec(nil), ls.Modes...)
+		c.CPU[i].Weights = append([]float64(nil), ls.Weights...)
+	}
+	if ps.Link != nil {
+		l := *ps.Link
+		c.Link = &l
+	}
+	if ps.Net != nil {
+		n := *ps.Net
+		n.Modes = append([]ModeSpec(nil), ps.Net.Modes...)
+		n.Weights = append([]float64(nil), ps.Net.Weights...)
+		c.Net = &n
+	}
+	c.Faults = append([]FaultSpec(nil), ps.Faults...)
+	for i, f := range c.Faults {
+		c.Faults[i].Outages = append([]OutageSpec(nil), f.Outages...)
+	}
+	if ps.Calibration != nil {
+		cal := *ps.Calibration
+		c.Calibration = &cal
+	}
+	return &c
+}
+
+// NewServiceFromSpec builds a live Service from a spec: materialize the
+// Config, construct the service, run the spec's warmup, and attach the
+// spec for the snapshot path. metrics may be nil.
+func NewServiceFromSpec(spec *PlatformSpec, metrics *obs.Registry) (*Service, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = metrics
+	svc, err := NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.spec = spec.clone()
+	if spec.Warmup > 0 {
+		if err := svc.AdvanceTo(spec.Warmup); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
+}
+
+// ParseSpecs decodes a JSON array of platform specs (the -specs file
+// format) and validates each one.
+func ParseSpecs(r io.Reader) ([]PlatformSpec, error) {
+	var specs []PlatformSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("predict: parsing specs: %w", err)
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("predict: spec %d: %w", i, err)
+		}
+	}
+	return specs, nil
+}
+
+// SimulatedSpec returns the declarative spec for one of the paper's
+// evaluation platforms — the spec-form twin of SimulatedConfig, wiring the
+// same presets with the same derived seeds, so a service built from
+// SimulatedSpec is bit-identical to one built from SimulatedConfig.
+func SimulatedSpec(platform int, seed int64) (PlatformSpec, error) {
+	switch platform {
+	case 1:
+		return PlatformSpec{
+			Name: "platform1",
+			Machines: []MachineSpec{
+				{Name: "sparc2-a", Kind: "sparc2"},
+				{Name: "sparc2-b", Kind: "sparc2"},
+				{Name: "sparc5", Kind: "sparc5"},
+				{Name: "sparc10", Kind: "sparc10"},
+			},
+			CPU: []LoadSpec{
+				{Kind: "platform1-center", Seed: seed + 0},
+				{Kind: "platform1-center", Seed: seed + 1},
+				{Kind: "light", Seed: seed + 2},
+				{Kind: "light", Seed: seed + 3},
+			},
+			Net:  &LoadSpec{Kind: "ethernet-contention", Seed: seed + 999},
+			Seed: seed,
+		}, nil
+	case 2:
+		spec := PlatformSpec{
+			Name: "platform2",
+			Machines: []MachineSpec{
+				{Name: "sparc5", Kind: "sparc5"},
+				{Name: "sparc10", Kind: "sparc10"},
+				{Name: "ultra-a", Kind: "ultra"},
+				{Name: "ultra-b", Kind: "ultra"},
+			},
+			Net:  &LoadSpec{Kind: "ethernet-contention", Seed: seed + 999},
+			Seed: seed,
+		}
+		for i := range spec.Machines {
+			spec.CPU = append(spec.CPU, LoadSpec{Kind: "platform2-bursty", Seed: seed + int64(i)*17})
+		}
+		return spec, nil
+	default:
+		return PlatformSpec{}, fmt.Errorf("predict: unknown platform %d (want 1 or 2)", platform)
+	}
+}
+
+// FleetSpecs generates n tenant specs ("tenant-0000"...) for fleet-scale
+// tests and the loadtest's -platforms mode: a mix of platform-1-shaped
+// steady tenants and platform-2-shaped bursty tenants, each with its own
+// derived seed and a short warmup to keep lazy instantiation cheap.
+func FleetSpecs(n int, seed int64) []PlatformSpec {
+	specs := make([]PlatformSpec, n)
+	for i := range specs {
+		tseed := seed + int64(i)*1013
+		spec := PlatformSpec{
+			Name:   fmt.Sprintf("tenant-%04d", i),
+			Seed:   tseed,
+			Warmup: 120,
+			Net:    &LoadSpec{Kind: "ethernet-contention"},
+		}
+		if i%2 == 0 {
+			spec.Machines = []MachineSpec{
+				{Name: "sparc2-a", Kind: "sparc2"},
+				{Name: "sparc2-b", Kind: "sparc2"},
+				{Name: "sparc5-a", Kind: "sparc5"},
+				{Name: "sparc10-a", Kind: "sparc10"},
+			}
+			spec.CPU = []LoadSpec{
+				{Kind: "platform1-center"},
+				{Kind: "platform1-center"},
+				{Kind: "light"},
+				{Kind: "light"},
+			}
+		} else {
+			spec.Machines = []MachineSpec{
+				{Name: "sparc5-a", Kind: "sparc5"},
+				{Name: "sparc10-a", Kind: "sparc10"},
+				{Name: "ultra-a", Kind: "ultra"},
+			}
+			spec.CPU = []LoadSpec{{Kind: "platform2-bursty"}}
+		}
+		specs[i] = spec
+	}
+	return specs
+}

@@ -1,0 +1,186 @@
+package predict_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prodpred/internal/predict"
+)
+
+// TestSimulatedSpecMatchesSimulatedConfig asserts the declarative spec
+// path is a bit-identical twin of the hand-built config path for both
+// paper platforms — the property that lets predictd switch to specs (and
+// snapshots embed them) without changing a single served value.
+func TestSimulatedSpecMatchesSimulatedConfig(t *testing.T) {
+	for _, platform := range []int{1, 2} {
+		cfg, err := predict.SimulatedConfig(platform, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromCfg, err := predict.NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := predict.SimulatedSpec(platform, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Warmup = 600
+		fromSpec, err := predict.NewServiceFromSpec(&spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fromCfg.AdvanceTo(600); err != nil {
+			t.Fatal(err)
+		}
+		req := baseRequest()
+		a, err := fromCfg.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fromSpec.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("platform %d: spec-built prediction diverges from config-built:\n%+v\nvs\n%+v", platform, a, b)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	valid := func() predict.PlatformSpec {
+		return predict.PlatformSpec{
+			Name:     "t",
+			Machines: []predict.MachineSpec{{Name: "m0", Kind: "sparc5"}, {Name: "m1", Kind: "sparc10"}},
+			Seed:     3,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*predict.PlatformSpec)
+	}{
+		{"missing name", func(s *predict.PlatformSpec) { s.Name = "" }},
+		{"no machines", func(s *predict.PlatformSpec) { s.Machines = nil }},
+		{"bad machine kind", func(s *predict.PlatformSpec) { s.Machines[0].Kind = "vax" }},
+		{"kindless machine without rates", func(s *predict.PlatformSpec) { s.Machines[0].Kind = "" }},
+		{"bad load kind", func(s *predict.PlatformSpec) { s.CPU = []predict.LoadSpec{{Kind: "nope"}} }},
+		{"cpu count mismatch", func(s *predict.PlatformSpec) {
+			s.CPU = []predict.LoadSpec{{Kind: "light"}, {Kind: "light"}, {Kind: "light"}}
+		}},
+		{"single machine", func(s *predict.PlatformSpec) { s.Machines = s.Machines[:1] }},
+		{"fault machine out of range", func(s *predict.PlatformSpec) {
+			s.Faults = []predict.FaultSpec{{Machine: 5, Drop: 0.1}}
+		}},
+		{"negative warmup", func(s *predict.PlatformSpec) { s.Warmup = -1 }},
+		{"bad link", func(s *predict.PlatformSpec) { s.Link = &predict.LinkSpec{DedBW: -1} }},
+	}
+	for _, tc := range cases {
+		spec := valid()
+		tc.mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: want validation error", tc.name)
+		}
+	}
+	spec := valid()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSpecBroadcastAndDefaults covers the CPU conveniences: no loads means
+// light load everywhere, one load broadcasts to every machine.
+func TestSpecBroadcastAndDefaults(t *testing.T) {
+	spec := predict.PlatformSpec{
+		Name: "broadcast",
+		Machines: []predict.MachineSpec{
+			{Name: "a", Kind: "sparc5"},
+			{Name: "b", Kind: "sparc5"},
+			{Name: "c", Kind: "sparc10"},
+		},
+		CPU:  []predict.LoadSpec{{Kind: "platform2-bursty"}},
+		Seed: 11,
+	}
+	svc, err := predict.NewServiceFromSpec(&spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Machines()); got != 3 {
+		t.Fatalf("machines = %d, want 3", got)
+	}
+	empty := predict.PlatformSpec{
+		Name:     "defaults",
+		Machines: []predict.MachineSpec{{Name: "a", Kind: "ultra"}, {Name: "b", Kind: "ultra"}},
+		Seed:     11,
+	}
+	if _, err := predict.NewServiceFromSpec(&empty, nil); err != nil {
+		t.Fatalf("defaulted spec failed: %v", err)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specsJSON := `[
+	  {"name":"a","seed":1,"machines":[{"name":"m0","kind":"sparc5"},{"name":"m1","kind":"sparc10"}],
+	   "cpu":[{"kind":"single-mode","mean":0.5,"sigma":0.05,"phi":0.8}],
+	   "net":{"kind":"ethernet-contention"},
+	   "faults":[{"machine":0,"drop":0.05,"outages":[{"start":10,"end":20}]}],
+	   "calibration":{"window":32}},
+	  {"name":"b","seed":2,"machines":[{"name":"m0","elem_rate":1e6,"memory_mb":64},{"name":"m1","elem_rate":2e6,"memory_mb":64}]}
+	]`
+	specs, err := predict.ParseSpecs(strings.NewReader(specsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "a" || specs[1].Name != "b" {
+		t.Fatalf("parsed %+v", specs)
+	}
+	if _, err := predict.ParseSpecs(strings.NewReader(`[{"name":"x","bogus_field":1}]`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	if _, err := predict.ParseSpecs(strings.NewReader(`[{"name":"x","machines":[]}]`)); err == nil {
+		t.Error("invalid spec should be rejected")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec, err := predict.SimulatedSpec(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = []predict.FaultSpec{{Machine: 0, Drop: 0.1, Outages: []predict.OutageSpec{{Start: 5, End: 10}}}}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+		t.Fatal(err)
+	}
+	var back predict.PlatformSpec
+	if err := json.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", spec, back)
+	}
+}
+
+func TestFleetSpecs(t *testing.T) {
+	specs := predict.FleetSpecs(40, 5)
+	if len(specs) != 40 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	seen := make(map[string]bool)
+	for i, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate tenant name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+	}
+	// Same inputs, same fleet: generation must be deterministic.
+	if !reflect.DeepEqual(specs, predict.FleetSpecs(40, 5)) {
+		t.Fatal("FleetSpecs is not deterministic")
+	}
+}

@@ -21,10 +21,17 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 
 # Loadtest smokes: a short closed-loop run against the in-process serving
 # stack must produce nonzero throughput with zero request errors and a
-# parseable /metrics exposition, and the tick-cached serving path must not
-# be slower than the same run with the cache disabled (~4 s budget total;
-# the asserting tests wrap cmd/loadtest's run function).
-go test -run 'TestRunInProcessSmoke|TestCacheVsUncachedSmoke' -count=1 ./cmd/loadtest
+# parseable /metrics exposition, the tick-cached serving path must not be
+# slower than the same run with the cache disabled, and a 1,000-tenant
+# fleet must survive a mid-run snapshot/kill/restore cycle with zero
+# errors (~6 s budget total; the asserting tests wrap cmd/loadtest's run
+# function).
+go test -run 'TestRunInProcessSmoke|TestCacheVsUncachedSmoke|TestRunFleetKillRestoreSmoke' -count=1 ./cmd/loadtest
+
+# Snapshot round-trip smoke over the real daemon binary: serve, snapshot,
+# kill, restore — the restored daemon must answer byte-identically to the
+# one that never stopped.
+scripts/snapshot_smoke.sh
 
 # Coverage summary for the online-calibration layer (report-only, no gate).
 go test -cover ./internal/calib ./internal/predict | awk '{print "check.sh: coverage:", $0}'
