@@ -100,6 +100,22 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, "false"...)
 }
 
+// appendFloats appends a []float64 the way encoding/json does: null when
+// nil, a JSON array otherwise.
+func appendFloats(b []byte, vs []float64) []byte {
+	if vs == nil {
+		return append(b, "null"...)
+	}
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendFloat(b, v)
+	}
+	return append(b, ']')
+}
+
 func appendGaps(b []byte, g nws.GapStats) []byte {
 	b = append(b, `{"clean":`...)
 	b = strconv.AppendInt(b, int64(g.Clean), 10)
@@ -137,6 +153,24 @@ func appendLoad(b []byte, r predict.MachineReport) []byte {
 	b = appendFloat(b, r.Widening)
 	b = append(b, `,"gaps":`...)
 	b = appendGaps(b, r.Gaps)
+	b = append(b, `,"forecaster":`...)
+	b = appendString(b, r.Forecaster)
+	if len(r.Components) > 0 { // omitempty
+		b = append(b, `,"components":[`...)
+		for i, c := range r.Components {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"weight":`...)
+			b = appendFloat(b, c.Weight)
+			b = append(b, `,"mean":`...)
+			b = appendFloat(b, c.Mean)
+			b = append(b, `,"sigma":`...)
+			b = appendFloat(b, c.Sigma)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
 	return append(b, '}')
 }
 
@@ -197,6 +231,33 @@ func appendPrediction(b []byte, platform string, p *predict.Prediction) []byte {
 	b = appendFloat(b, p.Bandwidth.Spread)
 	b = append(b, `,"bw_gaps":`...)
 	b = appendGaps(b, p.BWGaps)
+	if len(p.Dist.Calibrated) > 0 { // omitempty: nil *DistJSON on the wire struct
+		b = append(b, `,"dist":{"levels":`...)
+		b = appendFloats(b, p.Dist.Levels)
+		b = append(b, `,"raw":`...)
+		b = appendFloats(b, p.Dist.Raw)
+		b = append(b, `,"calibrated":`...)
+		b = appendFloats(b, p.Dist.Calibrated)
+		b = append(b, `,"forecaster":`...)
+		b = appendString(b, p.Dist.Forecaster)
+		if len(p.Dist.Intervals) > 0 {
+			b = append(b, `,"intervals":[`...)
+			for i, iv := range p.Dist.Intervals {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, `{"level":`...)
+				b = appendFloat(b, iv.Level)
+				b = append(b, `,"lo":`...)
+				b = appendFloat(b, iv.Lo)
+				b = append(b, `,"hi":`...)
+				b = appendFloat(b, iv.Hi)
+				b = append(b, '}')
+			}
+			b = append(b, ']')
+		}
+		b = append(b, '}')
+	}
 	return append(b, '}')
 }
 
@@ -249,6 +310,24 @@ func appendAccuracy(b []byte, s calib.Snapshot) []byte {
 	}
 	b = append(b, `,"last_time":`...)
 	b = appendFloat(b, s.LastTime)
+	if len(s.QuantileLevels) > 0 { // the quantile slices share omitempty
+		b = append(b, `,"quantile_levels":`...)
+		b = appendFloats(b, s.QuantileLevels)
+	}
+	if len(s.QuantileScaleLo) > 0 {
+		b = append(b, `,"quantile_scale_lo":`...)
+		b = appendFloats(b, s.QuantileScaleLo)
+	}
+	if len(s.QuantileScaleHi) > 0 {
+		b = append(b, `,"quantile_scale_hi":`...)
+		b = appendFloats(b, s.QuantileScaleHi)
+	}
+	b = append(b, `,"quantile_shift":`...)
+	b = appendFloat(b, s.QuantileShift)
+	b = append(b, `,"mean_pit":`...)
+	b = appendFloat(b, s.MeanPIT)
+	b = append(b, `,"pit_count":`...)
+	b = strconv.AppendInt(b, int64(s.PITCount), 10)
 	return append(b, '}')
 }
 
@@ -277,10 +356,19 @@ func appendErrorObj(b []byte, msg string) []byte {
 // then produces the user-visible error).
 var errFallback = fmt.Errorf("api: fast JSON parser fallback")
 
-// parser is a minimal JSON reader over a complete request body.
+// parser is a minimal JSON reader over a complete request body. Its
+// acceptance contract is one-sided strictness: every body the fast path
+// accepts must decode to exactly what encoding/json produces, and every
+// construct where the two could diverge (escapes, non-ASCII or control
+// bytes in strings, lax number forms, deep nesting, duplicate keys with
+// merge semantics) forces errFallback instead. FuzzCodecParsers holds the
+// parsers to that contract.
 type parser struct {
 	data []byte
 	pos  int
+	// scratch backs the ASCII case-folding of object keys, so matching a
+	// case-variant key (which encoding/json accepts) does not allocate.
+	scratch [48]byte
 }
 
 func (p *parser) skipWS() {
@@ -313,20 +401,25 @@ func (p *parser) peek() byte {
 }
 
 // rawString reads a string literal without escape support, returning the
-// raw bytes between the quotes. A backslash forces the stdlib fallback.
+// raw bytes between the quotes. A backslash, a control byte (stdlib syntax
+// error), or a non-ASCII byte (stdlib replaces invalid UTF-8 rather than
+// erroring, so byte-for-byte agreement needs real decoding) forces the
+// stdlib fallback.
 func (p *parser) rawString() ([]byte, error) {
 	if err := p.expect('"'); err != nil {
 		return nil, err
 	}
 	start := p.pos
 	for p.pos < len(p.data) {
-		switch p.data[p.pos] {
-		case '\\':
+		switch c := p.data[p.pos]; {
+		case c == '\\':
 			return nil, errFallback
-		case '"':
+		case c == '"':
 			s := p.data[start:p.pos]
 			p.pos++
 			return s, nil
+		case c < 0x20 || c >= 0x80:
+			return nil, errFallback
 		default:
 			p.pos++
 		}
@@ -334,22 +427,77 @@ func (p *parser) rawString() ([]byte, error) {
 	return nil, errFallback
 }
 
-// number reads a JSON number as float64.
-func (p *parser) number() (float64, error) {
+// boundary reports whether the value ending at the current position sits on
+// a legal JSON token boundary (EOF, whitespace, or a structural byte).
+func (p *parser) boundary() bool {
+	if p.pos >= len(p.data) {
+		return true
+	}
+	switch p.data[p.pos] {
+	case ',', '}', ']', ':', ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}
+
+// scanNumber consumes one number token in the exact JSON grammar — no
+// leading '+', no leading zeros, no bare '.', digits required after '.' and
+// the exponent sign. strconv.ParseFloat is laxer on all of those, so the
+// grammar is checked here rather than delegated.
+func (p *parser) scanNumber() ([]byte, error) {
 	p.skipWS()
 	start := p.pos
-	for p.pos < len(p.data) {
-		c := p.data[p.pos]
-		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	switch {
+	case p.pos >= len(p.data):
+		return nil, errFallback
+	case p.data[p.pos] == '0':
+		p.pos++
+	case p.data[p.pos] >= '1' && p.data[p.pos] <= '9':
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
 			p.pos++
-			continue
 		}
-		break
+	default:
+		return nil, errFallback
 	}
-	if start == p.pos {
-		return 0, errFallback
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		p.pos++
+		digits := p.pos
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == digits {
+			return nil, errFallback
+		}
 	}
-	v, err := strconv.ParseFloat(string(p.data[start:p.pos]), 64)
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		digits := p.pos
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == digits {
+			return nil, errFallback
+		}
+	}
+	if !p.boundary() {
+		return nil, errFallback
+	}
+	return p.data[start:p.pos], nil
+}
+
+// number reads a JSON number as float64.
+func (p *parser) number() (float64, error) {
+	tok, err := p.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(string(tok), 64)
 	if err != nil {
 		return 0, errFallback
 	}
@@ -361,86 +509,175 @@ func (p *parser) number() (float64, error) {
 // them for int fields, and the fast path must never accept what stdlib
 // would refuse.
 func (p *parser) integer() (int64, error) {
-	p.skipWS()
-	start := p.pos
-	if p.pos < len(p.data) && p.data[p.pos] == '-' {
-		p.pos++
+	tok, err := p.scanNumber()
+	if err != nil {
+		return 0, err
 	}
-	digits := p.pos
-	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
-		p.pos++
-	}
-	if p.pos == digits {
-		return 0, errFallback
-	}
-	if p.pos < len(p.data) {
-		switch p.data[p.pos] {
-		case '.', 'e', 'E', '+':
+	for _, c := range tok {
+		if c == '.' || c == 'e' || c == 'E' {
 			return 0, errFallback
 		}
 	}
-	v, err := strconv.ParseInt(string(p.data[start:p.pos]), 10, 64)
+	v, err := strconv.ParseInt(string(tok), 10, 64)
 	if err != nil {
 		return 0, errFallback
 	}
 	return v, nil
 }
 
-// skipValue consumes one value of any type (for unknown keys).
-func (p *parser) skipValue() error {
+// literal consumes one exact keyword token (true/false/null).
+func (p *parser) literal(lit string) error {
 	p.skipWS()
-	if p.pos >= len(p.data) {
+	if len(p.data)-p.pos < len(lit) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
 		return errFallback
 	}
-	switch c := p.data[p.pos]; c {
-	case '"':
-		_, err := p.rawString()
-		return err
-	case '{', '[':
-		open, close := c, byte('}')
-		if c == '[' {
-			close = ']'
-		}
-		depth := 0
-		inStr := false
-		for ; p.pos < len(p.data); p.pos++ {
-			b := p.data[p.pos]
-			if inStr {
-				if b == '\\' {
-					p.pos++
-				} else if b == '"' {
-					inStr = false
-				}
-				continue
-			}
-			switch b {
-			case '"':
-				inStr = true
-			case open:
-				depth++
-			case close:
-				depth--
-				if depth == 0 {
-					p.pos++
-					return nil
-				}
-			}
-		}
+	p.pos += len(lit)
+	if !p.boundary() {
 		return errFallback
-	default: // number, true, false, null
-		for p.pos < len(p.data) {
-			switch p.data[p.pos] {
-			case ',', '}', ']', ' ', '\t', '\n', '\r':
-				return nil
-			}
-			p.pos++
+	}
+	return nil
+}
+
+// floats reads a JSON array of numbers with stdlib decode semantics: null
+// yields nil, [] yields an empty non-nil slice.
+func (p *parser) floats() ([]float64, error) {
+	if p.peek() == 'n' {
+		if err := p.literal("null"); err != nil {
+			return nil, err
 		}
-		return nil
+		return nil, nil
+	}
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	out := []float64{}
+	if p.peek() == ']' {
+		p.pos++
+		return out, nil
+	}
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return out, nil
+		default:
+			return nil, errFallback
+		}
 	}
 }
 
-// object walks one JSON object, calling field for every key. field returns
-// an error to abort (usually errFallback); unknown keys are skipped.
+// maxSkipDepth bounds nesting inside skipped unknown values. Deeper bodies
+// fall back to encoding/json (which allows far deeper nesting before its
+// own limit), keeping fast-accept a subset of stdlib-accept without an
+// unbounded recursion here.
+const maxSkipDepth = 32
+
+// skipValue consumes one value of any type (for unknown keys), validating
+// the full JSON grammar as it goes — the fast path must never accept a
+// body whose unknown corners stdlib would reject.
+func (p *parser) skipValue() error { return p.skipValueDepth(0) }
+
+func (p *parser) skipValueDepth(depth int) error {
+	if depth > maxSkipDepth {
+		return errFallback
+	}
+	switch p.peek() {
+	case '"':
+		_, err := p.rawString()
+		return err
+	case 't':
+		return p.literal("true")
+	case 'f':
+		return p.literal("false")
+	case 'n':
+		return p.literal("null")
+	case '{':
+		p.pos++
+		if p.peek() == '}' {
+			p.pos++
+			return nil
+		}
+		for {
+			if _, err := p.rawString(); err != nil {
+				return err
+			}
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			if err := p.skipValueDepth(depth + 1); err != nil {
+				return err
+			}
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case '}':
+				p.pos++
+				return nil
+			default:
+				return errFallback
+			}
+		}
+	case '[':
+		p.pos++
+		if p.peek() == ']' {
+			p.pos++
+			return nil
+		}
+		for {
+			if err := p.skipValueDepth(depth + 1); err != nil {
+				return err
+			}
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ']':
+				p.pos++
+				return nil
+			default:
+				return errFallback
+			}
+		}
+	case 0:
+		return errFallback
+	default:
+		_, err := p.scanNumber()
+		return err
+	}
+}
+
+// foldKey lowercases an ASCII key into the parser's scratch buffer:
+// encoding/json matches object keys to field names case-insensitively, so
+// the field switches below match on the folded form. Keys are ASCII by
+// construction (rawString falls back on anything else), which makes ASCII
+// folding equivalent to stdlib's unicode fold. Oversized keys can't name a
+// known field and pass through unfolded to the default (skip) arm.
+func (p *parser) foldKey(key []byte) []byte {
+	if len(key) > len(p.scratch) {
+		return key
+	}
+	b := p.scratch[:len(key)]
+	for i, c := range key {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return b
+}
+
+// object walks one JSON object, calling field for every key (ASCII
+// case-folded, matching stdlib's case-insensitive field matching). field
+// returns an error to abort (usually errFallback); unknown keys are
+// skipped. Duplicate keys overwrite like stdlib, except where a field's
+// stdlib decode merges into the prior value — those fields guard
+// themselves.
 func (p *parser) object(field func(key []byte) error) error {
 	if err := p.expect('{'); err != nil {
 		return err
@@ -457,7 +694,7 @@ func (p *parser) object(field func(key []byte) error) error {
 		if err := p.expect(':'); err != nil {
 			return err
 		}
-		if err := field(key); err != nil {
+		if err := field(p.foldKey(key)); err != nil {
 			return err
 		}
 		switch p.peek() {
@@ -527,6 +764,18 @@ func (p *parser) predictRequestFields(pr *PredictRequest) error {
 				return err
 			}
 			pr.Advance = v
+		case "level":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			pr.Level = v
+		case "levels":
+			vs, err := p.floats()
+			if err != nil {
+				return err
+			}
+			pr.Levels = vs
 		default:
 			return p.skipValue()
 		}
@@ -588,8 +837,13 @@ func parseBatchRequest(data []byte) ([]PredictRequest, error) {
 		if string(key) != "requests" {
 			return p.skipValue()
 		}
-		if p.peek() == 'n' { // null
-			return p.skipValue()
+		if reqs != nil {
+			// Duplicate key: stdlib would merge the second array into the
+			// items already decoded, element by element — not worth mirroring.
+			return errFallback
+		}
+		if p.peek() == 'n' {
+			return p.literal("null") // leaves reqs nil, like stdlib
 		}
 		if err := p.expect('['); err != nil {
 			return err

@@ -44,6 +44,7 @@ func refPredictResponse(platform string, p predict.Prediction) PredictResponse {
 	for _, l := range p.Loads {
 		pr.Loads = append(pr.Loads, toLoadJSON(l))
 	}
+	pr.Dist = toDistJSON(p.Dist)
 	return pr
 }
 
@@ -132,6 +133,12 @@ func TestParsePredictRequestMatchesStdlib(t *testing.T) {
 		` { "n" : 10 , "unknown" : {"nested":[1,2,{"x":"y"}]} , "iterations" : 1 } `,
 		`{"platform":"p","n":100,"iterations":5,"advance":-3.5e-1}`,
 		`{}`,
+		`{"n":120,"iterations":6,"level":0.9}`,
+		`{"n":120,"iterations":6,"levels":[0.5,0.9,0.95]}`,
+		`{"n":120,"iterations":6,"levels":[]}`,
+		`{"n":120,"iterations":6,"levels":null}`,
+		`{"N":120,"Iterations":6,"LEVEL":0.8}`, // stdlib matches fields case-insensitively
+		`{"unknown":true,"other":false,"gone":null,"n":5,"iterations":1}`,
 	}
 	for _, body := range accept {
 		got, err := parsePredictRequest([]byte(body))
@@ -143,7 +150,7 @@ func TestParsePredictRequestMatchesStdlib(t *testing.T) {
 		if err := json.Unmarshal([]byte(body), &want); err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("parse diverged for %s:\nfast:   %+v\nstdlib: %+v", body, got, want)
 		}
 	}
@@ -155,6 +162,14 @@ func TestParsePredictRequestMatchesStdlib(t *testing.T) {
 		`[1,2]`,
 		`{"n":1,}`,
 		``,
+		`{"n":01}`,                // leading zero: stdlib syntax error
+		`{"advance":+5}`,          // leading plus: stdlib syntax error
+		`{"advance":1.}`,          // bare trailing dot: stdlib syntax error
+		`{"advance":.5}`,          // bare leading dot: stdlib syntax error
+		`{"unknown":truely}`,      // malformed keyword in a skipped value
+		`{"unknown":}`,            // missing skipped value
+		"{\"platform\":\"a\nb\"}", // raw control byte in string: stdlib syntax error
+		`{"levels":[0.5,]}`,
 	}
 	for _, body := range fallback {
 		if _, err := parsePredictRequest([]byte(body)); err == nil {

@@ -1,0 +1,79 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCodecParsers holds the fast request parsers to their one-sided
+// strictness contract: on any input each parser either returns an error
+// (the handler falls back to encoding/json, which owns correctness) or
+// accepts — and then stdlib must accept the same body and decode it to
+// exactly the same value. A body the fast path accepts but stdlib rejects,
+// or decodes differently, is a serving-path bug: the daemon would answer a
+// request it should 400, or mis-read a field.
+func FuzzCodecParsers(f *testing.F) {
+	seeds := []string{
+		// predict bodies, accepted and fallback-forcing
+		`{"platform":"platform1","n":200,"iterations":5}`,
+		`{"platform":"p2","n":80,"iterations":4,"strategy":"conservative","max_strategy":"magnitude","iteration_rel":"unrelated","advance":2.5}`,
+		` { "n" : 10 , "unknown" : {"nested":[1,2,{"x":"y"}]} , "iterations" : 1 } `,
+		`{"n":120,"iterations":6,"level":0.9,"levels":[0.5,0.95]}`,
+		`{"n":120,"iterations":6,"levels":null}`,
+		`{"N":120,"ITERATIONS":6}`,
+		`{"platform":"esc\"aped","n":1}`,
+		`{"n":1e2}`,
+		`{"n":01}`,
+		`{"advance":+5}`,
+		`{"advance":1.}`,
+		`{"advance":-3.5e-1}`,
+		`{"unknown":truely}`,
+		`{"unknown":}`,
+		`{"levels":[0.5,]}`,
+		`{}`,
+		``,
+		// observe bodies
+		`{"platform":"platform1","id":17,"actual":0.42}`,
+		`{"id":1,"actual":3}`,
+		`{"id":-1,"actual":3}`,
+		// batch bodies
+		`{"requests":[{"platform":"platform1","n":10,"iterations":2},{"n":20,"iterations":3,"strategy":"optimistic"}]}`,
+		`{"requests":[]}`,
+		`{"requests":null}`,
+		`{"requests":[1]}`,
+		`{"requests":[{"n":1}],"requests":[{}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got, err := parsePredictRequest(data); err == nil {
+			var want PredictRequest
+			if uerr := json.Unmarshal(data, &want); uerr != nil {
+				t.Fatalf("fast predict parser accepted a body stdlib rejects (%v): %q", uerr, data)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("predict parse diverged for %q:\nfast:   %+v\nstdlib: %+v", data, got, want)
+			}
+		}
+		if got, err := parseObserveRequest(data); err == nil {
+			var want ObserveRequest
+			if uerr := json.Unmarshal(data, &want); uerr != nil {
+				t.Fatalf("fast observe parser accepted a body stdlib rejects (%v): %q", uerr, data)
+			}
+			if got != want {
+				t.Fatalf("observe parse diverged for %q:\nfast:   %+v\nstdlib: %+v", data, got, want)
+			}
+		}
+		if got, err := parseBatchRequest(data); err == nil {
+			var want BatchPredictRequest
+			if uerr := json.Unmarshal(data, &want); uerr != nil {
+				t.Fatalf("fast batch parser accepted a body stdlib rejects (%v): %q", uerr, data)
+			}
+			if !reflect.DeepEqual(got, want.Requests) {
+				t.Fatalf("batch parse diverged for %q:\nfast:   %+v\nstdlib: %+v", data, got, want.Requests)
+			}
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package api
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prodpred/internal/predict"
+)
+
+// recordedExchange is one request/response pair captured against the code
+// that wrote testdata/snapshot_v1.snap, before the v2 snapshot format and
+// the distribution payload existed.
+type recordedExchange struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   string `json:"body"`
+	Status int    `json:"status"`
+	Resp   string `json:"resp"`
+}
+
+// restoreV1 reads the golden v1 snapshot into a registry — exactly what
+// `predictd -restore` does at startup.
+func restoreV1(t *testing.T) *predict.Registry {
+	t.Helper()
+	raw, err := os.ReadFile("../predict/testdata/snapshot_v1.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := predict.ReadSnapshot(bytes.NewReader(raw), predict.RegistryOptions{})
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer restores: %v", err)
+	}
+	return reg
+}
+
+// subsetEqual requires every leaf recorded in want to appear, with the
+// identical value, in got; keys only got carries (fields added since the
+// fixture was recorded) are ignored. Arrays must match element count —
+// growing a list would change what the recorded clients saw.
+func subsetEqual(path string, want, got any) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: recorded object, now %T", path, got)
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("%s.%s: recorded field missing from response", path, k)
+			}
+			if err := subsetEqual(path+"."+k, wv, gv); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("%s: recorded array, now %T", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s: recorded %d elements, now %d", path, len(w), len(g))
+		}
+		for i := range w {
+			if err := subsetEqual(fmt.Sprintf("%s[%d]", path, i), w[i], g[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Errorf("%s: recorded %v, now %v", path, want, got)
+		}
+		return nil
+	}
+}
+
+// TestV1SnapshotServesIdentically is the migration guarantee: a snapshot
+// written by the v1 code restores into today's registry and serves
+// byte-identical legacy fields on the exact request sequence recorded
+// against the old build — IDs, means, spreads, calibration state, all of
+// it. New fields (forecaster tags, dist payloads, quantile calibration
+// state) may appear on top; nothing recorded may change.
+func TestV1SnapshotServesIdentically(t *testing.T) {
+	raw, err := os.ReadFile("../predict/testdata/snapshot_v1_responses.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exchanges []recordedExchange
+	if err := json.Unmarshal(raw, &exchanges); err != nil {
+		t.Fatal(err)
+	}
+	if len(exchanges) == 0 {
+		t.Fatal("empty fixture")
+	}
+	handler := NewHandler(restoreV1(t), Options{})
+	for i, ex := range exchanges {
+		var body *strings.Reader
+		if ex.Body != "" {
+			body = strings.NewReader(ex.Body)
+		} else {
+			body = strings.NewReader("")
+		}
+		req := httptest.NewRequest(ex.Method, ex.Path, body)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != ex.Status {
+			t.Fatalf("exchange %d (%s %s): status %d, recorded %d\n%s",
+				i, ex.Method, ex.Path, rec.Code, ex.Status, rec.Body.String())
+		}
+		var want, got any
+		if err := json.Unmarshal([]byte(ex.Resp), &want); err != nil {
+			t.Fatalf("exchange %d: bad recorded response: %v", i, err)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("exchange %d: response is not JSON: %v\n%s", i, err, rec.Body.String())
+		}
+		if err := subsetEqual("resp", want, got); err != nil {
+			t.Errorf("exchange %d (%s %s) diverged from the v1 recording: %v",
+				i, ex.Method, ex.Path, err)
+		}
+	}
+}
+
+// TestV1SnapshotMigratesToV2: restoring a v1 snapshot and re-snapshotting
+// IS the migration — the rewrite comes out in the v2 format, and the v2
+// image is a fixed point (read + rewrite is byte-identical).
+func TestV1SnapshotMigratesToV2(t *testing.T) {
+	reg := restoreV1(t)
+	var v2 bytes.Buffer
+	if err := reg.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	b := v2.Bytes()
+	if len(b) < 10 || string(b[:6]) != "PPSNAP" {
+		t.Fatalf("bad snapshot header % x", b[:10])
+	}
+	if ver := binary.LittleEndian.Uint32(b[6:10]); ver != 2 {
+		t.Fatalf("re-snapshot of a restored v1 image has version %d, want 2", ver)
+	}
+	reg2, err := predict.ReadSnapshot(bytes.NewReader(b), predict.RegistryOptions{})
+	if err != nil {
+		t.Fatalf("migrated v2 snapshot does not restore: %v", err)
+	}
+	var again bytes.Buffer
+	if err := reg2.WriteSnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, again.Bytes()) {
+		t.Fatal("v2 snapshot is not a fixed point: restore + rewrite changed bytes")
+	}
+}
+
+// TestV1RestoreServesQuantileLevels: a restored v1 fleet answers ?level=
+// requests immediately — with identity quantile calibration (no v1
+// evidence), so the calibrated grid equals the raw grid.
+func TestV1RestoreServesQuantileLevels(t *testing.T) {
+	handler := NewHandler(restoreV1(t), Options{})
+	req := httptest.NewRequest("POST", "/predict?level=0.9&levels=0.5,0.95",
+		strings.NewReader(`{"platform":"platform2","n":120,"iterations":6}`))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dist == nil {
+		t.Fatal("restored v1 service served no dist payload")
+	}
+	if len(resp.Dist.Intervals) != 3 {
+		t.Fatalf("asked for 3 interval levels, got %d", len(resp.Dist.Intervals))
+	}
+	for _, iv := range resp.Dist.Intervals {
+		if iv.Lo > iv.Hi {
+			t.Fatalf("interval %.2f inverted: [%g, %g]", iv.Level, iv.Lo, iv.Hi)
+		}
+	}
+	if got := []float64{resp.Dist.Intervals[0].Level, resp.Dist.Intervals[1].Level, resp.Dist.Intervals[2].Level}; !reflect.DeepEqual(got, []float64{0.9, 0.5, 0.95}) {
+		t.Fatalf("interval levels out of order: %v", got)
+	}
+	if !reflect.DeepEqual(resp.Dist.Raw, resp.Dist.Calibrated) {
+		t.Fatalf("v1 restore should serve identity quantile calibration:\nraw: %v\ncal: %v", resp.Dist.Raw, resp.Dist.Calibrated)
+	}
+	for i := 1; i < len(resp.Dist.Calibrated); i++ {
+		if resp.Dist.Calibrated[i] < resp.Dist.Calibrated[i-1] {
+			t.Fatalf("calibrated grid not nondecreasing: %v", resp.Dist.Calibrated)
+		}
+	}
+	if resp.Dist.Forecaster == "" {
+		t.Fatal("dist payload carries no forecaster tag")
+	}
+}

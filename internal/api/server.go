@@ -17,7 +17,9 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"prodpred/internal/obs"
@@ -151,6 +153,31 @@ func platformFrom(r *http.Request) string {
 // maxBodyBytes bounds a request body read into a pooled buffer.
 const maxBodyBytes = 1 << 20
 
+// queryLevels parses the ?level= / ?levels= query parameters into central
+// interval levels: level takes one value, levels a comma-separated list,
+// and both may repeat. Range validation ((0,1) exclusive) happens in the
+// pipeline, which owns the error message.
+func queryLevels(q url.Values) ([]float64, error) {
+	var out []float64
+	for _, s := range q["level"] {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q", s)
+		}
+		out = append(out, v)
+	}
+	for _, s := range q["levels"] {
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad levels entry %q", part)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
 // readBody reads the whole request body into pb, growing as needed.
 func readBody(r *http.Request, pb *poolBuf) error {
 	for {
@@ -200,6 +227,12 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	qls, err := queryLevels(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Levels = append(req.Levels, qls...)
 	svc, err := s.reg.Lookup(pr.Platform)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
@@ -252,6 +285,13 @@ func (s *server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(items), MaxBatchSize))
 		return
 	}
+	// Query-level interval levels apply to every item in the batch (each
+	// item can still ask for its own via the level/levels body fields).
+	qls, err := queryLevels(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	// Translate the wire items, remembering which ones are well-formed;
 	// translation failures become positional errors, not a failed batch.
 	reqs := make([]predict.Request, 0, len(items))
@@ -267,6 +307,7 @@ func (s *server) handleBatchPredict(w http.ResponseWriter, r *http.Request) {
 			itemErrs[i] = err
 			continue
 		}
+		req.Levels = append(req.Levels, qls...)
 		reqs = append(reqs, req)
 		valid = append(valid, i)
 	}

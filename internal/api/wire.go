@@ -20,6 +20,12 @@ type PredictRequest struct {
 	MaxStrategy  string  `json:"max_strategy"`  // mean | magnitude | probabilistic
 	IterationRel string  `json:"iteration_rel"` // related | unrelated
 	Advance      float64 `json:"advance"`       // optional virtual seconds to advance first
+	// Level / Levels ask for central prediction intervals (each in (0,1))
+	// read off the calibrated predictive distribution; the response answers
+	// them in dist.intervals, Level first. The same request can also be made
+	// per call with the ?level= / ?levels= query parameters.
+	Level  float64   `json:"level,omitempty"`
+	Levels []float64 `json:"levels,omitempty"`
 }
 
 // ToRequest translates the wire enums into the pipeline's typed strategies.
@@ -29,6 +35,10 @@ func (pr PredictRequest) ToRequest() (predict.Request, error) {
 		N:          pr.N,
 		Iterations: pr.Iterations,
 	}
+	if pr.Level != 0 {
+		req.Levels = append(req.Levels, pr.Level)
+	}
+	req.Levels = append(req.Levels, pr.Levels...)
 	switch pr.Strategy {
 	case "", "mean":
 		req.Strategy = sched.MeanBalanced
@@ -83,6 +93,14 @@ func toGapsJSON(g nws.GapStats) GapsJSON {
 	}
 }
 
+// ComponentJSON is the wire form of nws.Component: one Gaussian mixture
+// component of a machine's predictive load distribution.
+type ComponentJSON struct {
+	Weight float64 `json:"weight"`
+	Mean   float64 `json:"mean"`
+	Sigma  float64 `json:"sigma"`
+}
+
 // LoadJSON is the wire form of predict.MachineReport.
 type LoadJSON struct {
 	Machine   int      `json:"machine"`
@@ -92,14 +110,23 @@ type LoadJSON struct {
 	Staleness float64  `json:"staleness"`
 	Widening  float64  `json:"widening"`
 	Gaps      GapsJSON `json:"gaps"`
+	// Forecaster tags which distribution forecaster produced this machine's
+	// load distribution (tournament competitor, "fallback", "prior", or
+	// "override"); Components is that distribution as a Gaussian mixture.
+	Forecaster string          `json:"forecaster"`
+	Components []ComponentJSON `json:"components,omitempty"`
 }
 
 func toLoadJSON(r predict.MachineReport) LoadJSON {
-	return LoadJSON{
+	l := LoadJSON{
 		Machine: r.Machine, Mean: r.Load.Mean, Spread: r.Load.Spread,
 		Raw: r.Raw, Staleness: r.Staleness, Widening: r.Widening,
-		Gaps: toGapsJSON(r.Gaps),
+		Gaps: toGapsJSON(r.Gaps), Forecaster: r.Forecaster,
 	}
+	for _, c := range r.Components {
+		l.Components = append(l.Components, ComponentJSON{Weight: c.Weight, Mean: c.Mean, Sigma: c.Sigma})
+	}
+	return l
 }
 
 // DriftJSON is the wire form of calib.DriftEvent.
@@ -128,6 +155,18 @@ type AccuracyJSON struct {
 	SinceReset           int         `json:"since_reset"`
 	Drifts               []DriftJSON `json:"drifts,omitempty"`
 	LastTime             float64     `json:"last_time"`
+	// Per-quantile calibration state: the central interval levels the
+	// calibrator maintains, the current two-sided multipliers (low/high tail,
+	// 1 = uncalibrated), and the windowed probability-integral-transform
+	// summary (MeanPIT near 0.5 means the distribution is centered).
+	QuantileLevels  []float64 `json:"quantile_levels,omitempty"`
+	QuantileScaleLo []float64 `json:"quantile_scale_lo,omitempty"`
+	QuantileScaleHi []float64 `json:"quantile_scale_hi,omitempty"`
+	// QuantileShift is the conformal median recentering term, as a fraction
+	// of the predictive median (0 = unbiased or no evidence yet).
+	QuantileShift float64 `json:"quantile_shift"`
+	MeanPIT       float64 `json:"mean_pit"`
+	PITCount      int     `json:"pit_count"`
 }
 
 func toAccuracyJSON(s calib.Snapshot) AccuracyJSON {
@@ -138,12 +177,52 @@ func toAccuracyJSON(s calib.Snapshot) AccuracyJSON {
 		MeanSignedRelErr: s.MeanSignedRelErr, MeanAbsRelErr: s.MeanAbsRelErr,
 		MeanRawWidth: s.MeanRawWidth, MeanCalibratedWidth: s.MeanCalibratedWidth,
 		Scale: s.Scale, Target: s.Target, SinceReset: s.SinceReset,
-		LastTime: s.LastTime,
+		LastTime:       s.LastTime,
+		QuantileLevels: s.QuantileLevels, QuantileScaleLo: s.QuantileScaleLo,
+		QuantileScaleHi: s.QuantileScaleHi, QuantileShift: s.QuantileShift,
+		MeanPIT: s.MeanPIT, PITCount: s.PITCount,
 	}
 	for _, d := range s.Drifts {
 		a.Drifts = append(a.Drifts, DriftJSON{Time: d.Time, Seq: d.Seq, Reason: d.Reason, Stat: d.Stat})
 	}
 	return a
+}
+
+// IntervalJSON is the wire form of predict.Interval: one requested central
+// prediction interval read off the calibrated predictive distribution.
+type IntervalJSON struct {
+	Level float64 `json:"level"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+}
+
+// DistJSON is the wire form of predict.PredictionDist: the full predictive
+// execution-time distribution behind the two-number mean/spread view.
+type DistJSON struct {
+	// Levels is the quantile grid, ascending; Raw and Calibrated are the
+	// uncalibrated and per-level conformally calibrated execution-time
+	// quantiles at those levels, in virtual seconds.
+	Levels     []float64 `json:"levels"`
+	Raw        []float64 `json:"raw"`
+	Calibrated []float64 `json:"calibrated"`
+	// Forecaster is the dominant per-machine distribution-forecaster tag.
+	Forecaster string `json:"forecaster"`
+	// Intervals answers the request's level/levels, in order.
+	Intervals []IntervalJSON `json:"intervals,omitempty"`
+}
+
+func toDistJSON(d predict.PredictionDist) *DistJSON {
+	if len(d.Calibrated) == 0 {
+		return nil
+	}
+	dj := &DistJSON{
+		Levels: d.Levels, Raw: d.Raw, Calibrated: d.Calibrated,
+		Forecaster: d.Forecaster,
+	}
+	for _, iv := range d.Intervals {
+		dj.Intervals = append(dj.Intervals, IntervalJSON{Level: iv.Level, Lo: iv.Lo, Hi: iv.Hi})
+	}
+	return dj
 }
 
 // PredictResponse is the wire form of predict.Prediction.
@@ -166,6 +245,10 @@ type PredictResponse struct {
 	BWMean           float64    `json:"bw_mean"`
 	BWSpread         float64    `json:"bw_spread"`
 	BWGaps           GapsJSON   `json:"bw_gaps"`
+	// Dist is the distribution-valued prediction (quantile grid, forecaster
+	// tag, requested intervals); omitted only when the pipeline produced no
+	// grid (never, in the current serving path).
+	Dist *DistJSON `json:"dist,omitempty"`
 }
 
 // BatchPredictRequest is the POST /predict/batch payload: up to

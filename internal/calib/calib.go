@@ -53,6 +53,8 @@ const (
 	DefaultCUSUMLimit    = 8.0
 	DefaultModeCheck     = 16
 	DefaultMaxModes      = 3
+	DefaultQScaleFloor   = 0.1
+	DefaultQScaleCeil    = 3.0
 )
 
 // Config tunes a Tracker. The zero value selects the defaults above.
@@ -76,6 +78,14 @@ type Config struct {
 	// ModeCheckEvery is how often (in outcomes) the modal mode-count check
 	// runs; MaxModes is the largest mixture it will fit.
 	ModeCheckEvery, MaxModes int
+	// QScaleFloor and QScaleCeil clamp the per-level quantile multipliers
+	// (see quantile.go). The floor sits below ScaleFloor because a single
+	// well-placed quantile offset may legitimately shrink more than a
+	// whole symmetric interval; the ceiling sits above ScaleCeil because a
+	// conditional forecaster's narrow wrong-mode side needs a larger
+	// stretch to reach the realized mode than a distribution-wide
+	// half-width ever does.
+	QScaleFloor, QScaleCeil float64
 }
 
 // withDefaults fills zero fields.
@@ -107,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxModes == 0 {
 		c.MaxModes = DefaultMaxModes
 	}
+	if c.QScaleFloor == 0 {
+		c.QScaleFloor = DefaultQScaleFloor
+	}
+	if c.QScaleCeil == 0 {
+		c.QScaleCeil = DefaultQScaleCeil
+	}
 	return c
 }
 
@@ -127,6 +143,9 @@ func (c Config) validate() error {
 	if c.CUSUMSlack < 0 || !(c.CUSUMLimit > 0) {
 		return fmt.Errorf("calib: CUSUM slack %g / limit %g invalid", c.CUSUMSlack, c.CUSUMLimit)
 	}
+	if !(c.QScaleFloor > 0) || c.QScaleCeil < c.QScaleFloor {
+		return fmt.Errorf("calib: quantile scale bounds [%g, %g] invalid", c.QScaleFloor, c.QScaleCeil)
+	}
 	return nil
 }
 
@@ -145,6 +164,11 @@ type Outcome struct {
 	// Actual is the measured runtime, in the same virtual seconds as the
 	// prediction.
 	Actual float64
+	// RawQuantiles, when present, are the uncalibrated predictive quantiles
+	// at QuantileGridLevels (distribution-valued predictions). They feed the
+	// per-level quantile calibrator and the realized-quantile (PIT) scorer;
+	// nil for legacy point-plus-spread outcomes.
+	RawQuantiles []float64
 }
 
 // DriftEvent records one detected regime change.
@@ -185,6 +209,23 @@ type Snapshot struct {
 	MeanRawWidth, MeanCalibratedWidth float64
 	// Scale is the current half-width multiplier.
 	Scale float64
+	// QuantileLevels lists the central interval levels the per-quantile
+	// calibrator maintains; QuantileScaleLo/Hi are the current two-sided
+	// multipliers, parallel to it (1 until enough distribution-valued
+	// outcomes accumulate in the regime). QuantileShift is the conformal
+	// median recentering term, as a fraction of the predictive median (0
+	// when unbiased or without evidence): the calibrated grid's median is
+	// raw median × (1 + QuantileShift).
+	QuantileLevels  []float64
+	QuantileScaleLo []float64
+	QuantileScaleHi []float64
+	QuantileShift   float64
+	// MeanPIT is the windowed mean realized quantile over
+	// distribution-valued outcomes — 0.5 when the predictive distribution
+	// is centered on the actuals. PITCount is how many windowed outcomes
+	// carried a grid.
+	MeanPIT  float64
+	PITCount int
 	// Target is the configured capture target.
 	Target float64
 	// SinceReset counts outcomes since the last regime reset.
@@ -210,6 +251,17 @@ type rec struct {
 	calIn    bool
 	armed    bool // true once this rec counted toward drift detection
 	excluded bool // true when the raw prediction had no usable spread
+
+	// Distribution-valued fields, populated only when the outcome carried a
+	// raw quantile grid with positive offsets at every level (qok). The
+	// side offsets and the actual are stored relative to the predictive
+	// median so the calibrator can re-score them under any candidate
+	// recentering shift.
+	qok  bool
+	qsLo []float64 // per-IntervalLevels (median - lo_L) / median
+	qsHi []float64 // per-IntervalLevels (hi_L - median) / median
+	qrel float64   // actual / median
+	pit  float64   // realized quantile of actual under the raw grid
 }
 
 // Tracker is the per-platform online accuracy tracker, interval
@@ -229,6 +281,11 @@ type Tracker struct {
 	// Per-regime state, cleared by resetLocked.
 	sinceReset int
 	scale      float64
+	qLo, qHi   []float64 // per-IntervalLevels quantile multipliers
+	// qShift is the conformal median shift (fraction of median). Unlike
+	// the fields above it is full-window state: drift resets leave it in
+	// place because model bias outlives load regimes.
+	qShift     float64
 	baseN      int     // residual-baseline sample count
 	baseSum    float64 // residual-baseline running sum
 	cusumPos   float64
@@ -243,7 +300,13 @@ func New(cfg Config) (*Tracker, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Tracker{cfg: cfg, scale: 1}, nil
+	t := &Tracker{cfg: cfg, scale: 1}
+	t.qLo = make([]float64, len(IntervalLevels))
+	t.qHi = make([]float64, len(IntervalLevels))
+	for i := range IntervalLevels {
+		t.qLo[i], t.qHi[i] = 1, 1
+	}
+	return t, nil
 }
 
 // Config returns the tracker's effective (defaulted) configuration.
@@ -298,6 +361,9 @@ func (t *Tracker) Observe(o Outcome) (DriftEvent, bool) {
 		// residual standardization.
 		r.excluded = true
 	}
+	if len(o.RawQuantiles) == len(QuantileGridLevels) {
+		quantileRec(&r, o)
+	}
 
 	t.observed++
 	t.sinceReset++
@@ -320,6 +386,7 @@ func (t *Tracker) Observe(o Outcome) (DriftEvent, bool) {
 		return ev, true
 	}
 	t.rescaleLocked()
+	t.rescaleQuantilesLocked()
 	return DriftEvent{}, false
 }
 
@@ -367,6 +434,12 @@ func (t *Tracker) regimeWindowLocked() []rec {
 func (t *Tracker) resetLocked() {
 	t.sinceReset = 0
 	t.scale = 1
+	// qShift deliberately survives: it tracks model bias, which is a
+	// property of the structural model vs the platform, not of the load
+	// regime that just changed (it recomputes from the full window).
+	for i := range IntervalLevels {
+		t.qLo[i], t.qHi[i] = 1, 1
+	}
 	t.baseN = 0
 	t.baseSum = 0
 	t.cusumPos = 0
@@ -380,13 +453,17 @@ func (t *Tracker) Snapshot() Snapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Snapshot{
-		Observed:   t.observed,
-		WindowFill: len(t.window),
-		Scale:      t.scale,
-		Target:     t.cfg.TargetCapture,
-		SinceReset: t.sinceReset,
-		LastTime:   t.lastTime,
-		Drifts:     append([]DriftEvent(nil), t.drifts...),
+		Observed:        t.observed,
+		WindowFill:      len(t.window),
+		Scale:           t.scale,
+		QuantileLevels:  append([]float64(nil), IntervalLevels...),
+		QuantileScaleLo: append([]float64(nil), t.qLo...),
+		QuantileScaleHi: append([]float64(nil), t.qHi...),
+		QuantileShift:   t.qShift,
+		Target:          t.cfg.TargetCapture,
+		SinceReset:      t.sinceReset,
+		LastTime:        t.lastTime,
+		Drifts:          append([]DriftEvent(nil), t.drifts...),
 	}
 	if t.observed > 0 {
 		s.CumRawCapture = float64(t.cumRawIn) / float64(t.observed)
@@ -404,10 +481,17 @@ func (t *Tracker) Snapshot() Snapshot {
 		if r.calIn {
 			calIn++
 		}
+		if r.qok {
+			s.MeanPIT += r.pit
+			s.PITCount++
+		}
 		s.MeanSignedRelErr += r.signed
 		s.MeanAbsRelErr += r.abs
 		s.MeanRawWidth += r.rawW
 		s.MeanCalibratedWidth += r.calW
+	}
+	if s.PITCount > 0 {
+		s.MeanPIT /= float64(s.PITCount)
 	}
 	fn := float64(n)
 	s.RawCapture = float64(rawIn) / fn

@@ -1,0 +1,245 @@
+// Per-quantile conformal calibration.
+//
+// The base calibrator rescales one symmetric half-width — correct for
+// normal-shaped errors, wrong for the asymmetric, fat-tailed residuals of
+// bursty multi-modal platforms, where the upper tail needs widening while
+// the core stays sharp. When outcomes carry a full raw quantile grid
+// (distribution-valued predictions), the Tracker additionally maintains a
+// conformal adjustment in two parts.
+//
+// First, a *median shift*: the structural model's point prediction can
+// carry a systematic relative bias against the measured platform (it
+// prices contention it never observes, or misses overhead it cannot see),
+// and no symmetric-around-the-median stretch can repair a miscentered
+// grid. The shift is the regime-window median of the relative residual
+// (actual - median) / median; the calibrated grid is recentered at
+// median x (1 + shift).
+//
+// Second, a *two-sided, per-level* stretch around the shifted median: for
+// each central interval level L it learns separate multipliers for the
+// lower and upper quantile offsets, from the empirical quantiles of the
+// side-specific nonconformity scores (written in median-relative units,
+// with a = actual/median and relLo/relHi the side offsets as fractions of
+// the median)
+//
+//	sLo = ((1 + shift) - a) / relLo_L
+//	sHi = (a - (1 + shift)) / relHi_L
+//
+// at probability (1+L)/2 with the usual split-conformal finite-sample
+// correction. A score above 1 means that side's quantile was too tight; the
+// learned multiplier says exactly how much to stretch it. Multiplicative
+// (rather than CQR-style additive) adjustment is deliberate: the raw grids
+// come from conditional forecasters whose side widths vary per prediction,
+// and a per-side ratio both transfers across that heteroscedasticity and —
+// clamped to [QScaleFloor, QScaleCeil] — lets an overdispersed side shrink
+// toward the floor without letting one wrong-mode miss inflate every later
+// interval, which an additive window-max offset would. Shift and
+// multipliers recompute from the current regime window only, so a drift
+// reset restarts quantile calibration alongside the symmetric scale.
+//
+// Observe also scores each distribution-valued outcome's realized quantile
+// (the probability integral transform of the actual under the raw grid); a
+// windowed mean PIT near 0.5 indicates a centered predictive distribution.
+package calib
+
+import (
+	"math"
+
+	"prodpred/internal/stats"
+)
+
+// IntervalLevels are the central interval levels the quantile calibrator
+// maintains two-sided multipliers for, ascending.
+var IntervalLevels = []float64{0.5, 0.8, 0.9, 0.95}
+
+// QuantileGridLevels is the symmetric quantile grid implied by
+// IntervalLevels — the lo/hi ends (1∓L)/2 of every level plus the median,
+// ascending. Raw quantile grids handed to Observe and CalibrateQuantiles
+// use this layout; it matches nws.DistLevels by construction.
+var QuantileGridLevels = buildGridLevels()
+
+func buildGridLevels() []float64 {
+	n := len(IntervalLevels)
+	g := make([]float64, 2*n+1)
+	for i, L := range IntervalLevels {
+		g[n-1-i] = (1 - L) / 2
+		g[n+1+i] = (1 + L) / 2
+	}
+	g[n] = 0.5
+	return g
+}
+
+// quantileRec fills the rec's median-relative calibration ingredients and
+// realized quantile from a distribution-valued outcome. A grid with a
+// non-positive median or a degenerate (non-positive-width) side at any
+// level is left out of quantile calibration entirely — there is no offset
+// to rescale.
+func quantileRec(r *rec, o Outcome) {
+	n := len(IntervalLevels)
+	med := o.RawQuantiles[n]
+	if !(med > 0) {
+		return
+	}
+	for i := range IntervalLevels {
+		if !(med-o.RawQuantiles[n-1-i] > 0) || !(o.RawQuantiles[n+1+i]-med > 0) {
+			return
+		}
+	}
+	r.qok = true
+	r.qsLo = make([]float64, n)
+	r.qsHi = make([]float64, n)
+	for i := range IntervalLevels {
+		r.qsLo[i] = (med - o.RawQuantiles[n-1-i]) / med
+		r.qsHi[i] = (o.RawQuantiles[n+1+i] - med) / med
+	}
+	r.qrel = o.Actual / med
+	r.pit = gridPIT(o.RawQuantiles, o.Actual)
+}
+
+// gridPIT inverts the raw quantile grid at actual: the realized quantile,
+// linearly interpolated between grid points and clamped to the grid's tail
+// levels outside it.
+func gridPIT(grid []float64, actual float64) float64 {
+	if actual <= grid[0] {
+		return QuantileGridLevels[0]
+	}
+	for i := 1; i < len(grid); i++ {
+		if actual <= grid[i] {
+			lo, hi := grid[i-1], grid[i]
+			pl, ph := QuantileGridLevels[i-1], QuantileGridLevels[i]
+			if hi <= lo {
+				return pl
+			}
+			return pl + (ph-pl)*(actual-lo)/(hi-lo)
+		}
+	}
+	return QuantileGridLevels[len(grid)-1]
+}
+
+// qShiftLimit bounds the conformal median shift: the calibrated median
+// stays within [1/2, 3/2] of the raw one, so a few wild outcomes cannot
+// recenter the grid off the forecast entirely.
+const qShiftLimit = 0.5
+
+// rescaleQuantilesLocked recomputes the conformal median shift and the
+// per-level two-sided multipliers from the windowed distribution-valued
+// outcomes, mirroring rescaleLocked for the symmetric scale — with one
+// deliberate asymmetry in what evidence each part draws on.
+//
+// The shift estimates *model* bias — the structural model against the
+// platform it serves — which persists across load-regime changes, so it is
+// the median of the relative residual (actual - median)/median over the
+// FULL window, clamped to ±qShiftLimit; a drift reset does not discard it
+// (the window itself survives resets).
+//
+// The multipliers estimate *regime* dispersion, so they use only the
+// current regime's outcomes: the empirical quantile of each side's scores
+// — re-derived against the shifted median — at (1+L)/2 with the
+// finite-sample correction, clamped to [QScaleFloor, QScaleCeil]. Without
+// enough evidence the shift stays 0 and the multipliers stay 1.
+func (t *Tracker) rescaleQuantilesLocked() {
+	n := len(IntervalLevels)
+	t.qShift = 0
+	for i := 0; i < n; i++ {
+		t.qLo[i], t.qHi[i] = 1, 1
+	}
+	resid := make([]float64, 0, len(t.window))
+	for i := range t.window {
+		if t.window[i].qok {
+			resid = append(resid, t.window[i].qrel-1)
+		}
+	}
+	if len(resid) >= t.cfg.MinObserved {
+		if shift, err := stats.Quantile(resid, 0.5); err == nil {
+			t.qShift = math.Min(math.Max(shift, -qShiftLimit), qShiftLimit)
+		}
+	}
+
+	regime := t.regimeWindowLocked()
+	qrecs := make([]rec, 0, len(regime))
+	for _, r := range regime {
+		if r.qok {
+			qrecs = append(qrecs, r)
+		}
+	}
+	if len(qrecs) < t.cfg.MinObserved {
+		return
+	}
+	scores := make([]float64, 0, len(qrecs))
+	for side := 0; side < 2; side++ {
+		for i, L := range IntervalLevels {
+			scores = scores[:0]
+			for _, r := range qrecs {
+				if side == 0 {
+					scores = append(scores, ((1+t.qShift)-r.qrel)/r.qsLo[i])
+				} else {
+					scores = append(scores, (r.qrel-(1+t.qShift))/r.qsHi[i])
+				}
+			}
+			m := len(scores)
+			level := math.Ceil(float64(m+1)*(1+L)/2) / float64(m)
+			if level > 1 {
+				level = 1
+			}
+			q, err := stats.Quantile(scores, level)
+			if err != nil {
+				continue
+			}
+			q = math.Min(math.Max(q, t.cfg.QScaleFloor), t.cfg.QScaleCeil)
+			if side == 0 {
+				t.qLo[i] = q
+			} else {
+				t.qHi[i] = q
+			}
+		}
+	}
+}
+
+// QuantileScales returns copies of the current per-level multipliers for
+// the lower and upper quantile offsets, parallel to IntervalLevels. Both
+// are 1 per level until MinObserved distribution-valued outcomes accumulate
+// in the current regime.
+func (t *Tracker) QuantileScales() (lo, hi []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]float64(nil), t.qLo...), append([]float64(nil), t.qHi...)
+}
+
+// QuantileShift returns the current conformal median shift as a fraction
+// of the predictive median — 0 until MinObserved distribution-valued
+// outcomes accumulate in the current regime.
+func (t *Tracker) QuantileShift() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.qShift
+}
+
+// CalibrateQuantiles recenters a raw quantile grid (QuantileGridLevels
+// layout) by the conformal median shift, rescales the side offsets with
+// the current per-level multipliers, and appends the calibrated, monotone
+// grid to dst. A grid of unexpected length is appended unchanged.
+func (t *Tracker) CalibrateQuantiles(dst, raw []float64) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(IntervalLevels)
+	if len(raw) != 2*n+1 {
+		return append(dst, raw...)
+	}
+	med := raw[n]
+	shifted := med * (1 + t.qShift)
+	start := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, shifted-t.qLo[n-1-i]*(med-raw[i]))
+	}
+	dst = append(dst, shifted)
+	for i := 0; i < n; i++ {
+		dst = append(dst, shifted+t.qHi[i]*(raw[n+1+i]-med))
+	}
+	out := dst[start:]
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,324 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"prodpred/internal/stochastic"
+)
+
+func TestQuantileGridLevels(t *testing.T) {
+	want := []float64{0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.975}
+	if len(QuantileGridLevels) != len(want) {
+		t.Fatalf("grid has %d levels, want %d", len(QuantileGridLevels), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(QuantileGridLevels[i]-w) > 1e-12 {
+			t.Fatalf("grid[%d] = %g, want %g", i, QuantileGridLevels[i], w)
+		}
+	}
+}
+
+// gridAround tabulates a normal-ish grid centered on mean with the given
+// half-offsets per interval level.
+func gridAround(mean float64, off []float64) []float64 {
+	n := len(IntervalLevels)
+	g := make([]float64, 2*n+1)
+	g[n] = mean
+	for i := range IntervalLevels {
+		g[n-1-i] = mean - off[i]
+		g[n+1+i] = mean + off[i]
+	}
+	return g
+}
+
+func distOutcome(id uint64, mean, actual float64) Outcome {
+	return Outcome{
+		ID:           id,
+		Time:         float64(id),
+		Raw:          stochastic.Value{Mean: mean, Spread: 1},
+		Calibrated:   stochastic.Value{Mean: mean, Spread: 1},
+		Actual:       actual,
+		RawQuantiles: gridAround(mean, []float64{0.3, 0.55, 0.7, 0.85}),
+	}
+}
+
+func TestQuantileScalesWidenUnderCoveredTails(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actuals land alternately far above and far below the grid's outer
+	// quantiles: every level under-covers on both sides, so every
+	// multiplier must rise above 1. Alternation keeps the CUSUM drift
+	// detector quiet.
+	for i := 0; i < 40; i++ {
+		d := 2.0
+		if i%2 == 1 {
+			d = -2.0
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	lo, hi := tr.QuantileScales()
+	for i := range IntervalLevels {
+		if !(lo[i] > 1) || !(hi[i] > 1) {
+			t.Fatalf("level %g scales lo=%g hi=%g, want both > 1 (all %v / %v)",
+				IntervalLevels[i], lo[i], hi[i], lo, hi)
+		}
+	}
+	snap := tr.Snapshot()
+	if snap.PITCount == 0 {
+		t.Fatal("no PIT scored")
+	}
+	if math.Abs(snap.MeanPIT-0.5) > 0.1 {
+		t.Fatalf("alternating outcomes mean PIT %g, want near 0.5", snap.MeanPIT)
+	}
+}
+
+func TestQuantileScalesTightenOverCoveredGrid(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actuals hug the median: the grid is far too wide everywhere and the
+	// multipliers should drop below 1 (down to the floor).
+	for i := 0; i < 40; i++ {
+		d := 0.01
+		if i%2 == 1 {
+			d = -0.01
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	lo, hi := tr.QuantileScales()
+	for i := range IntervalLevels {
+		if !(lo[i] < 1) || !(hi[i] < 1) {
+			t.Fatalf("level %g scales lo=%g hi=%g, want both < 1", IntervalLevels[i], lo[i], hi[i])
+		}
+		if lo[i] < tr.Config().QScaleFloor || hi[i] < tr.Config().QScaleFloor {
+			t.Fatalf("scales %g/%g fell below floor %g", lo[i], hi[i], tr.Config().QScaleFloor)
+		}
+	}
+}
+
+func TestQuantileScalesAsymmetric(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper tail under-covers (large positive surprises), lower side is
+	// fine: hi multipliers must exceed lo multipliers.
+	for i := 0; i < 60; i++ {
+		d := -0.05
+		if i%3 == 0 {
+			d = 2.5
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	lo, hi := tr.QuantileScales()
+	for i := range IntervalLevels {
+		if !(hi[i] > lo[i]) {
+			t.Fatalf("level %g: hi %g not above lo %g under upper-tail misses", IntervalLevels[i], hi[i], lo[i])
+		}
+	}
+}
+
+func TestCalibrateQuantilesAppliesScalesAndStaysMonotone(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		d := 2.0
+		if i%2 == 1 {
+			d = -2.0
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	raw := gridAround(10, []float64{0.3, 0.55, 0.7, 0.85})
+	cal := tr.CalibrateQuantiles(nil, raw)
+	if len(cal) != len(raw) {
+		t.Fatalf("calibrated grid has %d points, want %d", len(cal), len(raw))
+	}
+	n := len(IntervalLevels)
+	if cal[n] != raw[n] {
+		t.Fatalf("median moved: %g -> %g", raw[n], cal[n])
+	}
+	prev := math.Inf(-1)
+	for i, q := range cal {
+		if q < prev {
+			t.Fatalf("calibrated grid not monotone at %d: %g < %g", i, q, prev)
+		}
+		prev = q
+	}
+	// Widening scales must push the outer quantiles outward.
+	if !(cal[0] < raw[0]) || !(cal[len(cal)-1] > raw[len(raw)-1]) {
+		t.Fatalf("outer quantiles not widened: [%g,%g] vs raw [%g,%g]",
+			cal[0], cal[len(cal)-1], raw[0], raw[len(raw)-1])
+	}
+}
+
+func TestCalibrateQuantilesPassesThroughUnexpectedLength(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []float64{1, 2, 3}
+	got := tr.CalibrateQuantiles(nil, raw)
+	for i := range raw {
+		if got[i] != raw[i] {
+			t.Fatalf("unexpected-length grid modified: %v -> %v", raw, got)
+		}
+	}
+}
+
+func TestGridPIT(t *testing.T) {
+	grid := gridAround(0, []float64{0.25, 0.4, 0.45, 0.475})
+	if p := gridPIT(grid, 0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("median PIT %g, want 0.5", p)
+	}
+	if p := gridPIT(grid, -10); p != QuantileGridLevels[0] {
+		t.Fatalf("below-grid PIT %g, want clamp to %g", p, QuantileGridLevels[0])
+	}
+	if p := gridPIT(grid, 10); p != QuantileGridLevels[len(grid)-1] {
+		t.Fatalf("above-grid PIT %g, want clamp to %g", p, QuantileGridLevels[len(grid)-1])
+	}
+	// Halfway between the median (0) and the 0.75 quantile (0.25).
+	if p := gridPIT(grid, 0.125); math.Abs(p-0.625) > 1e-12 {
+		t.Fatalf("interpolated PIT %g, want 0.625", p)
+	}
+}
+
+func TestQuantileStateRoundTrip(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		d := 2.0
+		if i%2 == 1 {
+			d = -2.0
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	st := tr.ExportState()
+	tr2, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := tr.QuantileScales()
+	lo2, hi2 := tr2.QuantileScales()
+	for i := range IntervalLevels {
+		if lo1[i] != lo2[i] || hi1[i] != hi2[i] {
+			t.Fatalf("restored scales differ at level %g: %g/%g vs %g/%g",
+				IntervalLevels[i], lo2[i], hi2[i], lo1[i], hi1[i])
+		}
+	}
+	// Further identical observations must keep the trackers in lockstep.
+	for i := 40; i < 60; i++ {
+		d := 2.0
+		if i%2 == 1 {
+			d = -2.0
+		}
+		o := distOutcome(uint64(i+1), 10, 10+d)
+		tr.Observe(o)
+		tr2.Observe(o)
+	}
+	lo1, hi1 = tr.QuantileScales()
+	lo2, hi2 = tr2.QuantileScales()
+	for i := range IntervalLevels {
+		if lo1[i] != lo2[i] || hi1[i] != hi2[i] {
+			t.Fatalf("post-restore divergence at level %g", IntervalLevels[i])
+		}
+	}
+}
+
+func TestQuantileShiftRecentersBiasedGrid(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model systematically overpredicts: actuals sit ~12% below the
+	// predictive median. A pure around-the-median stretch cannot repair
+	// that; the conformal median shift must.
+	for i := 0; i < 40; i++ {
+		d := 0.1
+		if i%2 == 1 {
+			d = -0.1
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 8.8+d))
+	}
+	shift := tr.QuantileShift()
+	if shift < -0.15 || shift > -0.09 {
+		t.Fatalf("shift %g, want near -0.12", shift)
+	}
+	if got := tr.Snapshot().QuantileShift; got != shift {
+		t.Fatalf("snapshot shift %g != accessor %g", got, shift)
+	}
+	raw := gridAround(10, []float64{0.3, 0.55, 0.7, 0.85})
+	cal := tr.CalibrateQuantiles(nil, raw)
+	n := len(IntervalLevels)
+	if !(cal[n] < 9.2) {
+		t.Fatalf("calibrated median %g, want recentered below 9.2", cal[n])
+	}
+	// The recentered 95% interval must reach the biased actuals (the
+	// conformal bound lands exactly on the extreme outcomes here).
+	if !(cal[0] <= 8.7+1e-9) || !(cal[len(cal)-1] >= 8.9-1e-9) {
+		t.Fatalf("recentered interval [%g, %g] misses actuals around 8.8", cal[0], cal[len(cal)-1])
+	}
+}
+
+func TestDriftResetClearsQuantileScales(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		d := 2.0
+		if i%2 == 1 {
+			d = -2.0
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 10+d))
+	}
+	lo, _ := tr.QuantileScales()
+	if lo[0] == 1 {
+		t.Fatal("scales never moved; test needs a moving baseline")
+	}
+	tr.mu.Lock()
+	tr.resetLocked()
+	tr.mu.Unlock()
+	lo, hi := tr.QuantileScales()
+	for i := range IntervalLevels {
+		if lo[i] != 1 || hi[i] != 1 {
+			t.Fatalf("post-reset scales %v/%v, want all 1", lo, hi)
+		}
+	}
+}
+
+func TestDriftResetKeepsQuantileShift(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent ~12% overprediction: the shift is model bias, so a drift
+	// reset (a load-regime event) must not discard it.
+	for i := 0; i < 40; i++ {
+		d := 0.1
+		if i%2 == 1 {
+			d = -0.1
+		}
+		tr.Observe(distOutcome(uint64(i+1), 10, 8.8+d))
+	}
+	before := tr.QuantileShift()
+	if before >= -0.09 {
+		t.Fatalf("shift %g never engaged; test needs a biased baseline", before)
+	}
+	tr.mu.Lock()
+	tr.resetLocked()
+	tr.mu.Unlock()
+	if after := tr.QuantileShift(); after != before {
+		t.Fatalf("drift reset changed shift %g -> %g; model bias should survive regime resets", before, after)
+	}
+}

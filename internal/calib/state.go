@@ -17,6 +17,15 @@ type WindowRec struct {
 	CalIn    bool
 	Armed    bool
 	Excluded bool
+	// Distribution-valued fields (snapshot v2; zero-valued when restoring
+	// a v1 image, which leaves the rec out of quantile calibration). QsLo
+	// and QsHi are the side offsets of the raw grid as fractions of its
+	// median; QRel is actual/median.
+	Qok  bool
+	QsLo []float64
+	QsHi []float64
+	QRel float64
+	Pit  float64
 }
 
 // State is the complete dynamic state of a Tracker in portable form, for
@@ -70,6 +79,11 @@ func (t *Tracker) ExportState() State {
 			ID: r.id, Time: r.time, Z: r.z, Score: r.score,
 			Signed: r.signed, Abs: r.abs, RawW: r.rawW, CalW: r.calW,
 			RawIn: r.rawIn, CalIn: r.calIn, Armed: r.armed, Excluded: r.excluded,
+			Qok:  r.qok,
+			QsLo: append([]float64(nil), r.qsLo...),
+			QsHi: append([]float64(nil), r.qsHi...),
+			QRel: r.qrel,
+			Pit:  r.pit,
 		}
 	}
 	return st
@@ -89,10 +103,16 @@ func (t *Tracker) ImportState(st State) error {
 	defer t.mu.Unlock()
 	t.window = make([]rec, len(st.Window))
 	for i, r := range st.Window {
+		qok := r.Qok && len(r.QsLo) == len(IntervalLevels) && len(r.QsHi) == len(IntervalLevels)
 		t.window[i] = rec{
 			id: r.ID, time: r.Time, z: r.Z, score: r.Score,
 			signed: r.Signed, abs: r.Abs, rawW: r.RawW, calW: r.CalW,
 			rawIn: r.RawIn, calIn: r.CalIn, armed: r.Armed, excluded: r.Excluded,
+			qok:  qok,
+			qsLo: append([]float64(nil), r.QsLo...),
+			qsHi: append([]float64(nil), r.QsHi...),
+			qrel: r.QRel,
+			pit:  r.Pit,
 		}
 	}
 	t.drifts = append([]DriftEvent(nil), st.Drifts...)
@@ -108,5 +128,10 @@ func (t *Tracker) ImportState(st State) error {
 	t.cusumNeg = st.CusumNeg
 	t.sinceCheck = st.SinceCheck
 	t.baseModes = st.BaseModes
+	// The median shift and per-level quantile multipliers are a pure
+	// function of the regime window, so recompute rather than serialize
+	// them — a v1 state (no quantile fields) lands on zero-shift/all-ones
+	// exactly as a fresh tracker would.
+	t.rescaleQuantilesLocked()
 	return nil
 }

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-empirical", "ablation-partition",
 		"ablation-selfsched", "ablation-objective",
 		"host-tcp", "host-bench",
-		"robust-faults", "calib-replay",
+		"robust-faults", "calib-replay", "dist-tournament",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -68,6 +68,14 @@ type runRecord struct {
 	Scale   float64          // calibration multiplier the prediction was issued with
 	Actual  float64          // simulated execution time
 	LoadsAt []float64        // raw availability per machine at run start
+	// Quantiles is the full calibrated predictive quantile grid
+	// (calib.QuantileGridLevels layout); QLo/QHi are its ends — the
+	// central 95% interval of the distribution-valued prediction (grid
+	// levels 0.025 and 0.975). Forecaster is the dominant per-machine
+	// distribution-forecaster tag behind the prediction.
+	Quantiles  []float64
+	QLo, QHi   float64
+	Forecaster string
 }
 
 // seriesMetrics summarizes a run series the way the paper's evaluation
@@ -131,6 +139,9 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		MaxStrategy:  cfg.maxStrategy,
 		IterationRel: cfg.iterationRel,
 		LoadOverride: cfg.predictLoad,
+		// The harness always records the full quantile grid; the serving
+		// path computes it only on request, so opt in explicitly.
+		Distribution: true,
 	}
 	part, err := svc.Partition(req)
 	if err != nil {
@@ -172,6 +183,11 @@ func runProductionSeries(cfg productionConfig) ([]runRecord, error) {
 		rec := runRecord{
 			Start: pred.Time, Pred: pred.Value, Raw: pred.Raw,
 			Scale: pred.CalibrationScale, Actual: res.ExecTime,
+			Forecaster: pred.Dist.Forecaster,
+		}
+		if n := len(pred.Dist.Calibrated); n > 0 {
+			rec.Quantiles = append([]float64(nil), pred.Dist.Calibrated...)
+			rec.QLo, rec.QHi = pred.Dist.Calibrated[0], pred.Dist.Calibrated[n-1]
 		}
 		for _, lr := range pred.Loads {
 			rec.LoadsAt = append(rec.LoadsAt, lr.Raw)

@@ -138,18 +138,29 @@ func FitEM(xs []float64, k int) (*MixtureModel, error) {
 	for i := range resp {
 		resp[i] = make([]float64, k)
 	}
+	logW := make([]float64, k)
+	logS := make([]float64, k)
+	halfLog2Pi := 0.5 * math.Log(2*math.Pi)
 
 	prevLL := math.Inf(-1)
 	var ll float64
 	iters := 0
 	converged := false
 	for iters = 1; iters <= emMaxIter; iters++ {
-		// E-step with log-sum-exp for numeric safety.
+		// E-step with log-sum-exp for numeric safety. The parameters are
+		// fixed within the step, so their logs hoist out of the n×k inner
+		// loop; the expression keeps logNormalPDF's exact operation order,
+		// so the fit is bit-identical to the unhoisted form.
+		for j := 0; j < k; j++ {
+			logW[j] = math.Log(weights[j])
+			logS[j] = math.Log(sigmas[j])
+		}
 		ll = 0
 		for i, x := range xs {
 			maxLog := math.Inf(-1)
 			for j := 0; j < k; j++ {
-				resp[i][j] = math.Log(weights[j]) + logNormalPDF(x, means[j], sigmas[j])
+				z := (x - means[j]) / sigmas[j]
+				resp[i][j] = logW[j] + (-0.5*z*z - logS[j] - halfLog2Pi)
 				if resp[i][j] > maxLog {
 					maxLog = resp[i][j]
 				}

@@ -1,0 +1,535 @@
+package nws
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prodpred/internal/dist"
+	"prodpred/internal/modal"
+	"prodpred/internal/stochastic"
+)
+
+// DistLevels is the fixed quantile grid every distribution-valued forecast
+// is reported on. It is symmetric around the median so a central interval
+// at mass L ∈ {0.5, 0.8, 0.9, 0.95} reads directly off the grid at
+// p = (1∓L)/2, and so the prediction pipeline can propagate execution-time
+// quantiles by evaluating the structural model at mirrored availability
+// quantiles. Callers must treat it as immutable.
+var DistLevels = []float64{0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.975}
+
+// DistLevelIndex returns the index of level p in DistLevels, or -1.
+func DistLevelIndex(p float64) int {
+	for i, l := range DistLevels {
+		if l == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Component is one Gaussian component of a predictive distribution —
+// the portable summary the wire layer and snapshots carry.
+type Component struct {
+	Weight float64
+	Mean   float64
+	Sigma  float64
+}
+
+// DistForecaster predicts the *distribution* of the next measurement, not
+// just a point: it returns a quantile function over the current history.
+// Implementations are scored against realized measurements by the
+// Tournament, which picks the winner per series. Not safe for concurrent
+// use — callers serialize exactly as for Mix.
+type DistForecaster interface {
+	Name() string
+	// Observe absorbs a realized measurement postmortem. hist is the
+	// history *before* actual, oldest first, mirroring Mix.Update.
+	Observe(hist []float64, actual float64)
+	// QuantileFn returns the current predictive quantile function, valid
+	// for p in (0,1). ok is false while the history is too short.
+	QuantileFn(hist []float64) (func(p float64) float64, bool)
+	// Components summarizes the current predictive distribution as a
+	// Gaussian mixture (a single component for normal forecasters). nil
+	// while the forecaster cannot predict.
+	Components(hist []float64) []Component
+}
+
+// normalDist is the incumbent: the NWS mixture-of-experts point forecast
+// with its postmortem RMSE read as a normal distribution — exactly the
+// X ± 2σ summary the rest of the system used before distributions.
+type normalDist struct{ t *Tournament }
+
+// NormalForecasterName tags the NWS mixture-of-experts competitor.
+const NormalForecasterName = "nws-normal"
+
+func (f *normalDist) Name() string { return NormalForecasterName }
+
+// Observe is a no-op: the shared Mix is scored by Monitor.RunUntil.
+func (f *normalDist) Observe(hist []float64, actual float64) {}
+
+func (f *normalDist) QuantileFn(hist []float64) (func(p float64) float64, bool) {
+	fc, ok := f.t.pointForecast(hist)
+	if !ok {
+		return nil, false
+	}
+	n := dist.Normal{Mu: fc.Value, Sigma: math.Max(fc.RMSE, minConservativeRMSE)}
+	return n.Quantile, true
+}
+
+func (f *normalDist) Components(hist []float64) []Component {
+	fc, ok := f.t.pointForecast(hist)
+	if !ok {
+		return nil
+	}
+	return []Component{{Weight: 1, Mean: fc.Value, Sigma: math.Max(fc.RMSE, minConservativeRMSE)}}
+}
+
+// Empirical-quantile competitor policy knobs.
+const (
+	// empiricalWindow bounds the residual window the empirical forecaster
+	// reads its quantiles from.
+	empiricalWindow = 64
+	// empiricalMinResiduals is the least postmortem residuals before the
+	// empirical forecaster reports (tail quantiles from fewer points are
+	// noise).
+	empiricalMinResiduals = 12
+)
+
+// EmpiricalForecasterName tags the empirical residual-quantile competitor.
+const EmpiricalForecasterName = "empirical-q"
+
+// empiricalDist predicts conditionally: the shared point forecast plus
+// the empirical quantiles of its recent postmortem residuals — a
+// conformal-style predictive distribution. On regime-switching series the
+// residual distribution has a narrow core (within-mode rounds) and fat
+// asymmetric tails (jumps), exactly the shape a symmetric normal cannot
+// represent.
+type empiricalDist struct {
+	t         *Tournament
+	residuals []float64 // FIFO window of point-forecast residuals
+	scratch   []float64 // reused sort buffer
+}
+
+func (f *empiricalDist) Name() string { return EmpiricalForecasterName }
+
+func (f *empiricalDist) Observe(hist []float64, actual float64) {
+	fc, ok := f.t.pointForecast(hist)
+	if !ok {
+		return
+	}
+	if len(f.residuals) >= empiricalWindow {
+		f.residuals = f.residuals[:copy(f.residuals, f.residuals[1:])]
+	}
+	f.residuals = append(f.residuals, actual-fc.Value)
+}
+
+// sortedResiduals returns the ascending residual window; ok is false on
+// insufficient postmortem data.
+func (f *empiricalDist) sortedResiduals() ([]float64, bool) {
+	if len(f.residuals) < empiricalMinResiduals {
+		return nil, false
+	}
+	f.scratch = append(f.scratch[:0], f.residuals...)
+	sort.Float64s(f.scratch)
+	return f.scratch, true
+}
+
+func (f *empiricalDist) QuantileFn(hist []float64) (func(p float64) float64, bool) {
+	rs, ok := f.sortedResiduals()
+	if !ok {
+		return nil, false
+	}
+	fc, ok := f.t.pointForecast(hist)
+	if !ok {
+		return nil, false
+	}
+	v := fc.Value
+	return func(p float64) float64 { return v + sortedQuantile(rs, p) }, true
+}
+
+func (f *empiricalDist) Components(hist []float64) []Component {
+	rs, ok := f.sortedResiduals()
+	if !ok {
+		return nil
+	}
+	fc, ok := f.t.pointForecast(hist)
+	if !ok {
+		return nil
+	}
+	rv, err := stochastic.FromSample(rs)
+	if err != nil {
+		return nil
+	}
+	return []Component{{Weight: 1, Mean: fc.Value + rv.Mean, Sigma: math.Max(rv.Sigma(), minConservativeRMSE)}}
+}
+
+// sortedQuantile interpolates quantile p from an ascending sample.
+func sortedQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Mixture-model competitor policy knobs.
+const (
+	// mixtureRefitEvery is how many postmortem rounds pass between EM
+	// refits; between refits the cached fit answers from its precomputed
+	// quantile grid, so the steady-state cost per round is O(1).
+	mixtureRefitEvery = 16
+	// mixtureWindow is how many trailing measurements each refit uses.
+	mixtureWindow = 64
+	// mixtureMinHist gates the first fit.
+	mixtureMinHist = 24
+	// mixtureKMax bounds the BIC model selection — the bursty paper
+	// platform has four modes.
+	mixtureKMax = 4
+)
+
+// MixtureForecasterName tags the modal/dist Gaussian-mixture competitor.
+const MixtureForecasterName = "mixture-em"
+
+// mixtureDist fits a BIC-selected Gaussian mixture (internal/modal) to the
+// trailing window every mixtureRefitEvery rounds and predicts its
+// unconditional distribution — the right shape for regime-switching
+// multimodal series where point tracking chases the jumps.
+type mixtureDist struct {
+	obs     int         // postmortem rounds absorbed
+	modes   []Component // cached fit; nil before the first successful fit
+	qgrid   []float64   // cached quantiles of the fit at DistLevels
+	scratch []float64   // reused fit window buffer
+}
+
+func (f *mixtureDist) Name() string { return MixtureForecasterName }
+
+func (f *mixtureDist) Observe(hist []float64, actual float64) {
+	f.obs++
+	if f.obs%mixtureRefitEvery != 0 || len(hist)+1 < mixtureMinHist {
+		return
+	}
+	f.scratch = append(f.scratch[:0], hist...)
+	f.scratch = append(f.scratch, actual)
+	if len(f.scratch) > mixtureWindow {
+		f.scratch = f.scratch[len(f.scratch)-mixtureWindow:]
+	}
+	mm, err := modal.FitBIC(f.scratch, mixtureKMax)
+	if err != nil {
+		return // degenerate window; keep the previous fit
+	}
+	modes := make([]Component, len(mm.Modes))
+	for i, md := range mm.Modes {
+		modes[i] = Component{Weight: md.Weight, Mean: md.Mean, Sigma: math.Max(md.Sigma, minConservativeRMSE)}
+	}
+	f.setFit(modes)
+}
+
+// setFit installs a fitted mixture and precomputes its DistLevels grid.
+// Shared with snapshot import so a restored forecaster reports
+// bit-identically without re-running EM.
+func (f *mixtureDist) setFit(modes []Component) {
+	mx, err := componentsMixture(modes)
+	if err != nil {
+		return
+	}
+	grid := make([]float64, len(DistLevels))
+	for i, p := range DistLevels {
+		grid[i] = mx.Quantile(p)
+	}
+	f.modes = modes
+	f.qgrid = grid
+}
+
+// componentsMixture rebuilds a dist.Mixture from component summaries.
+func componentsMixture(modes []Component) (*dist.Mixture, error) {
+	comps := make([]dist.Distribution, len(modes))
+	ws := make([]float64, len(modes))
+	for i, c := range modes {
+		n, err := dist.NewNormal(c.Mean, math.Max(c.Sigma, minConservativeRMSE))
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = n
+		ws[i] = c.Weight
+	}
+	return dist.NewMixture(comps, ws)
+}
+
+func (f *mixtureDist) QuantileFn(hist []float64) (func(p float64) float64, bool) {
+	if f.modes == nil {
+		return nil, false
+	}
+	grid := f.qgrid
+	return func(p float64) float64 { return gridQuantile(grid, p) }, true
+}
+
+func (f *mixtureDist) Components(hist []float64) []Component { return f.modes }
+
+// GridQuantile interpolates a quantile function tabulated on DistLevels at
+// probability p, extrapolating flat beyond the grid ends — the one-call
+// form consumers use to read arbitrary levels off a LoadDist or
+// distribution-valued prediction grid.
+func GridQuantile(grid []float64, p float64) float64 { return gridQuantile(grid, p) }
+
+// gridQuantile interpolates a quantile function tabulated on DistLevels,
+// extrapolating flat beyond the grid ends.
+func gridQuantile(grid []float64, p float64) float64 {
+	ls := DistLevels
+	if p <= ls[0] {
+		return grid[0]
+	}
+	last := len(ls) - 1
+	if p >= ls[last] {
+		return grid[last]
+	}
+	i := sort.SearchFloat64s(ls, p)
+	if ls[i] == p {
+		return grid[i]
+	}
+	frac := (p - ls[i-1]) / (ls[i] - ls[i-1])
+	return grid[i-1] + frac*(grid[i]-grid[i-1])
+}
+
+// Tournament policy knobs.
+const (
+	// tournamentDecay is the per-round exponential decay on every
+	// competitor's accumulated pinball loss, so scores reflect the current
+	// regime (half-life ≈ 34 rounds at 0.98) and the winner can change
+	// when the series does.
+	tournamentDecay = 0.98
+	// tournamentMinWeight is the least decayed score mass a competitor
+	// needs before it is eligible to win; below it the incumbent
+	// nws-normal serves.
+	tournamentMinWeight = 8.0
+)
+
+// tournamentScoreLevels are the pinball-loss quantiles each competitor is
+// scored on every postmortem round. They deliberately weight the interval
+// ends the serving layer reports (50–95% central bands) rather than the
+// median: the tournament exists to pick the best *interval* shape, and a
+// median-heavy score would always hand the win to point trackers on
+// regime-switching series.
+var tournamentScoreLevels = []float64{0.025, 0.05, 0.25, 0.75, 0.95, 0.975}
+
+// Tournament runs competing distribution forecasters over one measurement
+// series, scores each postmortem by mean pinball (quantile) loss with
+// exponential decay, and reports the current winner. Deterministic in
+// observation order; not safe for concurrent use.
+type Tournament struct {
+	mix         *Mix
+	forecasters []DistForecaster
+	loss        []float64 // decayed cumulative pinball loss
+	weight      []float64 // decayed round count (the loss normalizer)
+	wins        []int64   // rounds each competitor led after scoring
+
+	// Per-round point-forecast cache: Update computes the shared mix
+	// forecast once and every competitor reads it, instead of each
+	// rerunning the 10-forecaster battery over the full history.
+	inRound   bool
+	roundFc   Forecast
+	roundFcOK bool
+}
+
+// NewTournament builds the standard three-way tournament over a shared
+// mix: the incumbent NWS-normal summary, the empirical residual-quantile
+// forecaster, and the EM Gaussian-mixture forecaster.
+func NewTournament(mix *Mix) *Tournament {
+	t := &Tournament{mix: mix}
+	t.forecasters = []DistForecaster{&normalDist{t: t}, &empiricalDist{t: t}, &mixtureDist{}}
+	t.loss = make([]float64, len(t.forecasters))
+	t.weight = make([]float64, len(t.forecasters))
+	t.wins = make([]int64, len(t.forecasters))
+	return t
+}
+
+// pointForecast returns the shared mix forecast for hist, served from the
+// per-round cache inside Update and computed fresh outside it (the
+// serving path, which runs at most once per tick per series thanks to
+// the tick cache upstream).
+func (t *Tournament) pointForecast(hist []float64) (Forecast, bool) {
+	if t.inRound {
+		return t.roundFc, t.roundFcOK
+	}
+	fc, err := t.mix.Forecast(hist)
+	return fc, err == nil
+}
+
+// DistForecasterNames lists the competitor tags of the standard
+// tournament in battery order — the label set of the
+// forecaster_tournament_wins_total metric.
+func DistForecasterNames() []string {
+	return []string{NormalForecasterName, EmpiricalForecasterName, MixtureForecasterName}
+}
+
+// pinball is the quantile loss of predicting quantile q at level p when
+// the realized value is y.
+func pinball(p, q, y float64) float64 {
+	if y >= q {
+		return p * (y - q)
+	}
+	return (1 - p) * (q - y)
+}
+
+// Update runs one postmortem round: every competitor's current quantile
+// function is scored against the realized measurement, decayed losses are
+// updated, and each competitor absorbs the measurement. Call with the
+// history *before* actual, exactly like Mix.Update, and before the
+// monitor's shared Mix absorbs the round.
+func (t *Tournament) Update(hist []float64, actual float64) {
+	fc, err := t.mix.Forecast(hist)
+	t.roundFc, t.roundFcOK, t.inRound = fc, err == nil, true
+	defer func() { t.inRound = false }()
+	for i, f := range t.forecasters {
+		t.loss[i] *= tournamentDecay
+		t.weight[i] *= tournamentDecay
+		if qf, ok := f.QuantileFn(hist); ok {
+			var sum float64
+			for _, p := range tournamentScoreLevels {
+				sum += pinball(p, qf(p), actual)
+			}
+			t.loss[i] += sum / float64(len(tournamentScoreLevels))
+			t.weight[i]++
+		}
+	}
+	for _, f := range t.forecasters {
+		f.Observe(hist, actual)
+	}
+	t.wins[t.leader()]++
+}
+
+// leader returns the index of the current winner: the eligible competitor
+// with the lowest decayed mean pinball loss, the incumbent (index 0) when
+// none is eligible; ties resolve in battery order.
+func (t *Tournament) leader() int {
+	best := 0
+	bestLoss := math.Inf(1)
+	found := false
+	for i := range t.forecasters {
+		if t.weight[i] < tournamentMinWeight {
+			continue
+		}
+		l := t.loss[i] / t.weight[i]
+		if !found || l < bestLoss {
+			best, bestLoss, found = i, l, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return best
+}
+
+// Winner returns the current winning competitor and its tag.
+func (t *Tournament) Winner() (DistForecaster, string) {
+	f := t.forecasters[t.leader()]
+	return f, f.Name()
+}
+
+// Scores reports each competitor's decayed mean pinball loss (NaN while
+// unscored) keyed by tag, for diagnostics.
+func (t *Tournament) Scores() map[string]float64 {
+	out := make(map[string]float64, len(t.forecasters))
+	for i, f := range t.forecasters {
+		if t.weight[i] == 0 {
+			out[f.Name()] = math.NaN()
+			continue
+		}
+		out[f.Name()] = t.loss[i] / t.weight[i]
+	}
+	return out
+}
+
+// Wins reports how many scored rounds each competitor has led, in battery
+// order — the source of the tournament-wins metric.
+func (t *Tournament) Wins() []int64 { return t.wins }
+
+// Names reports the competitor tags in battery order.
+func (t *Tournament) Names() []string {
+	out := make([]string, len(t.forecasters))
+	for i, f := range t.forecasters {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// TournamentState is the Tournament's dynamic state in portable form for
+// the snapshot layer: decayed scores plus the mixture competitor's cached
+// fit (the fit is a function of the window at fit time, which a restore
+// cannot replay, so it is carried verbatim).
+type TournamentState struct {
+	Loss      []float64
+	Weight    []float64
+	Wins      []int64
+	Residuals []float64
+	FitObs    int
+	FitModes  []Component
+}
+
+// ExportState copies the tournament's dynamic state.
+func (t *Tournament) ExportState() TournamentState {
+	st := TournamentState{
+		Loss:   append([]float64(nil), t.loss...),
+		Weight: append([]float64(nil), t.weight...),
+		Wins:   append([]int64(nil), t.wins...),
+	}
+	for _, f := range t.forecasters {
+		switch ff := f.(type) {
+		case *mixtureDist:
+			st.FitObs = ff.obs
+			st.FitModes = append([]Component(nil), ff.modes...)
+		case *empiricalDist:
+			st.Residuals = append([]float64(nil), ff.residuals...)
+		}
+	}
+	return st
+}
+
+// ImportState replaces the tournament's dynamic state with st. Zero-value
+// state (a v1 snapshot) resets the tournament: the incumbent serves until
+// new rounds score the competitors.
+func (t *Tournament) ImportState(st TournamentState) error {
+	n := len(t.forecasters)
+	if len(st.Loss) == 0 && len(st.Weight) == 0 && len(st.Wins) == 0 {
+		for i := range t.forecasters {
+			t.loss[i], t.weight[i], t.wins[i] = 0, 0, 0
+		}
+		st.Loss, st.Weight, st.Wins = nil, nil, nil
+	} else if len(st.Loss) != n || len(st.Weight) != n || len(st.Wins) != n {
+		return fmt.Errorf("nws: tournament state size %d/%d/%d does not match battery of %d",
+			len(st.Loss), len(st.Weight), len(st.Wins), n)
+	} else {
+		copy(t.loss, st.Loss)
+		copy(t.weight, st.Weight)
+		copy(t.wins, st.Wins)
+	}
+	for _, f := range t.forecasters {
+		switch ff := f.(type) {
+		case *mixtureDist:
+			ff.obs = st.FitObs
+			ff.modes, ff.qgrid = nil, nil
+			if len(st.FitModes) > 0 {
+				ff.setFit(append([]Component(nil), st.FitModes...))
+			}
+		case *empiricalDist:
+			rs := st.Residuals
+			if len(rs) > empiricalWindow {
+				rs = rs[len(rs)-empiricalWindow:]
+			}
+			ff.residuals = append(ff.residuals[:0], rs...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package nws
+
+import (
+	"math"
+
+	"prodpred/internal/stats"
+	"prodpred/internal/stochastic"
+)
+
+// LoadDist is a distribution-valued monitor report: the tournament
+// winner's predictive quantiles on the DistLevels grid,
+// staleness-widened around the median exactly as RobustReport widens its
+// spread, plus the winner's mixture-component summary and tag.
+type LoadDist struct {
+	// Quantiles are the predictive quantiles at DistLevels, nondecreasing.
+	Quantiles []float64
+	// Components summarize the predictive distribution as a Gaussian
+	// mixture; a single component for normal-shaped reports.
+	Components []Component
+	// Forecaster is the tournament winner's tag, or a fallback tag
+	// ("fallback", "prior") when the chain degraded past the tournament.
+	Forecaster string
+}
+
+// Fallback tags reported when no tournament competitor can serve.
+const (
+	// FallbackForecasterName tags a running-mean fallback report (stale
+	// history or no competitor ready).
+	FallbackForecasterName = "fallback"
+	// PriorForecasterName tags a caller-prior report (no history at all).
+	PriorForecasterName = "prior"
+)
+
+// RobustDistReport runs the monitor to time t and always returns a usable
+// distribution report, degrading along the same chain as RobustReport:
+//
+//  1. fresh history: the tournament winner's quantile function, widened
+//     around its median by the staleness factor;
+//  2. stale history or no ready competitor: a normal around the running
+//     mean with a conservative, staleness-widened sigma;
+//  3. no history at all: the caller-supplied prior, read as a normal.
+func (m *Monitor) RobustDistReport(t float64, prior stochastic.Value) LoadDist {
+	_ = m.RunUntil(t)
+	if m.ring.Len() == 0 {
+		return normalLoadDist(prior.Mean, math.Max(prior.Sigma(), minConservativeRMSE), PriorForecasterName)
+	}
+	hist := m.ring.Values()
+	if m.stale <= staleLimit {
+		winner, name := m.tour.Winner()
+		if qf, ok := winner.QuantileFn(hist); ok {
+			return m.widenedDist(qf, winner.Components(hist), name)
+		}
+	}
+	mean, std := stats.MeanStd(hist)
+	sigma := math.Max(std, 0.1*math.Abs(mean))
+	if sigma < minConservativeRMSE {
+		sigma = minConservativeRMSE
+	}
+	return normalLoadDist(mean, sigma*m.widenFactor(), FallbackForecasterName)
+}
+
+// widenedDist evaluates qf on the DistLevels grid, widens it around the
+// median by the staleness degradation factor, and enforces monotonicity.
+func (m *Monitor) widenedDist(qf func(p float64) float64, comps []Component, name string) LoadDist {
+	qs := make([]float64, len(DistLevels))
+	for i, p := range DistLevels {
+		qs[i] = qf(p)
+	}
+	if w := m.widenFactor(); w != 1 {
+		med := qf(0.5)
+		for i := range qs {
+			qs[i] = med + w*(qs[i]-med)
+		}
+		widened := make([]Component, len(comps))
+		for i, c := range comps {
+			widened[i] = Component{Weight: c.Weight, Mean: c.Mean, Sigma: c.Sigma * w}
+		}
+		comps = widened
+	}
+	monotonize(qs)
+	return LoadDist{Quantiles: qs, Components: comps, Forecaster: name}
+}
+
+// normalLoadDist tabulates a normal's quantiles on the grid.
+func normalLoadDist(mean, sigma float64, name string) LoadDist {
+	qs := make([]float64, len(DistLevels))
+	for i, p := range DistLevels {
+		qs[i] = mean + sigma*normalQuantileZ(p)
+	}
+	return LoadDist{
+		Quantiles:  qs,
+		Components: []Component{{Weight: 1, Mean: mean, Sigma: sigma}},
+		Forecaster: name,
+	}
+}
+
+// normalQuantileZ is the standard normal quantile, via the stochastic
+// package's normal interpretation (Value{Spread: 2} has σ = 1).
+func normalQuantileZ(p float64) float64 {
+	return stochastic.Value{Mean: 0, Spread: 2}.Quantile(p)
+}
+
+// monotonize enforces a nondecreasing quantile curve in place (running
+// max) — numeric noise in widened or interpolated curves must never
+// surface an inverted interval.
+func monotonize(qs []float64) {
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			qs[i] = qs[i-1]
+		}
+	}
+}

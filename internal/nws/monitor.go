@@ -77,6 +77,7 @@ type Monitor struct {
 	period  float64
 	ring    *timeseries.Ring
 	mix     *Mix
+	tour    *Tournament
 	nextT   float64
 	started bool
 
@@ -117,7 +118,8 @@ func NewSensorMonitor(sensor Sensor, period float64, histSize int) (*Monitor, er
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{measure: sensor, period: period, ring: ring, mix: NewMix(nil)}, nil
+	mix := NewMix(nil)
+	return &Monitor{measure: sensor, period: period, ring: ring, mix: mix, tour: NewTournament(mix)}, nil
 }
 
 // Period returns the sensor period in seconds.
@@ -139,6 +141,10 @@ func (m *Monitor) RunUntil(t float64) error {
 			m.recordMiss(err)
 		} else {
 			if hist := m.ring.Values(); len(hist) > 0 {
+				// Score the distribution tournament against the same
+				// postmortem round before the shared mix absorbs it, so
+				// every competitor is judged on the pre-update state.
+				m.tour.Update(hist, v)
 				m.mix.Update(hist, v)
 			}
 			m.ring.Push(m.nextT, v)
@@ -288,3 +294,7 @@ func (m *Monitor) RobustReport(t float64, prior stochastic.Value) stochastic.Val
 
 // Mix exposes the forecaster mix for diagnostics.
 func (m *Monitor) Mix() *Mix { return m.mix }
+
+// Tournament exposes the distribution-forecaster tournament for
+// diagnostics and snapshots.
+func (m *Monitor) Tournament() *Tournament { return m.tour }

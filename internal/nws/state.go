@@ -33,6 +33,10 @@ type MonitorState struct {
 	// parallel to the battery order.
 	MixSqErr []float64
 	MixN     []int
+	// Tournament is the distribution-forecaster tournament's state
+	// (snapshot v2; zero-valued when restoring a v1 image, which resets
+	// the tournament to the incumbent).
+	Tournament TournamentState
 }
 
 // ExportState copies the monitor's full dynamic state. The monitor is not
@@ -47,6 +51,7 @@ func (m *Monitor) ExportState() MonitorState {
 		MixSqErr: append([]float64(nil), m.mix.sqErr...),
 		MixN:     append([]int(nil), m.mix.n...),
 	}
+	st.Tournament = m.tour.ExportState()
 	n := m.ring.Len()
 	st.Times = make([]float64, n)
 	st.Values = make([]float64, n)
@@ -73,6 +78,9 @@ func (m *Monitor) ImportState(st MonitorState) error {
 	if len(st.MixSqErr) != len(m.mix.forecasters) || len(st.MixN) != len(m.mix.forecasters) {
 		return fmt.Errorf("nws: state mix size %d/%d does not match battery of %d",
 			len(st.MixSqErr), len(st.MixN), len(m.mix.forecasters))
+	}
+	if err := m.tour.ImportState(st.Tournament); err != nil {
+		return err
 	}
 	ring, err := timeseries.NewRing(m.ring.Cap())
 	if err != nil {

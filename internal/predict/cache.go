@@ -80,12 +80,44 @@ type cacheEntry struct {
 // prediction served from one core; callers own Prediction values but must
 // not mutate these slices (the pre-cache contract already shared Partition).
 type predictionCore struct {
-	raw       stochastic.Value
+	raw stochastic.Value
+	// The distribution grid is a lazy memo: distModel and distDists hold
+	// the frozen pipeline inputs, and the first distribution-requesting
+	// prediction served from this core runs the Latin-hypercube Monte
+	// Carlo transform under distOnce, filling distRaw (the uncalibrated
+	// execution-time quantile grid at nws.DistLevels). Requests that never
+	// ask never pay the distSamples model evaluations. Laziness cannot
+	// change the result: the clock read lock is held for the whole serve,
+	// so the inputs are the same whenever within the tick the transform
+	// runs. Like loads and partition, distRaw is shared across predictions
+	// served from this core and must not be mutated; the per-level
+	// conformal calibration of the grid is per-request overlay, applied
+	// outside the memo exactly like the symmetric half-width multiplier.
+	distOnce  sync.Once
+	distRaw   []float64
+	distModel *structural.SORConfig
+	distDists []nws.LoadDist
+	distTag   string
 	partition *sor.Partition
 	loads     []MachineReport
 	bandwidth stochastic.Value
 	bwGaps    nws.GapStats
 	time      float64
+}
+
+// dist resolves the memoized distribution grid, running the Monte Carlo
+// transform on first demand. Safe for concurrent callers; the once-guard
+// means the transform runs at most once per core even under a request
+// storm, and a core that is never asked never runs it. Callers hold the
+// service's clock read lock, so the frozen inputs cannot move underneath
+// the computation.
+func (c *predictionCore) dist(s *Service) []float64 {
+	c.distOnce.Do(func() {
+		stop := s.metrics.stageTimer("dist_grid")
+		c.distRaw = s.computeDistGrid(c.distModel, c.distDists, c.bandwidth, c.raw)
+		stop()
+	})
+	return c.distRaw
 }
 
 func newTickCache() *tickCache {

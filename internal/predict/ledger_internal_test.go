@@ -28,14 +28,14 @@ func TestLedgerDeadSlotsDoNotEvict(t *testing.T) {
 	v := stochastic.New(1, 0.1)
 
 	svc.ledgerMu.Lock()
-	first := svc.issueLocked(v, v)
+	first := svc.issueLocked(v, v, nil)
 	// maxOutstanding observed round-trips: each leaves a dead slot the old
 	// accounting would have counted against the retention bound.
 	for i := 0; i < maxOutstanding; i++ {
-		id := svc.issueLocked(v, v)
+		id := svc.issueLocked(v, v, nil)
 		delete(svc.issued, id) // what Observe does to the ledger
 	}
-	next := svc.issueLocked(v, v)
+	next := svc.issueLocked(v, v, nil)
 	_, firstLive := svc.issued[first]
 	_, nextLive := svc.issued[next]
 	outstanding := len(svc.issued)
@@ -68,7 +68,7 @@ func TestLedgerEvictsOldestLiveAtBound(t *testing.T) {
 	svc.ledgerMu.Lock()
 	ids := make([]uint64, maxOutstanding)
 	for i := range ids {
-		ids[i] = svc.issueLocked(v, v)
+		ids[i] = svc.issueLocked(v, v, nil)
 	}
 	// Observe the three oldest: dead slots now sit at the front of the
 	// order, ahead of the oldest live entry ids[3].
@@ -77,9 +77,9 @@ func TestLedgerEvictsOldestLiveAtBound(t *testing.T) {
 	}
 	// Refill to exactly maxOutstanding live, then push one over the bound.
 	for i := 0; i < 3; i++ {
-		svc.issueLocked(v, v)
+		svc.issueLocked(v, v, nil)
 	}
-	over := svc.issueLocked(v, v)
+	over := svc.issueLocked(v, v, nil)
 	_, fourthLive := svc.issued[ids[3]]
 	_, fifthLive := svc.issued[ids[4]]
 	_, overLive := svc.issued[over]
@@ -105,7 +105,7 @@ func TestLedgerOrderCompactionBound(t *testing.T) {
 	v := stochastic.New(1, 0.1)
 	svc.ledgerMu.Lock()
 	for i := 0; i < 50000; i++ {
-		id := svc.issueLocked(v, v)
+		id := svc.issueLocked(v, v, nil)
 		if i%3 != 0 { // two of three round-trips observe immediately
 			delete(svc.issued, id)
 		}

@@ -3,6 +3,7 @@ package predict
 import (
 	"time"
 
+	"prodpred/internal/nws"
 	"prodpred/internal/obs"
 )
 
@@ -23,6 +24,8 @@ const (
 	MetricCacheHits        = "predict_cache_hits_total"
 	MetricCacheMisses      = "predict_cache_misses_total"
 	MetricBatchSize        = "predict_batch_size"
+	MetricTournamentWins   = "forecaster_tournament_wins_total"
+	MetricQuantileRequests = "predict_quantile_requests_total"
 )
 
 // BatchSizeBuckets are the upper bounds of the predict_batch_size
@@ -34,7 +37,7 @@ var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 // monitors up (monitor_read), read their robust stochastic reports
 // (forecast), choose the partition (schedule), evaluate the structural
 // model (model_eval), and the whole Predict call end to end (predict).
-var Stages = []string{"monitor_read", "forecast", "schedule", "model_eval", "predict"}
+var Stages = []string{"monitor_read", "forecast", "schedule", "model_eval", "dist_grid", "predict"}
 
 // serviceMetrics holds one platform's pre-resolved metric series. A nil
 // *serviceMetrics (no registry configured) makes every record call a cheap
@@ -48,10 +51,18 @@ type serviceMetrics struct {
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	batchSize    *obs.Histogram
+	quantileReqs *obs.Counter
 	scale        *obs.Gauge
 	outstanding  *obs.Gauge
 	vtime        *obs.Gauge
 	stages       map[string]*obs.Histogram
+
+	// Tournament-win counters, pre-resolved per known forecaster tag.
+	// winsVec stays behind for tags outside the standard set; the map is
+	// read-only after construction, so concurrent record calls never race.
+	platform string
+	winsVec  *obs.CounterVec
+	wins     map[string]*obs.Counter
 }
 
 // newServiceMetrics registers (or finds) the pipeline families on reg and
@@ -79,6 +90,8 @@ func newServiceMetrics(reg *obs.Registry, platform string) *serviceMetrics {
 		batchSize: reg.NewHistogramVec(MetricBatchSize,
 			"Requests per POST /predict/batch call, by platform.",
 			BatchSizeBuckets, "platform").With(platform),
+		quantileReqs: reg.NewCounterVec(MetricQuantileRequests,
+			"Predictions that requested calibrated quantile intervals, by platform.", "platform").With(platform),
 		scale: reg.NewGaugeVec(MetricCalibrationScale,
 			"Current conformal half-width multiplier, by platform (1 = uncalibrated).", "platform").With(platform),
 		outstanding: reg.NewGaugeVec(MetricOutstanding,
@@ -93,8 +106,39 @@ func newServiceMetrics(reg *obs.Registry, platform string) *serviceMetrics {
 	for _, stage := range Stages {
 		m.stages[stage] = hv.With(platform, stage)
 	}
+	m.platform = platform
+	m.winsVec = reg.NewCounterVec(MetricTournamentWins,
+		"Machine-load distributions served per winning forecaster, by platform and forecaster.",
+		"platform", "forecaster")
+	m.wins = make(map[string]*obs.Counter)
+	tags := append(nws.DistForecasterNames(),
+		nws.FallbackForecasterName, nws.PriorForecasterName, OverrideForecasterName)
+	for _, tag := range tags {
+		m.wins[tag] = m.winsVec.With(platform, tag)
+	}
 	m.scale.Set(1)
 	return m
+}
+
+// recordTournamentWin counts one machine-load distribution served by the
+// named forecaster. Unknown tags fall through to the vec's own lock.
+func (m *serviceMetrics) recordTournamentWin(name string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.wins[name]; ok {
+		c.Inc()
+		return
+	}
+	m.winsVec.With(m.platform, name).Inc()
+}
+
+// recordQuantileRequest counts one prediction that asked for calibrated
+// quantile intervals.
+func (m *serviceMetrics) recordQuantileRequest() {
+	if m != nil {
+		m.quantileReqs.Inc()
+	}
 }
 
 // stageTimer returns a stop function recording the wall-clock duration of

@@ -84,6 +84,21 @@ type Request struct {
 	// LoadOverride, when non-nil, replaces the robust monitor report for
 	// each machine — the ablation experiments' knob.
 	LoadOverride func(machine int, mon *nws.Monitor) (stochastic.Value, error)
+	// Levels optionally lists central interval levels (each in (0,1)) the
+	// caller wants read off the calibrated predictive distribution;
+	// Prediction.Dist.Intervals answers them in order. Levels are part of
+	// the per-request overlay, not the pipeline: they never affect the
+	// tick cache key or the point prediction. A non-empty Levels implies
+	// Distribution.
+	Levels []float64
+	// Distribution asks for the full quantile grid (Prediction.Dist) even
+	// when no interval levels are requested. The Monte Carlo transform
+	// behind the grid costs distSamples structural-model evaluations, so
+	// it runs lazily: the first distribution-requesting prediction per
+	// (shape, tick) pays it and the tick cache shares the result; requests
+	// that leave both Distribution and Levels unset keep the legacy
+	// two-number payload and never pay.
+	Distribution bool
 }
 
 // MachineReport is one machine's contribution to a Prediction: the load
@@ -105,6 +120,65 @@ type MachineReport struct {
 	Widening float64
 	// Gaps counts the monitor's per-fault-class sensor outcomes so far.
 	Gaps nws.GapStats
+	// Forecaster tags which distribution forecaster produced this machine's
+	// predictive load distribution: a tournament competitor
+	// (nws.DistForecasterNames), a fallback-chain tag ("fallback",
+	// "prior"), or "override" when the request pinned the loads.
+	Forecaster string
+	// Components summarize the machine's predictive load distribution as a
+	// Gaussian mixture (a single component for normal-shaped reports).
+	Components []nws.Component
+}
+
+// OverrideForecasterName tags machine reports whose load came from a
+// Request.LoadOverride instead of a monitor's distribution forecaster.
+const OverrideForecasterName = "override"
+
+// Interval is one central prediction interval read off the calibrated
+// predictive distribution.
+type Interval struct {
+	// Level is the central interval level in (0,1) (e.g. 0.95).
+	Level float64
+	// Lo and Hi are the interval endpoints in virtual seconds.
+	Lo, Hi float64
+}
+
+// PredictionDist is the distribution payload of a Prediction: the full
+// predictive execution-time distribution the legacy Value/Spread pair is a
+// two-number view of.
+//
+// Raw is produced by a Monte Carlo transform of the per-machine load
+// distributions: the structural model is evaluated over a fixed
+// Latin-hypercube matrix of joint availability draws (machines and
+// bandwidth sampled independently through their forecast quantile grids),
+// and the execution-time quantiles are read off the resulting sample.
+// Calibrated recenters the grid by the tracker's conformal median shift
+// and applies its per-level two-sided conformal multipliers.
+type PredictionDist struct {
+	// Levels is the quantile grid, ascending (nws.DistLevels).
+	Levels []float64
+	// Raw are the uncalibrated execution-time quantiles at Levels,
+	// nondecreasing, in virtual seconds.
+	Raw []float64
+	// Calibrated are the per-level conformally calibrated quantiles at
+	// Levels, nondecreasing, in virtual seconds.
+	Calibrated []float64
+	// Forecaster is the dominant per-machine distribution-forecaster tag
+	// behind this prediction (ties break toward the lower machine index);
+	// per-machine tags are on Prediction.Loads.
+	Forecaster string
+	// Intervals answers Request.Levels in order, read off Calibrated.
+	Intervals []Interval
+}
+
+// Quantile interpolates the calibrated predictive distribution at p,
+// clamping outside the grid. It returns false before the distribution
+// pipeline has produced a grid (zero-valued Dist).
+func (d PredictionDist) Quantile(p float64) (float64, bool) {
+	if len(d.Calibrated) != len(nws.DistLevels) {
+		return 0, false
+	}
+	return nws.GridQuantile(d.Calibrated, p), true
 }
 
 // Prediction is the answer to one Request.
@@ -138,6 +212,13 @@ type Prediction struct {
 	// BWGaps counts the bandwidth monitor's sensor outcomes (zero when
 	// the network is not monitored).
 	BWGaps nws.GapStats
+	// Dist is the distribution-valued prediction: the full quantile grid
+	// (raw and calibrated), the dominant forecaster tag, and any requested
+	// intervals. Value and Raw above are the legacy two-number views;
+	// Dist carries the shape they flatten. It is populated only when the
+	// request asked for it (Request.Distribution or Request.Levels);
+	// otherwise it is zero and Quantile reports false.
+	Dist PredictionDist
 }
 
 // Degraded reports whether any monitor behind this prediction is currently

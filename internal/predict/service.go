@@ -3,6 +3,9 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
+	"sort"
 	"sync"
 
 	"prodpred/internal/calib"
@@ -14,6 +17,7 @@ import (
 	"prodpred/internal/sched"
 	"prodpred/internal/simenv"
 	"prodpred/internal/sor"
+	"prodpred/internal/stats"
 	"prodpred/internal/stochastic"
 	"prodpred/internal/structural"
 )
@@ -124,6 +128,12 @@ type Service struct {
 	// one pipeline evaluation.
 	cache *tickCache
 
+	// distU is the fixed Latin-hypercube sample matrix the distribution
+	// transform evaluates the structural model over — one column per
+	// machine plus one for the bandwidth fraction. Fixed at construction
+	// so predictions stay a pure function of monitor state.
+	distU [][]float64
+
 	// Online accuracy state: the per-platform tracker plus the ledger of
 	// issued-but-unobserved predictions the Observe path resolves against.
 	// The tracker locks internally; ledgerMu guards the ledger maps.
@@ -144,6 +154,10 @@ type Service struct {
 // issuedPrediction remembers what Observe needs about one answered request.
 type issuedPrediction struct {
 	raw, calibrated stochastic.Value
+	// rawQ is the uncalibrated quantile grid the prediction carried (shared
+	// with the core; never mutated) — the quantile calibrator scores the
+	// realized quantile against it.
+	rawQ []float64
 }
 
 // NewService builds the service: one fault-injectable CPU monitor per
@@ -187,6 +201,7 @@ func NewService(cfg Config) (*Service, error) {
 		tracker:  tracker,
 		issued:   make(map[uint64]issuedPrediction),
 		metrics:  newServiceMetrics(cfg.Metrics, cfg.Platform.Name),
+		distU:    buildDistUniforms(p + 1),
 	}
 	if !cfg.DisableTickCache {
 		s.cache = newTickCache()
@@ -267,34 +282,45 @@ func (s *Service) AdvanceTo(t float64) error {
 }
 
 // advanceToLocked moves the clock under the exclusive clock lock: monitors
-// run forward shard by shard, then the tick cache generation rolls so no
-// stale forecast survives the tick boundary. A no-op advance (t == now)
-// leaves the cache intact — monitor state cannot have changed.
+// run forward in parallel across shards, then the tick cache generation
+// rolls so no stale forecast survives the tick boundary. A no-op advance
+// (t == now) leaves the cache intact — monitor state cannot have changed.
+//
+// Parallel catch-up is safe and deterministic: every monitor's evolution
+// is a pure function of its own sample stream (no cross-monitor state),
+// so each shard lands bit-identical to a sequential sweep. It matters
+// because the exclusive clock lock stalls all serving while monitors
+// absorb samples, and the per-sample tournament work (EM mixture refits
+// in particular) made the sequential sweep the advance-latency tail.
 func (s *Service) advanceToLocked(t float64) error {
 	moved := t != s.now
 	s.now = t
+	shards := make([]*monitorShard, 0, len(s.shards))
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		err := sh.mon.RunUntil(t)
-		sh.mu.Unlock()
-		if err != nil {
-			return err
-		}
+		shards = append(shards, &s.shards[i])
 	}
 	s.bwMu.RLock()
-	bwShards := make([]*monitorShard, 0, len(s.bw))
 	for _, sh := range s.bw {
-		bwShards = append(bwShards, sh)
+		shards = append(shards, sh)
 	}
 	s.bwMu.RUnlock()
-	for _, sh := range bwShards {
-		sh.mu.Lock()
-		var err error
-		if sh.mon != nil {
-			err = sh.mon.RunUntil(t)
-		}
-		sh.mu.Unlock()
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *monitorShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			if sh.mon != nil {
+				errs[i] = sh.mon.RunUntil(t)
+			}
+			sh.mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	// First error in shard order, so a multi-failure advance reports the
+	// same error the sequential sweep did.
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
@@ -357,18 +383,25 @@ func validateRequest(req Request) error {
 	if req.Iterations <= 0 {
 		return fmt.Errorf("predict: iterations must be positive, got %d", req.Iterations)
 	}
+	for _, l := range req.Levels {
+		if !(l > 0 && l < 1) {
+			return fmt.Errorf("predict: interval level %g outside (0,1)", l)
+		}
+	}
 	return nil
 }
 
 // readLoads reads one stochastic load value per machine — the override when
 // the request carries one, the gap-aware RobustReport fallback chain
 // (forecast -> running mean -> prior) otherwise — plus the per-machine
-// diagnostic reports. Callers hold the shared clock lock; each machine's
-// shard lock is taken per pass. The two pipeline stages it spans are timed
-// separately: monitor_read (catching every monitor up to the current
-// virtual time — normally a no-op, since Advance already did) and forecast
-// (producing the stochastic load reports).
-func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, []MachineReport, error) {
+// diagnostic reports and the distribution-valued report behind each value
+// (the tournament winner's quantile grid, or a normal tabulation of the
+// override). Callers hold the shared clock lock; each machine's shard lock
+// is taken per pass. The two pipeline stages it spans are timed separately:
+// monitor_read (catching every monitor up to the current virtual time —
+// normally a no-op, since Advance already did) and forecast (producing the
+// stochastic load reports).
+func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, error)) ([]stochastic.Value, []MachineReport, []nws.LoadDist, error) {
 	stopRead := s.metrics.stageTimer("monitor_read")
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -377,7 +410,7 @@ func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, 
 		sh.mu.Unlock()
 		if err != nil {
 			stopRead()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	stopRead()
@@ -385,6 +418,7 @@ func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, 
 	defer stopForecast()
 	loads := make([]stochastic.Value, len(s.shards))
 	reports := make([]MachineReport, len(s.shards))
+	dists := make([]nws.LoadDist, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -392,23 +426,43 @@ func (s *Service) readLoads(override func(int, *nws.Monitor) (stochastic.Value, 
 			v, err := override(i, sh.mon)
 			if err != nil {
 				sh.mu.Unlock()
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			loads[i] = v
+			dists[i] = overrideLoadDist(v)
 		} else {
 			loads[i] = sh.mon.RobustReport(s.now, s.prior)
+			dists[i] = sh.mon.RobustDistReport(s.now, s.prior)
 		}
 		reports[i] = MachineReport{
-			Machine:   i,
-			Load:      loads[i],
-			Raw:       s.env.RawCPUAvail(i, s.now),
-			Staleness: sh.mon.Staleness(),
-			Widening:  sh.mon.DegradationFactor(),
-			Gaps:      sh.mon.Gaps(),
+			Machine:    i,
+			Load:       loads[i],
+			Raw:        s.env.RawCPUAvail(i, s.now),
+			Staleness:  sh.mon.Staleness(),
+			Widening:   sh.mon.DegradationFactor(),
+			Gaps:       sh.mon.Gaps(),
+			Forecaster: dists[i].Forecaster,
+			Components: dists[i].Components,
 		}
 		sh.mu.Unlock()
+		s.metrics.recordTournamentWin(dists[i].Forecaster)
 	}
-	return loads, reports, nil
+	return loads, reports, dists, nil
+}
+
+// overrideLoadDist tabulates a pinned load value's normal quantiles on the
+// DistLevels grid — overrides carry no forecaster, so their distribution is
+// the value read at face value.
+func overrideLoadDist(v stochastic.Value) nws.LoadDist {
+	qs := make([]float64, len(nws.DistLevels))
+	for i, p := range nws.DistLevels {
+		qs[i] = v.Quantile(p)
+	}
+	return nws.LoadDist{
+		Quantiles:  qs,
+		Components: []nws.Component{{Weight: 1, Mean: v.Mean, Sigma: v.Sigma()}},
+		Forecaster: OverrideForecasterName,
+	}
 }
 
 func (s *Service) choosePartition(req Request, loads []stochastic.Value) (*sor.Partition, error) {
@@ -432,7 +486,7 @@ func (s *Service) Partition(req Request) (*sor.Partition, error) {
 	if err := validateRequest(req); err != nil {
 		return nil, err
 	}
-	loads, _, err := s.readLoads(req.LoadOverride)
+	loads, _, _, err := s.readLoads(req.LoadOverride)
 	if err != nil {
 		return nil, err
 	}
@@ -552,7 +606,7 @@ func (s *Service) predictShared(req Request) (Prediction, error) {
 	if err != nil {
 		return Prediction{}, err
 	}
-	return s.finishPrediction(core), nil
+	return s.finishPrediction(core, req), nil
 }
 
 // resolveCore returns the pipeline result for req — from the tick cache
@@ -579,7 +633,7 @@ func (s *Service) resolveCore(req Request) (*predictionCore, error) {
 // computeCore runs the full monitor -> forecast -> schedule -> model
 // pipeline once at the current tick. Callers hold the shared clock lock.
 func (s *Service) computeCore(req Request) (*predictionCore, error) {
-	loads, reports, err := s.readLoads(req.LoadOverride)
+	loads, reports, dists, err := s.readLoads(req.LoadOverride)
 	if err != nil {
 		return nil, err
 	}
@@ -626,6 +680,9 @@ func (s *Service) computeCore(req Request) (*predictionCore, error) {
 	}
 	return &predictionCore{
 		raw:       v,
+		distModel: model,
+		distDists: dists,
+		distTag:   dominantForecaster(dists),
 		partition: part,
 		loads:     reports,
 		bandwidth: bwFrac,
@@ -634,17 +691,169 @@ func (s *Service) computeCore(req Request) (*predictionCore, error) {
 	}, nil
 }
 
+// minAvailPoint floors the point availabilities the quantile transform
+// evaluates the model at, matching the bandwidth-fraction floor: a widened
+// tail quantile can cross zero, but the model needs a positive capacity.
+const minAvailPoint = 0.01
+
+// distSamples is how many joint load draws the distribution transform
+// evaluates the structural model at. The grid resolves lazily — the first
+// distribution-requesting prediction per (shape, tick) pays for it, the
+// tick cache shares the result, and legacy requests never trigger it.
+const distSamples = 64
+
+// buildDistUniforms tabulates a fixed Latin-hypercube sample matrix:
+// distSamples rows of dims uniforms, each column a stratified permutation
+// of (i+0.5)/distSamples. The generator seed is a constant so every
+// service — and every restore of a snapshot — evaluates the identical
+// joint sample, keeping predictions reproducible.
+func buildDistUniforms(dims int) [][]float64 {
+	rng := rand.New(rand.NewSource(0x9e3779b9))
+	u := make([][]float64, distSamples)
+	for i := range u {
+		u[i] = make([]float64, dims)
+	}
+	for d := 0; d < dims; d++ {
+		for i, p := range rng.Perm(distSamples) {
+			u[p][d] = (float64(i) + 0.5) / distSamples
+		}
+	}
+	return u
+}
+
+// computeDistGrid produces the raw execution-time quantile grid by an
+// independence Monte Carlo transform of the per-machine load
+// distributions: each Latin-hypercube row draws every machine's
+// availability (and the bandwidth fraction) independently from its own
+// forecast distribution by inverse CDF, the structural model maps the
+// joint draw to an execution time, and the grid is the empirical
+// DistLevels quantiles of the sampled times. Unlike a comonotone
+// transform — which pins all machines to the same bad quantile at once
+// and so prices an everyone-bursts-together event at the probability of
+// one machine bursting — the joint sampling keeps the tail of the
+// execution-time distribution proportional to how likely slow draws
+// actually coincide. A model that rejects any draw degrades the whole
+// grid to the raw value's normal quantiles.
+func (s *Service) computeDistGrid(model *structural.SORConfig, dists []nws.LoadDist, bwFrac stochastic.Value, raw stochastic.Value) []float64 {
+	times := make([]float64, len(s.distU))
+	bwDim := len(dists)
+	for i, u := range s.distU {
+		params := structural.Params{structural.BWAvailParam: stochastic.Point(1)}
+		if s.netMon {
+			bw := bwFrac.Quantile(u[bwDim])
+			params[structural.BWAvailParam] = stochastic.Point(math.Max(bw, minAvailPoint))
+		}
+		for m := range dists {
+			q := nws.GridQuantile(dists[m].Quantiles, u[m])
+			params[structural.LoadParam(m)] = stochastic.Point(math.Max(q, minAvailPoint))
+		}
+		v, err := model.Predict(params)
+		if err != nil {
+			return normalDistGrid(raw)
+		}
+		times[i] = v.Mean
+	}
+	sort.Float64s(times)
+	grid := make([]float64, len(nws.DistLevels))
+	for i, p := range nws.DistLevels {
+		q, err := stats.Quantile(times, p)
+		if err != nil {
+			return normalDistGrid(raw)
+		}
+		grid[i] = q
+	}
+	monotonizeGrid(grid)
+	return grid
+}
+
+// normalDistGrid tabulates a stochastic value's own (normal) quantiles on
+// the DistLevels grid — the degraded form when the point-quantile transform
+// cannot run.
+func normalDistGrid(v stochastic.Value) []float64 {
+	grid := make([]float64, len(nws.DistLevels))
+	for i, p := range nws.DistLevels {
+		grid[i] = v.Quantile(p)
+	}
+	return grid
+}
+
+// monotonizeGrid enforces a nondecreasing quantile curve in place.
+// Empirical quantiles of the Monte Carlo sample are monotone by
+// construction; this guards the invariant outright against ties and
+// fallback paths.
+func monotonizeGrid(grid []float64) {
+	for i := 1; i < len(grid); i++ {
+		if grid[i] < grid[i-1] {
+			grid[i] = grid[i-1]
+		}
+	}
+}
+
+// dominantForecaster returns the most common per-machine forecaster tag,
+// breaking ties toward the lowest machine index.
+func dominantForecaster(dists []nws.LoadDist) string {
+	best, bestCount := "", 0
+	for i, d := range dists {
+		count := 1
+		for _, e := range dists[i+1:] {
+			if e.Forecaster == d.Forecaster {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = d.Forecaster, count
+		}
+	}
+	return best
+}
+
 // finishPrediction applies the per-request overlay to a (possibly shared)
-// pipeline core: the calibrator's current multiplier, a fresh ledger ID,
-// and the accuracy snapshot at issue time.
-func (s *Service) finishPrediction(core *predictionCore) Prediction {
+// pipeline core: the calibrator's current multiplier, the per-level
+// quantile calibration of the distribution grid (and any requested
+// intervals), a fresh ledger ID, and the accuracy snapshot at issue time.
+// The overlay runs identically on cached and uncached cores.
+//
+// The distribution grid resolves lazily here: only requests that ask
+// (Distribution set, or any interval levels) trigger the Monte Carlo
+// transform, and the core memoizes it for the rest of the tick. Outcomes
+// of predictions that never asked carry no grid, so quantile calibration
+// learns exclusively from distribution-valued traffic.
+func (s *Service) finishPrediction(core *predictionCore, req Request) Prediction {
+	levels := req.Levels
 	cal := s.tracker.Calibrate(core.raw)
 	scale := 1.0
 	if core.raw.Spread > 0 {
 		scale = cal.Spread / core.raw.Spread
 	}
+	var distRaw []float64
+	if req.Distribution || len(levels) > 0 {
+		distRaw = core.dist(s)
+	}
+	var dist PredictionDist
+	if len(distRaw) == len(nws.DistLevels) {
+		calQ := s.tracker.CalibrateQuantiles(make([]float64, 0, len(distRaw)), distRaw)
+		dist = PredictionDist{
+			Levels:     nws.DistLevels,
+			Raw:        distRaw,
+			Calibrated: calQ,
+			Forecaster: core.distTag,
+		}
+		if len(levels) > 0 {
+			dist.Intervals = make([]Interval, len(levels))
+			for i, l := range levels {
+				dist.Intervals[i] = Interval{
+					Level: l,
+					Lo:    nws.GridQuantile(calQ, (1-l)/2),
+					Hi:    nws.GridQuantile(calQ, (1+l)/2),
+				}
+			}
+		}
+	}
+	if len(levels) > 0 {
+		s.metrics.recordQuantileRequest()
+	}
 	s.ledgerMu.Lock()
-	id := s.issueLocked(core.raw, cal)
+	id := s.issueLocked(core.raw, cal, distRaw)
 	outstanding := len(s.issued)
 	s.ledgerMu.Unlock()
 	s.metrics.recordPredict(scale, outstanding)
@@ -659,6 +868,7 @@ func (s *Service) finishPrediction(core *predictionCore) Prediction {
 		Loads:            core.loads,
 		Bandwidth:        core.bandwidth,
 		BWGaps:           core.bwGaps,
+		Dist:             dist,
 	}
 }
 
@@ -669,7 +879,7 @@ func (s *Service) finishPrediction(core *predictionCore) Prediction {
 // the bound and are skipped (and dropped) during eviction, and
 // compactOrderLocked rebuilds the order slice before dead slots dominate.
 // Callers hold ledgerMu.
-func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
+func (s *Service) issueLocked(raw, calibrated stochastic.Value, rawQ []float64) uint64 {
 	s.nextID++
 	id := s.nextID
 	if len(s.issued) >= maxOutstanding {
@@ -682,7 +892,7 @@ func (s *Service) issueLocked(raw, calibrated stochastic.Value) uint64 {
 			}
 		}
 	}
-	s.issued[id] = issuedPrediction{raw: raw, calibrated: calibrated}
+	s.issued[id] = issuedPrediction{raw: raw, calibrated: calibrated, rawQ: rawQ}
 	s.issuedOrder = append(s.issuedOrder, id)
 	s.compactOrderLocked()
 	return id
@@ -730,11 +940,12 @@ func (s *Service) Observe(id uint64, actual float64) (calib.Snapshot, error) {
 		return calib.Snapshot{}, fmt.Errorf("predict: prediction id %d was never issued by platform %q (or was already observed)", id, s.name)
 	}
 	_, drifted := s.tracker.Observe(calib.Outcome{
-		ID:         id,
-		Time:       s.now,
-		Raw:        ip.raw,
-		Calibrated: ip.calibrated,
-		Actual:     actual,
+		ID:           id,
+		Time:         s.now,
+		Raw:          ip.raw,
+		Calibrated:   ip.calibrated,
+		Actual:       actual,
+		RawQuantiles: ip.rawQ,
 	})
 	s.metrics.recordObserve(s.tracker.Scale(), outstanding, drifted)
 	return s.tracker.Snapshot(), nil
@@ -762,13 +973,16 @@ func (s *Service) Reports() []MachineReport {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
+		ld := sh.mon.RobustDistReport(s.now, s.prior)
 		reports[i] = MachineReport{
-			Machine:   i,
-			Load:      sh.mon.RobustReport(s.now, s.prior),
-			Raw:       s.env.RawCPUAvail(i, s.now),
-			Staleness: sh.mon.Staleness(),
-			Widening:  sh.mon.DegradationFactor(),
-			Gaps:      sh.mon.Gaps(),
+			Machine:    i,
+			Load:       sh.mon.RobustReport(s.now, s.prior),
+			Raw:        s.env.RawCPUAvail(i, s.now),
+			Staleness:  sh.mon.Staleness(),
+			Widening:   sh.mon.DegradationFactor(),
+			Gaps:       sh.mon.Gaps(),
+			Forecaster: ld.Forecaster,
+			Components: ld.Components,
 		}
 		sh.mu.Unlock()
 	}

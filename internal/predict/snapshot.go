@@ -29,9 +29,22 @@ import (
 // dynamic state on top. A restored fleet is bit-identical to one that
 // never stopped: same predictions, same IDs, same calibration, asserted
 // by TestSnapshotRestoreBitIdentical.
+//
+// Version history. v2 added the distribution-valued prediction state:
+// per-monitor forecaster-tournament sections (scores, win counts, the
+// empirical forecaster's residual window, the mixture forecaster's cached
+// fit), per-window-rec quantile nonconformity scores and realized
+// quantiles in the tracker, and the raw quantile grid per ledger entry.
+// ReadSnapshot still accepts v1 images: the v2-only state decodes
+// zero-valued, which resets every tournament to its incumbent and leaves
+// quantile calibration at identity until fresh outcomes accumulate —
+// exactly the cold-start behavior of a new tournament. WriteSnapshot
+// always emits the current version, so restoring a v1 image and
+// re-snapshotting migrates it to v2.
 const (
-	snapshotMagic   = "PPSNAP"
-	snapshotVersion = 1
+	snapshotMagic     = "PPSNAP"
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
 )
 
 // snapEnc builds the snapshot image with append-only little-endian
@@ -57,12 +70,22 @@ func (e *snapEnc) bytes(v []byte) {
 }
 func (e *snapEnc) str(v string) { e.bytes([]byte(v)) }
 
+// f64s writes a length-prefixed float64 slice (nil and empty both encode
+// as length 0).
+func (e *snapEnc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
 // snapDec consumes a snapshot image; the first malformed read poisons the
 // decoder and every subsequent read returns zero values, so call sites
 // check err once per section.
 type snapDec struct {
 	b   []byte
 	off int
+	ver uint32 // snapshot format version being decoded
 	err error
 }
 
@@ -123,6 +146,20 @@ func (d *snapDec) count(elemSize int) int {
 
 func (d *snapDec) bytes() []byte { return d.take(d.count(1)) }
 func (d *snapDec) str() string   { return string(d.bytes()) }
+
+// f64s reads a length-prefixed float64 slice; length 0 decodes as nil so a
+// round trip through nil is exact.
+func (d *snapDec) f64s() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
 
 // WriteSnapshot serializes the full fleet — cold specs and live service
 // state — to w. Every live platform must have been built from a spec
@@ -191,8 +228,11 @@ func ReadSnapshot(rd io.Reader, opts RegistryOptions) (*Registry, error) {
 	if got := string(d.take(len(snapshotMagic))); d.err == nil && got != snapshotMagic {
 		return nil, fmt.Errorf("predict: bad snapshot magic %q", got)
 	}
-	if v := d.u32(); d.err == nil && v != snapshotVersion {
-		return nil, fmt.Errorf("predict: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	if v := d.u32(); d.err == nil {
+		if v != snapshotVersion && v != snapshotVersionV1 {
+			return nil, fmt.Errorf("predict: unsupported snapshot version %d (want %d or %d)", v, snapshotVersionV1, snapshotVersion)
+		}
+		d.ver = v
 	}
 	reg := NewRegistryWith(opts)
 	n := d.count(1)
@@ -314,6 +354,7 @@ func (s *Service) exportTo(e *snapEnc) {
 		e.f64(ip.raw.Spread)
 		e.f64(ip.calibrated.Mean)
 		e.f64(ip.calibrated.Spread)
+		e.f64s(ip.rawQ)
 	}
 	s.ledgerMu.Unlock()
 
@@ -371,6 +412,9 @@ func (s *Service) importFrom(d *snapDec) error {
 		ip.raw.Spread = d.f64()
 		ip.calibrated.Mean = d.f64()
 		ip.calibrated.Spread = d.f64()
+		if d.ver >= 2 {
+			ip.rawQ = d.f64s()
+		}
 		s.issued[id] = ip
 		s.issuedOrder = append(s.issuedOrder, id)
 	}
@@ -417,6 +461,22 @@ func encodeMonitorState(e *snapEnc, st nws.MonitorState) {
 		e.f64(st.MixSqErr[i])
 		e.i64(int64(st.MixN[i]))
 	}
+	// v2: the distribution-forecaster tournament.
+	ts := st.Tournament
+	e.u32(uint32(len(ts.Loss)))
+	for i := range ts.Loss {
+		e.f64(ts.Loss[i])
+		e.f64(ts.Weight[i])
+		e.i64(ts.Wins[i])
+	}
+	e.f64s(ts.Residuals)
+	e.i64(int64(ts.FitObs))
+	e.u32(uint32(len(ts.FitModes)))
+	for _, c := range ts.FitModes {
+		e.f64(c.Weight)
+		e.f64(c.Mean)
+		e.f64(c.Sigma)
+	}
 }
 
 func decodeMonitorState(d *snapDec) nws.MonitorState {
@@ -443,6 +503,33 @@ func decodeMonitorState(d *snapDec) nws.MonitorState {
 		st.MixSqErr[i] = d.f64()
 		st.MixN[i] = int(d.i64())
 	}
+	if d.ver >= 2 {
+		ts := &st.Tournament
+		nTour := d.count(24)
+		if nTour > 0 {
+			ts.Loss = make([]float64, nTour)
+			ts.Weight = make([]float64, nTour)
+			ts.Wins = make([]int64, nTour)
+			for i := 0; i < nTour; i++ {
+				ts.Loss[i] = d.f64()
+				ts.Weight[i] = d.f64()
+				ts.Wins[i] = d.i64()
+			}
+		}
+		ts.Residuals = d.f64s()
+		ts.FitObs = int(d.i64())
+		nModes := d.count(24)
+		if nModes > 0 {
+			ts.FitModes = make([]nws.Component, nModes)
+			for i := 0; i < nModes; i++ {
+				ts.FitModes[i].Weight = d.f64()
+				ts.FitModes[i].Mean = d.f64()
+				ts.FitModes[i].Sigma = d.f64()
+			}
+		}
+	}
+	// On a v1 image the tournament stays zero-valued: import resets it to
+	// the incumbent, the documented v1 -> v2 migration semantics.
 	return st
 }
 
@@ -461,6 +548,12 @@ func encodeTrackerState(e *snapEnc, st calib.State) {
 		e.boolean(r.CalIn)
 		e.boolean(r.Armed)
 		e.boolean(r.Excluded)
+		// v2: per-quantile calibration evidence.
+		e.boolean(r.Qok)
+		e.f64s(r.QsLo)
+		e.f64s(r.QsHi)
+		e.f64(r.QRel)
+		e.f64(r.Pit)
 	}
 	e.u32(uint32(len(st.Drifts)))
 	for _, ev := range st.Drifts {
@@ -501,6 +594,13 @@ func decodeTrackerState(d *snapDec) calib.State {
 		r.CalIn = d.boolean()
 		r.Armed = d.boolean()
 		r.Excluded = d.boolean()
+		if d.ver >= 2 {
+			r.Qok = d.boolean()
+			r.QsLo = d.f64s()
+			r.QsHi = d.f64s()
+			r.QRel = d.f64()
+			r.Pit = d.f64()
+		}
 	}
 	nDrifts := d.count(8 + 8 + 4 + 8)
 	st.Drifts = make([]calib.DriftEvent, nDrifts)

@@ -28,6 +28,16 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 # function).
 go test -run 'TestRunInProcessSmoke|TestCacheVsUncachedSmoke|TestRunFleetKillRestoreSmoke' -count=1 ./cmd/loadtest
 
+# Distribution-valued serving smoke: the forecaster tournament must beat
+# the normal incumbent and the recentered quantile grid must hold nominal
+# coverage on the bursty acceptance scenario (~4 s; the asserting tests
+# replay the dist-tournament experiment on its pinned seeds).
+go test -run 'TestDistTournamentShape|TestDistTournamentStableAcrossSeeds' -count=1 ./internal/experiments
+
+# Fuzz smoke: a few seconds of coverage-guided input on the hand-rolled
+# JSON request parser — it must never diverge from the stdlib fallback.
+go test -run '^$' -fuzz FuzzCodecParsers -fuzztime 5s ./internal/api
+
 # Snapshot round-trip smoke over the real daemon binary: serve, snapshot,
 # kill, restore — the restored daemon must answer byte-identically to the
 # one that never stopped.
