@@ -1,16 +1,23 @@
-// Command loadgen generates production-load traces from the calibrated
-// generators and writes them as CSV, or replays an existing trace and
-// summarizes it (modal structure, burstiness, stochastic value). Exported
-// traces can be replayed into experiments via the load.Trace process,
-// which is how recorded real-machine data would enter the pipeline.
+// Command loadgen generates production-load traces and summarizes recorded
+// ones. Generation goes through the workload scenario subsystem: pick a
+// library scenario (-scenario), a scenario spec file (-spec), or a legacy
+// single-generator alias (-kind), and loadgen writes the versioned trace
+// format (JSON header + one sample per line) that predict.LoadSpec{Kind:
+// "trace"} replays bit-identically. -replay summarizes an existing trace
+// (either format): distribution stats, modal structure, and the scenario
+// scorecard (burst count, tail index, diurnal period).
 //
 // Usage:
 //
-//	loadgen -kind bursty -duration 3600 -dt 5 -seed 1 -o trace.csv
-//	loadgen -replay trace.csv
+//	loadgen -list
+//	loadgen -scenario flash-crowd -machine 1 -duration 3600 -o crowd.trace
+//	loadgen -spec myscenario.json -seed 7 -o custom.trace
+//	loadgen -kind bursty -duration 3600 -o trace.out
+//	loadgen -replay crowd.trace
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -20,24 +27,35 @@ import (
 	"prodpred/internal/stats"
 	"prodpred/internal/stochastic"
 	"prodpred/internal/timeseries"
+	"prodpred/internal/workload"
 )
 
 func main() {
 	var (
-		kind     = flag.String("kind", "bursty", "generator: center | trimodal | bursty | light | ethernet | sessions")
+		kind     = flag.String("kind", "", "legacy generator alias: center | trimodal | bursty | light | ethernet | sessions (default bursty when no -scenario/-spec)")
+		scenario = flag.String("scenario", "", "workload-library scenario to generate from (see -list)")
+		specPath = flag.String("spec", "", "scenario spec JSON file to generate from")
+		machine  = flag.Int("machine", 0, "scenario machine entry to generate")
+		list     = flag.Bool("list", false, "list library scenarios and exit")
 		duration = flag.Float64("duration", 3600, "trace length in virtual seconds")
-		dt       = flag.Float64("dt", 5, "sampling interval (s)")
+		dt       = flag.Float64("dt", 0, "sampling interval (s); 0 = the process's native tick")
 		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("o", "", "output CSV path (default stdout)")
-		replay   = flag.String("replay", "", "replay and summarize an existing trace CSV")
+		out      = flag.String("o", "", "output trace path (default stdout)")
+		replay   = flag.String("replay", "", "replay and summarize an existing trace (versioned or legacy CSV)")
 	)
 	flag.Parse()
 
 	var err error
-	if *replay != "" {
+	switch {
+	case *list:
+		for _, name := range workload.Names() {
+			sc, _ := workload.Lookup(name)
+			fmt.Printf("%-18s %d machine entries, dt=%gs, hash %s\n", name, len(sc.Machines), sc.DT, sc.Hash())
+		}
+	case *replay != "":
 		err = summarize(*replay)
-	} else {
-		err = generate(*kind, *duration, *dt, *seed, *out)
+	default:
+		err = generate(*scenario, *specPath, *kind, *machine, *duration, *dt, *seed, *out)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -45,32 +63,82 @@ func main() {
 	}
 }
 
-func makeProcess(kind string, seed int64) (load.Process, error) {
+// legacyScenario wraps one of the historical -kind generators in a
+// single-machine scenario spec, so the legacy aliases flow through the
+// same spec path (and trace format) as everything else.
+func legacyScenario(kind string) (*workload.ScenarioSpec, error) {
+	var comp workload.ComponentSpec
 	switch kind {
 	case "center":
-		return load.Platform1CenterMode(seed)
+		comp = workload.ComponentSpec{Kind: "preset", Preset: "platform1-center"}
 	case "trimodal":
-		return load.Platform1TriModal(seed)
+		comp = workload.ComponentSpec{Kind: "preset", Preset: "platform1-trimodal"}
 	case "bursty":
-		return load.Platform2FourModeBursty(seed)
+		comp = workload.ComponentSpec{Kind: "preset", Preset: "platform2-bursty"}
 	case "light":
-		return load.LightLoad(seed)
+		comp = workload.ComponentSpec{Kind: "preset", Preset: "light"}
 	case "ethernet":
-		return load.EthernetContention(seed)
+		comp = workload.ComponentSpec{Kind: "preset", Preset: "ethernet-contention"}
 	case "sessions":
-		return load.NewUserSessions(0.1, 0.05, 1, seed)
+		comp = workload.ComponentSpec{Kind: "user-sessions", Lambda: 0.1, Mu: 0.05}
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
 	}
-	return nil, fmt.Errorf("unknown generator %q", kind)
+	sc := &workload.ScenarioSpec{
+		Version:  workload.SpecVersion,
+		Name:     "legacy-" + kind,
+		DT:       1,
+		Machines: []workload.ComponentSpec{comp},
+	}
+	return sc, sc.Validate()
 }
 
-func generate(kind string, duration, dt float64, seed int64, out string) error {
-	proc, err := makeProcess(kind, seed)
+// resolveScenario picks the scenario source: an explicit spec file, a
+// library name, or a legacy -kind alias (defaulting to bursty).
+func resolveScenario(scenario, specPath, kind string) (*workload.ScenarioSpec, error) {
+	switch {
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ParseScenario(data)
+	case scenario != "":
+		sc, ok := workload.Lookup(scenario)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have %v)", scenario, workload.Names())
+		}
+		return sc, nil
+	case kind != "":
+		return legacyScenario(kind)
+	default:
+		return legacyScenario("bursty")
+	}
+}
+
+func generate(scenario, specPath, kind string, machine int, duration, dt float64, seed int64, out string) error {
+	sc, err := resolveScenario(scenario, specPath, kind)
 	if err != nil {
 		return err
+	}
+	proc, err := sc.Machine(machine, seed)
+	if err != nil {
+		return err
+	}
+	if dt == 0 {
+		dt = proc.Interval()
 	}
 	s, err := load.Record(proc, 0, duration, dt)
 	if err != nil {
 		return err
+	}
+	h := workload.TraceHeader{
+		Scenario: sc.Name,
+		SpecHash: sc.Hash(),
+		Seed:     seed,
+		Machine:  machine,
+		DT:       dt,
+		T0:       0,
 	}
 	w := os.Stdout
 	if out != "" {
@@ -81,26 +149,49 @@ func generate(kind string, duration, dt float64, seed int64, out string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := s.WriteCSV(w); err != nil {
+	if err := workload.WriteTrace(w, h, s.Values()); err != nil {
 		return err
 	}
 	if out != "" {
-		fmt.Printf("wrote %d samples to %s\n", s.Len(), out)
+		fmt.Printf("wrote %d samples (%s, dt=%gs) to %s\n", s.Len(), sc.Name, dt, out)
 	}
 	return nil
 }
 
+// readAny loads either trace format: the versioned header+samples file or
+// the legacy "time,value" CSV.
+func readAny(path string) (vals []float64, dt float64, origin string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if workload.IsTrace(data) {
+		h, vals, err := workload.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, "", err
+		}
+		origin := h.Scenario
+		if origin == "" {
+			origin = "unlabeled trace"
+		}
+		return vals, h.DT, fmt.Sprintf("%s (seed %d, machine %d, hash %s)", origin, h.Seed, h.Machine, h.SpecHash), nil
+	}
+	s, err := timeseries.ReadCSV(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	dt = 1.0
+	if s.Len() > 1 {
+		dt = s.At(1).T - s.At(0).T
+	}
+	return s.Values(), dt, "legacy CSV", nil
+}
+
 func summarize(path string) error {
-	f, err := os.Open(path)
+	xs, dt, origin, err := readAny(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	s, err := timeseries.ReadCSV(f)
-	if err != nil {
-		return err
-	}
-	xs := s.Values()
 	sum, err := stats.Summarize(xs)
 	if err != nil {
 		return err
@@ -109,10 +200,24 @@ func summarize(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d samples\n", path, s.Len())
+	fmt.Printf("%s: %d samples, %s\n", path, len(xs), origin)
 	fmt.Printf("  mean %.4f  std %.4f  min %.4f  median %.4f  max %.4f  skew %.2f\n",
 		sum.Mean, sum.StdDev, sum.Min, sum.Median, sum.Max, sum.Skewness)
 	fmt.Printf("  stochastic value: %s\n", sv)
+
+	card := workload.NewScorecard(xs, dt)
+	fmt.Printf("  scorecard: %d bursts below mean-2sigma", card.BurstCount)
+	if card.TailIndex > 0 {
+		fmt.Printf(", tail index %.2f (Hill; smaller = heavier)", card.TailIndex)
+	} else {
+		fmt.Printf(", tail index n/a")
+	}
+	if card.DiurnalPeriod > 0 {
+		fmt.Printf(", dominant period %.0fs", card.DiurnalPeriod)
+	} else {
+		fmt.Printf(", no dominant period")
+	}
+	fmt.Println()
 
 	mm, err := modal.FitBIC(xs, 6)
 	if err != nil {

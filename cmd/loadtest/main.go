@@ -48,6 +48,7 @@ import (
 	"prodpred/internal/predict"
 	"prodpred/internal/stats"
 	"prodpred/internal/stochastic"
+	"prodpred/internal/workload"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	flag.StringVar(&cfg.BenchOut, "bench-out", "", "JSON file to merge a \"serving\" entry into (BENCH_<date>.json style)")
 	flag.IntVar(&cfg.Platforms, "platforms", 0, "host a fleet of N lazily-instantiated tenant specs instead of the two paper platforms")
 	flag.BoolVar(&cfg.KillRestore, "kill-restore", false, "snapshot, kill, and restore the in-process server mid-run")
+	flag.StringVar(&cfg.Scenario, "scenario", "", "drive the in-process platforms with this workload-library scenario instead of the paper load models")
 	flag.Parse()
 
 	res, err := run(cfg)
@@ -97,8 +99,9 @@ type config struct {
 	Batch       int
 	NoCache     bool
 	BenchOut    string
-	Platforms   int  // fleet size (0 = the two paper platforms)
-	KillRestore bool // snapshot/kill/restore the in-process server mid-run
+	Platforms   int    // fleet size (0 = the two paper platforms)
+	KillRestore bool   // snapshot/kill/restore the in-process server mid-run
+	Scenario    string // workload-library scenario for the in-process platforms
 }
 
 // opStats summarizes one operation's latency sample: the stochastic
@@ -309,6 +312,36 @@ func run(cfg config) (result, error) {
 func inProcess(cfg config) (*httptest.Server, error) {
 	metrics := obs.NewRegistry()
 	reg := predict.NewRegistryWith(predict.RegistryOptions{Metrics: metrics})
+	if cfg.Scenario != "" {
+		if cfg.Platforms > 0 {
+			return nil, fmt.Errorf("-scenario and -platforms are mutually exclusive")
+		}
+		if _, ok := workload.Lookup(cfg.Scenario); !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have %v)", cfg.Scenario, workload.Names())
+		}
+		// Keep the paper platform names so the worker routing is unchanged;
+		// only the load driving them comes from the scenario library.
+		for i, id := range []int{1, 2} {
+			spec := predict.PlatformSpec{
+				Name: fmt.Sprintf("platform%d", id),
+				Machines: []predict.MachineSpec{
+					{Name: "m0", Kind: "sparc5"},
+					{Name: "m1", Kind: "sparc10"},
+					{Name: "m2", Kind: "ultra"},
+					{Name: "m3", Kind: "ultra"},
+				},
+				CPU:              []predict.LoadSpec{{Kind: "scenario", Scenario: cfg.Scenario}},
+				Net:              &predict.LoadSpec{Kind: "ethernet-contention"},
+				Seed:             cfg.Seed + int64(i)*1013,
+				Warmup:           cfg.Warmup,
+				DisableTickCache: cfg.NoCache,
+			}
+			if err := reg.RegisterSpec(spec); err != nil {
+				return nil, err
+			}
+		}
+		return httptest.NewServer(api.NewHandler(reg, api.Options{Metrics: metrics})), nil
+	}
 	if cfg.Platforms > 0 {
 		for _, spec := range predict.FleetSpecs(cfg.Platforms, cfg.Seed) {
 			spec.DisableTickCache = cfg.NoCache

@@ -27,7 +27,11 @@
 // file instead of the built-in paper platforms; tenants instantiate lazily
 // on their first request. With -restore snap.bin, the daemon resumes a
 // fleet captured by POST /snapshot, bit-identical to a run that never
-// stopped. With -pprof, net/http/pprof is mounted under /debug/pprof/;
+// stopped. With -record-traces DIR, a clean shutdown records every
+// instantiated platform's load processes to DIR as versioned trace files
+// (<platform>-cpu<i>.trace, plus <platform>-net.trace when the network is
+// contended) that predict.LoadSpec{Kind:"trace"} replays bit-identically.
+// With -pprof, net/http/pprof is mounted under /debug/pprof/;
 // with -log-requests, one JSON access-log line per request goes to stderr.
 // The operator runbook is OPERATIONS.md at the repo root.
 //
@@ -40,6 +44,9 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,12 +55,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"prodpred/internal/api"
 	"prodpred/internal/faults"
+	"prodpred/internal/load"
 	"prodpred/internal/obs"
 	"prodpred/internal/predict"
+	"prodpred/internal/workload"
 )
 
 func main() {
@@ -71,12 +81,13 @@ func main() {
 		logReqs   = flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
 		specsPath = flag.String("specs", "", "serve the declarative fleet in this JSON file instead of the built-in platforms")
 		restore   = flag.String("restore", "", "resume the fleet captured in this POST /snapshot image")
+		recordDir = flag.String("record-traces", "", "on shutdown, record every instantiated platform's load processes as replayable trace files in this directory")
 	)
 	flag.Parse()
 	if err := run(*addr, *seed, *warmup, *tick, faultFlags{
 		drop: *drop, transient: *transient, spike: *spike,
 		outageStart: *outageAt, outageEnd: *outageEnd,
-	}, *specsPath, *restore, *pprofOn, *logReqs); err != nil {
+	}, *specsPath, *restore, *recordDir, *pprofOn, *logReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "predictd:", err)
 		os.Exit(1)
 	}
@@ -193,7 +204,7 @@ func restoreRegistry(path string, metrics *obs.Registry) (*predict.Registry, err
 	return reg, nil
 }
 
-func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath, restorePath string, pprofOn, logReqs bool) error {
+func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath, restorePath, recordDir string, pprofOn, logReqs bool) error {
 	metrics := obs.NewRegistry()
 	var reg *predict.Registry
 	var err error
@@ -222,7 +233,81 @@ func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath
 	defer stop()
 	log.Printf("predictd: serving %v on %s (tick %gx, warmup %gs, pprof %v)",
 		reg.Names(), ln.Addr(), tick, warmup, pprofOn)
-	return serve(ctx, reg, ln, tick, api.NewHandler(reg, opts))
+	if err := serve(ctx, reg, ln, tick, api.NewHandler(reg, opts)); err != nil {
+		return err
+	}
+	if recordDir != "" {
+		return recordFleet(reg, recordDir)
+	}
+	return nil
+}
+
+// recordFleet writes every instantiated platform's load processes to
+// replayable trace files: <platform>-cpu<i>.trace per machine plus
+// <platform>-net.trace when the network is contended. The traces cover
+// virtual time [0, now], so a fleet spec pointing at them (LoadSpec kind
+// "trace") replays the exact loads this daemon served against.
+func recordFleet(reg *predict.Registry, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	wrote := 0
+	for _, svc := range reg.Services() {
+		end := svc.Now()
+		if end <= 0 {
+			continue // never advanced: nothing to record
+		}
+		scenario, specHash, seed := provenance(svc.Spec())
+		record := func(p load.Process, machine int, name string) error {
+			h, vals, err := workload.CaptureTrace(p, scenario, specHash, seed, machine, 0, end)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteTrace(f, h, vals); err != nil {
+				f.Close()
+				return err
+			}
+			wrote++
+			return f.Close()
+		}
+		env := svc.Env()
+		for i := range svc.Machines() {
+			if err := record(env.CPULoad(i), i, fmt.Sprintf("%s-cpu%d.trace", svc.Name(), i)); err != nil {
+				return err
+			}
+		}
+		if _, constant := env.NetLoad().(load.Constant); !constant {
+			if err := record(env.NetLoad(), -1, svc.Name()+"-net.trace"); err != nil {
+				return err
+			}
+		}
+	}
+	log.Printf("predictd: recorded %d trace files to %s", wrote, dir)
+	return nil
+}
+
+// provenance extracts trace-header provenance from a platform spec: the
+// first scenario name its loads reference (if any), a hash of the spec
+// JSON, and the platform seed.
+func provenance(spec *predict.PlatformSpec) (scenario, specHash string, seed int64) {
+	if spec == nil {
+		return "", "", 0
+	}
+	for _, ls := range spec.CPU {
+		if ls.Kind == "scenario" {
+			scenario = ls.Scenario
+			break
+		}
+	}
+	if b, err := json.Marshal(spec); err == nil {
+		sum := sha256.Sum256(b)
+		specHash = hex.EncodeToString(sum[:8])
+	}
+	return scenario, specHash, spec.Seed
 }
 
 // serve runs the daemon's HTTP server on ln until ctx is cancelled, then

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-selfsched", "ablation-objective",
 		"host-tcp", "host-bench",
 		"robust-faults", "calib-replay", "dist-tournament",
+		"workload-scenarios",
 	}
 	ids := IDs()
 	have := map[string]bool{}

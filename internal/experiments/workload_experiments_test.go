@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"prodpred/internal/workload"
+)
+
+// TestWorkloadScenariosShape pins the scenario-sweep scorecard at seed 1:
+// every library scenario reports a complete, sane scorecard, and the
+// qualitative claims the EXPERIMENTS.md section makes hold.
+func TestWorkloadScenariosShape(t *testing.T) {
+	r := runExp(t, "workload-scenarios", 1)
+	assertMetric(t, r, "scenarios", 6, 64)
+	for _, name := range workload.Names() {
+		// Both interval constructions capture a majority of actuals on
+		// every scenario...
+		assertMetric(t, r, name+"_capture_point", 0.70, 1.0)
+		assertMetric(t, r, name+"_capture_dist", 0.75, 1.0)
+		// ...with finite, non-degenerate widths and Winkler scores
+		// (score >= width by construction).
+		assertMetric(t, r, name+"_width_point", 0.001, 1.0)
+		assertMetric(t, r, name+"_width_dist", 0.001, 1.0)
+		assertMetric(t, r, name+"_winkler95_point", 0.001, 1.0)
+		assertMetric(t, r, name+"_winkler95_dist", 0.001, 1.0)
+	}
+	// On the steady scenarios the calibrated grid holds near-nominal 95%
+	// coverage.
+	assertMetric(t, r, "diurnal-web_capture_dist", 0.90, 1.0)
+	assertMetric(t, r, "quiet-baseline_capture_dist", 0.90, 1.0)
+	// Regime volatility costs interval width: the flash-crowd and
+	// regime-cascade grids are wider than the steady diurnal grid.
+	steady, err := r.Metric("diurnal-web_width_dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, volatile := range []string{"flash-crowd", "regime-cascade"} {
+		w, err := r.Metric(volatile + "_width_dist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w <= steady {
+			t.Errorf("%s width_dist %.3f not wider than diurnal-web %.3f", volatile, w, steady)
+		}
+	}
+}
+
+// TestWorkloadScenariosStableAcrossSeeds re-runs the sweep at a second
+// seed: the grid's coverage floor is a property of the calibration loop,
+// not of one sample path.
+func TestWorkloadScenariosStableAcrossSeeds(t *testing.T) {
+	r := runExp(t, "workload-scenarios", 2)
+	for _, name := range workload.Names() {
+		assertMetric(t, r, name+"_capture_dist", 0.80, 1.0)
+	}
+}

@@ -283,6 +283,27 @@ func (tr *Trace) At(t float64) float64 {
 // Interval implements Process.
 func (tr *Trace) Interval() float64 { return tr.dt }
 
+// NewUniformTrace wraps s like NewTrace but additionally requires the
+// series to be sampled on a uniform grid of spacing dt. The replay path
+// (workload trace files, predictd -record-traces) leans on this: a uniform
+// grid guarantees last-observation-carried-forward lookup lands on exactly
+// the sample the original generator emitted for that tick, which is what
+// makes record→replay bit-identical.
+func NewUniformTrace(s *timeseries.Series, dt float64) (*Trace, error) {
+	tr, err := NewTrace(s, dt)
+	if err != nil {
+		return nil, err
+	}
+	t0 := s.At(0).T
+	for i := 1; i < s.Len(); i++ {
+		want := t0 + float64(i)*dt
+		if math.Abs(s.At(i).T-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			return nil, fmt.Errorf("load: non-uniform trace: sample %d at t=%g, want %g (dt=%g)", i, s.At(i).T, want, dt)
+		}
+	}
+	return tr, nil
+}
+
 // UserSessions models availability driven by an M/M/infinity population of
 // competing users: users arrive at rate lambda per second, stay for
 // exponential sessions of mean 1/mu seconds, and the application receives a

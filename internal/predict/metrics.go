@@ -26,6 +26,7 @@ const (
 	MetricBatchSize        = "predict_batch_size"
 	MetricTournamentWins   = "forecaster_tournament_wins_total"
 	MetricQuantileRequests = "predict_quantile_requests_total"
+	MetricScenarioInfo     = "workload_scenario_info"
 )
 
 // BatchSizeBuckets are the upper bounds of the predict_batch_size
@@ -63,6 +64,10 @@ type serviceMetrics struct {
 	platform string
 	winsVec  *obs.CounterVec
 	wins     map[string]*obs.Counter
+
+	// scenarioVec carries one constant-1 series per workload scenario the
+	// platform's spec references — an info metric for fleet dashboards.
+	scenarioVec *obs.GaugeVec
 }
 
 // newServiceMetrics registers (or finds) the pipeline families on reg and
@@ -116,8 +121,20 @@ func newServiceMetrics(reg *obs.Registry, platform string) *serviceMetrics {
 	for _, tag := range tags {
 		m.wins[tag] = m.winsVec.With(platform, tag)
 	}
+	m.scenarioVec = reg.NewGaugeVec(MetricScenarioInfo,
+		"Workload-library scenarios driving this platform's load (value always 1), by platform and scenario.",
+		"platform", "scenario")
 	m.scale.Set(1)
 	return m
+}
+
+// recordScenario publishes one workload-scenario info series for this
+// platform.
+func (m *serviceMetrics) recordScenario(name string) {
+	if m == nil || name == "" {
+		return
+	}
+	m.scenarioVec.With(m.platform, name).Set(1)
 }
 
 // recordTournamentWin counts one machine-load distribution served by the

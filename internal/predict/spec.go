@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"prodpred/internal/calib"
 	"prodpred/internal/cluster"
 	"prodpred/internal/faults"
 	"prodpred/internal/load"
 	"prodpred/internal/obs"
+	"prodpred/internal/workload"
 )
 
 // PlatformSpec is the declarative, JSON-serializable description of one
@@ -105,7 +107,8 @@ type LinkSpec struct {
 type LoadSpec struct {
 	// Kind is one of: constant, light, platform1-center,
 	// platform1-trimodal, platform2-bursty, ethernet-contention,
-	// single-mode, markov-modal, user-sessions, long-tailed, congested.
+	// single-mode, markov-modal, user-sessions, long-tailed, congested,
+	// scenario, trace.
 	Kind string `json:"kind"`
 	// Seed seeds the process; 0 derives a seed from the platform seed and
 	// the machine index.
@@ -134,6 +137,14 @@ type LoadSpec struct {
 	BurstProb float64 `json:"burst_prob,omitempty"`
 	BurstMean float64 `json:"burst_mean,omitempty"`
 	BurstStd  float64 `json:"burst_std,omitempty"`
+	// Scenario names a workload-library scenario (kind "scenario");
+	// Machine picks the scenario's component entry. When a single
+	// scenario spec is broadcast across a platform's machines, Machine is
+	// assigned per machine automatically.
+	Scenario string `json:"scenario,omitempty"`
+	Machine  int    `json:"machine,omitempty"`
+	// Path locates a recorded trace file (kind "trace").
+	Path string `json:"path,omitempty"`
 }
 
 // ModeSpec is one availability mode of a markov-modal load.
@@ -179,11 +190,71 @@ func (l LoadSpec) build(defaultSeed int64) (load.Process, error) {
 		return load.NewLongTailed(l.Peak, l.DropMean, l.DropStd, dt, seed)
 	case "congested":
 		return load.NewCongested(l.Peak, l.BaseMean, l.BaseStd, l.BurstProb, l.BurstMean, l.BurstStd, dt, seed)
+	case "scenario":
+		sc, err := l.scenario()
+		if err != nil {
+			return nil, err
+		}
+		return sc.Machine(l.Machine, seed)
+	case "trace":
+		if l.Path == "" {
+			return nil, errors.New("predict: trace load spec missing path")
+		}
+		f, err := os.Open(l.Path)
+		if err != nil {
+			return nil, fmt.Errorf("predict: trace load: %w", err)
+		}
+		defer f.Close()
+		h, vals, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("predict: trace load %q: %w", l.Path, err)
+		}
+		return workload.TraceProcess(h, vals)
 	case "":
 		return nil, errors.New("predict: load spec missing kind")
 	default:
 		return nil, fmt.Errorf("predict: unknown load kind %q", l.Kind)
 	}
+}
+
+// scenario resolves the spec's workload-library scenario.
+func (l LoadSpec) scenario() (*workload.ScenarioSpec, error) {
+	if l.Scenario == "" {
+		return nil, errors.New("predict: scenario load spec missing scenario name")
+	}
+	sc, ok := workload.Lookup(l.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown workload scenario %q (have %v)", l.Scenario, workload.Names())
+	}
+	if l.Machine < 0 {
+		return nil, fmt.Errorf("predict: scenario machine index %d negative", l.Machine)
+	}
+	return sc, nil
+}
+
+// buildNet materializes the network process for the platform's Net spec.
+// Scenario-kind net specs use the scenario's net component rather than a
+// machine entry.
+func (l LoadSpec) buildNet(defaultSeed int64) (load.Process, error) {
+	if l.Kind != "scenario" {
+		return l.build(defaultSeed)
+	}
+	sc, err := l.scenario()
+	if err != nil {
+		return nil, err
+	}
+	seed := l.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	net, err := sc.NetProcess(seed)
+	if err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, fmt.Errorf("predict: workload scenario %q defines no net component", l.Scenario)
+	}
+	return net, nil
 }
 
 // FaultSpec is one machine's sensor-fault schedule.
@@ -276,6 +347,11 @@ func (ps *PlatformSpec) Config() (Config, error) {
 			cpuSpecs = make([]LoadSpec, len(machines))
 			for i := range cpuSpecs {
 				cpuSpecs[i] = one
+				// A broadcast scenario spreads its component entries
+				// across the platform instead of cloning entry Machine.
+				if one.Kind == "scenario" && one.Machine == 0 {
+					cpuSpecs[i].Machine = i
+				}
 			}
 		}
 	case len(machines):
@@ -291,7 +367,7 @@ func (ps *PlatformSpec) Config() (Config, error) {
 	}
 	var net load.Process = load.NewConstant(1)
 	if ps.Net != nil {
-		if net, err = ps.Net.build(ps.Seed + 999); err != nil {
+		if net, err = ps.Net.buildNet(ps.Seed + 999); err != nil {
 			return Config{}, fmt.Errorf("predict: spec %q net: %w", ps.Name, err)
 		}
 	}
@@ -385,6 +461,14 @@ func NewServiceFromSpec(spec *PlatformSpec, metrics *obs.Registry) (*Service, er
 		return nil, err
 	}
 	svc.spec = spec.clone()
+	for _, ls := range spec.CPU {
+		if ls.Kind == "scenario" {
+			svc.metrics.recordScenario(ls.Scenario)
+		}
+	}
+	if spec.Net != nil && spec.Net.Kind == "scenario" {
+		svc.metrics.recordScenario(spec.Net.Scenario)
+	}
 	if spec.Warmup > 0 {
 		if err := svc.AdvanceTo(spec.Warmup); err != nil {
 			return nil, err
@@ -456,10 +540,12 @@ func SimulatedSpec(platform int, seed int64) (PlatformSpec, error) {
 }
 
 // FleetSpecs generates n tenant specs ("tenant-0000"...) for fleet-scale
-// tests and the loadtest's -platforms mode: a mix of platform-1-shaped
-// steady tenants and platform-2-shaped bursty tenants, each with its own
-// derived seed and a short warmup to keep lazy instantiation cheap.
+// tests and the loadtest's -platforms mode: a rotation of
+// platform-1-shaped steady tenants, platform-2-shaped bursty tenants, and
+// workload-scenario tenants cycling the scenario library, each with its
+// own derived seed and a short warmup to keep lazy instantiation cheap.
 func FleetSpecs(n int, seed int64) []PlatformSpec {
+	scenarios := workload.Names()
 	specs := make([]PlatformSpec, n)
 	for i := range specs {
 		tseed := seed + int64(i)*1013
@@ -469,7 +555,8 @@ func FleetSpecs(n int, seed int64) []PlatformSpec {
 			Warmup: 120,
 			Net:    &LoadSpec{Kind: "ethernet-contention"},
 		}
-		if i%2 == 0 {
+		switch i % 3 {
+		case 0:
 			spec.Machines = []MachineSpec{
 				{Name: "sparc2-a", Kind: "sparc2"},
 				{Name: "sparc2-b", Kind: "sparc2"},
@@ -482,13 +569,21 @@ func FleetSpecs(n int, seed int64) []PlatformSpec {
 				{Kind: "light"},
 				{Kind: "light"},
 			}
-		} else {
+		case 1:
 			spec.Machines = []MachineSpec{
 				{Name: "sparc5-a", Kind: "sparc5"},
 				{Name: "sparc10-a", Kind: "sparc10"},
 				{Name: "ultra-a", Kind: "ultra"},
 			}
 			spec.CPU = []LoadSpec{{Kind: "platform2-bursty"}}
+		default:
+			spec.Machines = []MachineSpec{
+				{Name: "sparc5-a", Kind: "sparc5"},
+				{Name: "sparc10-a", Kind: "sparc10"},
+				{Name: "ultra-a", Kind: "ultra"},
+				{Name: "ultra-b", Kind: "ultra"},
+			}
+			spec.CPU = []LoadSpec{{Kind: "scenario", Scenario: scenarios[(i/3)%len(scenarios)]}}
 		}
 		specs[i] = spec
 	}

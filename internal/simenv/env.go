@@ -72,6 +72,14 @@ func NewDedicated(platform *cluster.Platform) (*Env, error) {
 // Platform returns the underlying platform.
 func (e *Env) Platform() *cluster.Platform { return e.platform }
 
+// CPULoad returns machine m's underlying load process — the trace
+// recorder samples it directly so a recording is exactly what the sensors
+// saw, unfloored.
+func (e *Env) CPULoad(m int) load.Process { return e.cpu[m] }
+
+// NetLoad returns the shared network-contention process.
+func (e *Env) NetLoad() load.Process { return e.net }
+
 // CPUAvail returns the CPU fraction available to the application on
 // machine m at time t, floored at minAvail.
 func (e *Env) CPUAvail(m int, t float64) float64 {

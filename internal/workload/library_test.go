@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"prodpred/internal/load"
+)
+
+func TestLibraryShipsAtLeastSixValidScenarios(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("library has %d scenarios, want >= 6", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"diurnal-web", "flash-crowd", "heavy-tail-batch", "cohort-mix", "regime-cascade", "quiet-baseline"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("library missing scenario %q", want)
+		}
+	}
+	for _, name := range names {
+		sc, _ := Lookup(name)
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Errorf("scenario %q has Name %q", name, sc.Name)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+// record samples machine m of scenario name for n ticks.
+func record(t *testing.T, name string, m int, seed int64, n int) ([]float64, float64) {
+	t.Helper()
+	sc, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q missing", name)
+	}
+	p, err := sc.Machine(m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := p.Interval()
+	s, err := load.Record(p, 0, float64(n-1)*dt, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Values(), dt
+}
+
+// TestScenarioShapes checks each scenario actually exhibits the regime it
+// is named for.
+func TestScenarioShapes(t *testing.T) {
+	t.Run("diurnal-web has periodic structure", func(t *testing.T) {
+		vals, dt := record(t, "diurnal-web", 0, 7, 2000)
+		sc := NewScorecard(vals, dt)
+		if sc.DiurnalPeriod < 500 || sc.DiurnalPeriod > 1000 {
+			t.Fatalf("dominant period %gs, want near the 720s day cycle", sc.DiurnalPeriod)
+		}
+	})
+	t.Run("flash-crowd availability collapses at onset", func(t *testing.T) {
+		vals, _ := record(t, "flash-crowd", 0, 7, 900)
+		// Pre-onset (t<240) vs crowd peak (t in [285, 330]).
+		pre, peak := 0.0, 0.0
+		for i := 0; i < 240; i++ {
+			pre += vals[i]
+		}
+		pre /= 240
+		for i := 285; i < 330; i++ {
+			peak += vals[i]
+		}
+		peak /= 45
+		if peak > pre/2 {
+			t.Fatalf("crowd barely dents availability: pre=%.3f peak=%.3f", pre, peak)
+		}
+	})
+	t.Run("heavy-tail-batch is left-skewed", func(t *testing.T) {
+		vals, dt := record(t, "heavy-tail-batch", 0, 7, 3000)
+		sc := NewScorecard(vals, dt)
+		med := median(vals)
+		if med <= sc.Mean {
+			t.Fatalf("median %.4f <= mean %.4f: no left tail", med, sc.Mean)
+		}
+		if sc.BurstCount == 0 {
+			t.Fatal("no congestion episodes in 3000 ticks")
+		}
+	})
+	t.Run("regime-cascade changes character at boundaries", func(t *testing.T) {
+		vals, _ := record(t, "regime-cascade", 0, 7, 2000)
+		early := NewScorecard(vals[:500], 1)
+		late := NewScorecard(vals[1400:], 1)
+		// Steady center-mode early; bursty four-mode late.
+		if late.Std < 2*early.Std {
+			t.Fatalf("late regime not burstier: early std %.4f, late std %.4f", early.Std, late.Std)
+		}
+	})
+	t.Run("quiet-baseline stays quiet", func(t *testing.T) {
+		vals, dt := record(t, "quiet-baseline", 0, 7, 1000)
+		sc := NewScorecard(vals, dt)
+		if sc.Min < 0.55 || sc.Mean < 0.85 {
+			t.Fatalf("baseline not quiet: mean %.3f min %.3f", sc.Mean, sc.Min)
+		}
+	})
+	t.Run("cohort-mix stays stochastic and bounded", func(t *testing.T) {
+		vals, _ := record(t, "cohort-mix", 0, 7, 1500)
+		distinct := map[float64]bool{}
+		for _, v := range vals {
+			if v <= 0 || v > 1 {
+				t.Fatalf("availability %g outside (0,1]", v)
+			}
+			distinct[v] = true
+		}
+		if len(distinct) < 5 {
+			t.Fatalf("only %d distinct availability levels: populations not evolving", len(distinct))
+		}
+	})
+}
+
+func median(vals []float64) float64 {
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}

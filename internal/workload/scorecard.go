@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scorecard summarizes a recorded availability signal along the axes the
+// scenario library is designed to exercise: burstiness (episodes far below
+// the running level), tail weight (Hill index of the congestion drops),
+// and periodic structure (dominant autocorrelation period).
+type Scorecard struct {
+	Samples int
+	DT      float64
+	Mean    float64
+	Std     float64
+	Min     float64
+	Max     float64
+
+	// BurstCount is the number of maximal runs of consecutive samples
+	// below mean − 2σ — each run is one contention episode.
+	BurstCount int
+
+	// TailIndex is the Hill estimator of the availability-drop tail
+	// (drops measured below the observed peak). Smaller means heavier:
+	// values ≲ 2 indicate a genuinely heavy tail, large values an
+	// effectively light one. 0 when there are too few distinct drops to
+	// estimate.
+	TailIndex float64
+
+	// DiurnalPeriod is the period (seconds) of the most prominent
+	// autocorrelation peak, or 0 when no periodic structure stands out.
+	DiurnalPeriod float64
+}
+
+// NewScorecard analyzes vals sampled every dt seconds.
+func NewScorecard(vals []float64, dt float64) Scorecard {
+	sc := Scorecard{Samples: len(vals), DT: dt}
+	if len(vals) == 0 || !(dt > 0) {
+		return sc
+	}
+	sc.Min, sc.Max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < sc.Min {
+			sc.Min = v
+		}
+		if v > sc.Max {
+			sc.Max = v
+		}
+	}
+	sc.Mean = sum / float64(len(vals))
+	ss := 0.0
+	for _, v := range vals {
+		d := v - sc.Mean
+		ss += d * d
+	}
+	if len(vals) > 1 {
+		sc.Std = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	sc.BurstCount = burstCount(vals, sc.Mean, sc.Std)
+	sc.TailIndex = hillTailIndex(vals, sc.Max)
+	sc.DiurnalPeriod = dominantPeriod(vals, sc.Mean, dt)
+	return sc
+}
+
+// burstCount counts maximal runs of consecutive samples below mean − 2σ.
+func burstCount(vals []float64, mean, std float64) int {
+	if std == 0 {
+		return 0
+	}
+	thresh := mean - 2*std
+	count := 0
+	in := false
+	for _, v := range vals {
+		below := v < thresh
+		if below && !in {
+			count++
+		}
+		in = below
+	}
+	return count
+}
+
+// hillTailIndex estimates the tail index of the drops below the observed
+// peak using the Hill estimator over the largest 10% of drops. Returns 0
+// when fewer than 8 distinct positive drops exist.
+func hillTailIndex(vals []float64, peak float64) float64 {
+	drops := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if d := peak - v; d > 0 {
+			drops = append(drops, d)
+		}
+	}
+	if len(drops) < 16 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(drops)))
+	k := len(drops) / 10
+	if k < 8 {
+		k = 8
+	}
+	if k >= len(drops) {
+		k = len(drops) - 1
+	}
+	ref := drops[k]
+	if !(ref > 0) {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < k; i++ {
+		s += math.Log(drops[i] / ref)
+	}
+	if s <= 0 {
+		return 0
+	}
+	return float64(k) / s
+}
+
+// dominantPeriod finds the most prominent local autocorrelation maximum at
+// lags in [4, n/2] and returns lag·dt; 0 when the best peak's correlation
+// is below 0.15 (no periodic structure worth reporting).
+func dominantPeriod(vals []float64, mean, dt float64) float64 {
+	n := len(vals)
+	if n < 16 {
+		return 0
+	}
+	dev := make([]float64, n)
+	var0 := 0.0
+	for i, v := range vals {
+		dev[i] = v - mean
+		var0 += dev[i] * dev[i]
+	}
+	if var0 == 0 {
+		return 0
+	}
+	maxLag := n / 2
+	ac := make([]float64, maxLag+1)
+	for lag := 1; lag <= maxLag; lag++ {
+		s := 0.0
+		for i := 0; i+lag < n; i++ {
+			s += dev[i] * dev[i+lag]
+		}
+		ac[lag] = s / var0
+	}
+	bestLag, bestCorr := 0, 0.15
+	for lag := 4; lag < maxLag; lag++ {
+		if ac[lag] > ac[lag-1] && ac[lag] >= ac[lag+1] && ac[lag] > bestCorr {
+			bestLag, bestCorr = lag, ac[lag]
+		}
+	}
+	if bestLag == 0 {
+		return 0
+	}
+	return float64(bestLag) * dt
+}
+
+// String renders the scorecard as the multi-line summary loadgen prints.
+func (sc Scorecard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples      %d (dt=%gs, %.0fs span)\n", sc.Samples, sc.DT, float64(sc.Samples)*sc.DT)
+	fmt.Fprintf(&b, "mean/std     %.4f / %.4f\n", sc.Mean, sc.Std)
+	fmt.Fprintf(&b, "min/max      %.4f / %.4f\n", sc.Min, sc.Max)
+	fmt.Fprintf(&b, "bursts       %d episodes below mean-2sigma\n", sc.BurstCount)
+	if sc.TailIndex > 0 {
+		fmt.Fprintf(&b, "tail index   %.2f (Hill; smaller = heavier)\n", sc.TailIndex)
+	} else {
+		fmt.Fprintf(&b, "tail index   n/a (too few drops)\n")
+	}
+	if sc.DiurnalPeriod > 0 {
+		fmt.Fprintf(&b, "period       %.0fs dominant autocorrelation peak\n", sc.DiurnalPeriod)
+	} else {
+		fmt.Fprintf(&b, "period       none detected\n")
+	}
+	return b.String()
+}

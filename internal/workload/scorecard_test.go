@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScorecardDetectsPeriod(t *testing.T) {
+	n := 1200
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.5 + 0.2*math.Sin(2*math.Pi*float64(i)/100)
+	}
+	sc := NewScorecard(vals, 1)
+	if sc.DiurnalPeriod < 90 || sc.DiurnalPeriod > 110 {
+		t.Fatalf("period %g, want ~100", sc.DiurnalPeriod)
+	}
+}
+
+func TestScorecardNoPeriodOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 800)
+	for i := range vals {
+		vals[i] = 0.5 + 0.05*rng.NormFloat64()
+	}
+	sc := NewScorecard(vals, 1)
+	if sc.DiurnalPeriod != 0 {
+		t.Fatalf("white noise reported period %g", sc.DiurnalPeriod)
+	}
+}
+
+func TestScorecardCountsBursts(t *testing.T) {
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = 0.8
+	}
+	// Small symmetric jitter to give a nonzero std.
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] += 0.01
+		} else {
+			vals[i] -= 0.01
+		}
+	}
+	// Three separated dips, one of them two ticks wide: 3 episodes.
+	vals[50] = 0.1
+	vals[150] = 0.1
+	vals[151] = 0.12
+	vals[300] = 0.05
+	sc := NewScorecard(vals, 1)
+	if sc.BurstCount != 3 {
+		t.Fatalf("burst count %d, want 3", sc.BurstCount)
+	}
+}
+
+func TestScorecardTailIndexOrdersTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	heavy := make([]float64, 4000)
+	light := make([]float64, 4000)
+	for i := range heavy {
+		// Pareto(alpha=1.2) drops: genuinely heavy.
+		heavy[i] = 1 - math.Min(0.9, 0.01*math.Pow(rng.Float64(), -1/1.2))
+		// Exponential-ish light drops.
+		light[i] = 1 - math.Min(0.9, 0.05*rng.ExpFloat64())
+	}
+	h := NewScorecard(heavy, 1)
+	l := NewScorecard(light, 1)
+	if h.TailIndex == 0 || l.TailIndex == 0 {
+		t.Fatalf("tail index degenerate: heavy %g light %g", h.TailIndex, l.TailIndex)
+	}
+	if h.TailIndex >= l.TailIndex {
+		t.Fatalf("heavy tail index %.2f should be below light %.2f", h.TailIndex, l.TailIndex)
+	}
+}
+
+func TestScorecardEmptyAndDegenerate(t *testing.T) {
+	if sc := NewScorecard(nil, 1); sc.Samples != 0 {
+		t.Fatal("empty scorecard nonzero samples")
+	}
+	flat := []float64{0.5, 0.5, 0.5, 0.5}
+	sc := NewScorecard(flat, 1)
+	if sc.Std != 0 || sc.BurstCount != 0 || sc.TailIndex != 0 || sc.DiurnalPeriod != 0 {
+		t.Fatalf("flat signal produced structure: %+v", sc)
+	}
+	if sc.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

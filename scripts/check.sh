@@ -34,6 +34,19 @@ go test -run 'TestRunInProcessSmoke|TestCacheVsUncachedSmoke|TestRunFleetKillRes
 # replay the dist-tournament experiment on its pinned seeds).
 go test -run 'TestDistTournamentShape|TestDistTournamentStableAcrossSeeds' -count=1 ./internal/experiments
 
+# Workload-scenario smoke: record a scenario-driven service's served loads
+# to trace files, replay them through a fresh service, and assert the
+# predictions come back bit-identical; plus the scenario-sweep scorecard
+# acceptance (every library scenario's capture/width/Winkler within its
+# pinned bounds). ~3 s.
+go test -run 'TestScenarioRecordReplayBitIdentical|TestWorkloadScenariosShape' -count=1 ./internal/predict ./internal/experiments
+# The loadgen CLI must round-trip the trace format end to end: generate a
+# short trace from a library scenario, then replay-summarize it.
+tmptrace=$(mktemp)
+go run ./cmd/loadgen -scenario flash-crowd -duration 600 -o "$tmptrace" >/dev/null
+go run ./cmd/loadgen -replay "$tmptrace" >/dev/null
+rm -f "$tmptrace"
+
 # Fuzz smoke: a few seconds of coverage-guided input on the hand-rolled
 # JSON request parser — it must never diverge from the stdlib fallback.
 go test -run '^$' -fuzz FuzzCodecParsers -fuzztime 5s ./internal/api
