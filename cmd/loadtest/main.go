@@ -19,6 +19,12 @@
 //	loadtest -duration 3 -batch 16          # drive POST /predict/batch
 //	loadtest -duration 3 -no-cache          # A/B the tick cache off
 //	loadtest -platforms 1000 -kill-restore  # multi-tenant fleet mode
+//	loadtest -duration 3 -sched 0.2         # mix in POST /schedule placements
+//
+// With -sched FRAC, that fraction of worker loops also submits a one-job
+// POST /schedule placement, and the run ends with a GET /schedule/status
+// sweep whose job population is reported (and must parse — a smoke of the
+// fleet-scheduler surface under concurrency).
 //
 // With -platforms N, the in-process server hosts a fleet of N declarative
 // tenant specs (lazily instantiated on first request) instead of the two
@@ -68,6 +74,7 @@ func main() {
 	flag.IntVar(&cfg.Platforms, "platforms", 0, "host a fleet of N lazily-instantiated tenant specs instead of the two paper platforms")
 	flag.BoolVar(&cfg.KillRestore, "kill-restore", false, "snapshot, kill, and restore the in-process server mid-run")
 	flag.StringVar(&cfg.Scenario, "scenario", "", "drive the in-process platforms with this workload-library scenario instead of the paper load models")
+	flag.Float64Var(&cfg.SchedFrac, "sched", 0, "fraction of loops also submitting a one-job POST /schedule placement")
 	flag.Parse()
 
 	res, err := run(cfg)
@@ -99,9 +106,10 @@ type config struct {
 	Batch       int
 	NoCache     bool
 	BenchOut    string
-	Platforms   int    // fleet size (0 = the two paper platforms)
-	KillRestore bool   // snapshot/kill/restore the in-process server mid-run
-	Scenario    string // workload-library scenario for the in-process platforms
+	Platforms   int     // fleet size (0 = the two paper platforms)
+	KillRestore bool    // snapshot/kill/restore the in-process server mid-run
+	Scenario    string  // workload-library scenario for the in-process platforms
+	SchedFrac   float64 // fraction of loops also issuing a POST /schedule
 }
 
 // opStats summarizes one operation's latency sample: the stochastic
@@ -129,6 +137,7 @@ type result struct {
 	MetricFamilies int // families on GET /metrics (0 if the scrape failed)
 	Platforms      int // fleet size (0 = the two paper platforms)
 	Restores       int // mid-run snapshot/kill/restore cycles completed
+	SchedJobs      int // jobs reported by the final GET /schedule/status sweep
 }
 
 // serverHandle is the workload's swappable view of the target server.
@@ -235,6 +244,10 @@ func run(cfg config) (result, error) {
 					ms, err := doAdvance(client, target, platform)
 					local = append(local, sample{"advance", ms, 1, err == nil})
 				}
+				if cfg.SchedFrac > 0 && rng.Float64() < cfg.SchedFrac {
+					ms, err := doSchedule(client, target, cfg, w)
+					local = append(local, sample{"schedule", ms, 1, err == nil})
+				}
 				h.mu.RUnlock()
 			}
 			mu.Lock()
@@ -299,6 +312,13 @@ func run(cfg config) (result, error) {
 		}
 	}
 	res.MetricFamilies = scrapeMetrics(h.target)
+	if cfg.SchedFrac > 0 {
+		n, err := schedStatus(h.target)
+		if err != nil {
+			return result{}, fmt.Errorf("schedule/status sweep: %w", err)
+		}
+		res.SchedJobs = n
+	}
 	if h.ts != nil {
 		h.ts.Close()
 	}
@@ -415,6 +435,47 @@ func doAdvance(client *http.Client, target, platform string) (float64, error) {
 		api.AdvanceRequest{Platform: platform, Seconds: 5}, nil)
 }
 
+// doSchedule submits a one-job placement; a job the scheduler cannot place
+// anywhere fails the sample.
+func doSchedule(client *http.Client, target string, cfg config, worker int) (float64, error) {
+	var sr api.ScheduleResponse
+	ms, err := timedPost(client, target+"/schedule", api.ScheduleRequest{
+		Jobs: []api.ScheduleJob{{
+			Name:       fmt.Sprintf("lt-w%d", worker),
+			N:          cfg.N,
+			Iterations: cfg.Iterations,
+		}},
+	}, &sr)
+	if err != nil {
+		return ms, err
+	}
+	if sr.Unplaced > 0 || len(sr.Placements) != 1 {
+		return ms, fmt.Errorf("schedule: %d placements, %d unplaced", len(sr.Placements), sr.Unplaced)
+	}
+	return ms, nil
+}
+
+// schedStatus sweeps GET /schedule/status after the run and returns the
+// submitted-job count — the status body must parse under whatever state the
+// concurrent workers left behind.
+func schedStatus(target string) (int, error) {
+	resp, err := http.Get(target + "/schedule/status")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st struct {
+		Submitted int `json:"submitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.Submitted, nil
+}
+
 // timedPost posts a JSON body and decodes the response, returning the
 // request's wall-clock latency in milliseconds. The body is always drained
 // to EOF before close so the keep-alive connection returns to the pool —
@@ -488,6 +549,9 @@ func (r result) print(w io.Writer) {
 	}
 	if r.MetricFamilies > 0 {
 		fmt.Fprintf(w, "metrics: %d families exposed on /metrics\n", r.MetricFamilies)
+	}
+	if r.SchedJobs > 0 {
+		fmt.Fprintf(w, "scheduler: %d jobs submitted via /schedule\n", r.SchedJobs)
 	}
 }
 

@@ -181,3 +181,27 @@ func TestRunBatchSmoke(t *testing.T) {
 		t.Errorf("total %d does not account for %d batches of 8", res.Total, bs.Count)
 	}
 }
+
+// TestRunSchedSmoke mixes POST /schedule placements into the closed loop:
+// every placement must land, and the final /schedule/status sweep must
+// account for every submitted job.
+func TestRunSchedSmoke(t *testing.T) {
+	res, err := run(config{
+		Seed: 1, Warmup: 300, Duration: 1.5, Workers: 4,
+		N: 120, Iterations: 4, ObserveFrac: 0.5, AdvanceFrac: 0.1,
+		SchedFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	s, ok := res.Ops["schedule"]
+	if !ok || s.Count == 0 {
+		t.Fatalf("sched mix configured but no schedule samples: %+v", res.Ops)
+	}
+	if res.SchedJobs != s.Count {
+		t.Errorf("status reports %d jobs, drove %d placements", res.SchedJobs, s.Count)
+	}
+}

@@ -20,6 +20,11 @@
 //	POST /advance  {"platform":"platform2","seconds":60} — manual clock step
 //	POST /snapshot — stream a binary image of the full fleet state,
 //	               restorable with -restore
+//	POST /schedule {"jobs":[{"n":800,"iterations":10,...}],"policy":"quantile"}
+//	               — place SOR jobs across the fleet by predicted runtime
+//	               distribution (policy defaults to -sched-policy)
+//	GET  /schedule/status — fleet-scheduler state: per-tenant saturation,
+//	               job lifecycle, makespan, deadline misses
 //	GET  /metrics  — Prometheus text exposition (see OPERATIONS.md for the
 //	               full metric catalog)
 //
@@ -60,6 +65,7 @@ import (
 
 	"prodpred/internal/api"
 	"prodpred/internal/faults"
+	"prodpred/internal/fleetsched"
 	"prodpred/internal/load"
 	"prodpred/internal/obs"
 	"prodpred/internal/predict"
@@ -82,12 +88,19 @@ func main() {
 		specsPath = flag.String("specs", "", "serve the declarative fleet in this JSON file instead of the built-in platforms")
 		restore   = flag.String("restore", "", "resume the fleet captured in this POST /snapshot image")
 		recordDir = flag.String("record-traces", "", "on shutdown, record every instantiated platform's load processes as replayable trace files in this directory")
+		schedPol  = flag.String("sched-policy", string(fleetsched.PolicyQuantile), fmt.Sprintf("default POST /schedule placement policy %v", fleetsched.Policies))
+		schedQ    = flag.Float64("sched-quantile", fleetsched.DefaultQuantile, "default quantile for the quantile placement policy (0,1)")
 	)
 	flag.Parse()
+	pol, err := fleetsched.ParsePolicy(*schedPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(2)
+	}
 	if err := run(*addr, *seed, *warmup, *tick, faultFlags{
 		drop: *drop, transient: *transient, spike: *spike,
 		outageStart: *outageAt, outageEnd: *outageEnd,
-	}, *specsPath, *restore, *recordDir, *pprofOn, *logReqs); err != nil {
+	}, *specsPath, *restore, *recordDir, fleetsched.Config{Policy: pol, Quantile: *schedQ}, *pprofOn, *logReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "predictd:", err)
 		os.Exit(1)
 	}
@@ -204,7 +217,7 @@ func restoreRegistry(path string, metrics *obs.Registry) (*predict.Registry, err
 	return reg, nil
 }
 
-func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath, restorePath, recordDir string, pprofOn, logReqs bool) error {
+func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath, restorePath, recordDir string, sched fleetsched.Config, pprofOn, logReqs bool) error {
 	metrics := obs.NewRegistry()
 	var reg *predict.Registry
 	var err error
@@ -221,7 +234,7 @@ func run(addr string, seed int64, warmup, tick float64, ff faultFlags, specsPath
 	if err != nil {
 		return err
 	}
-	opts := api.Options{Metrics: metrics, EnablePprof: pprofOn}
+	opts := api.Options{Metrics: metrics, EnablePprof: pprofOn, Sched: sched}
 	if logReqs {
 		opts.AccessLog = log.New(os.Stderr, "", 0)
 	}

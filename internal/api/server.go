@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"prodpred/internal/fleetsched"
 	"prodpred/internal/obs"
 	"prodpred/internal/predict"
 )
@@ -50,6 +51,8 @@ var Routes = []Route{
 	{"GET /healthz", "serving status plus per-fault-class gap counters"},
 	{"POST /advance", "manually advance a platform's virtual clock"},
 	{"POST /snapshot", "stream a binary snapshot of the full fleet state"},
+	{"POST /schedule", "place SOR jobs across the fleet by predicted runtime distribution"},
+	{"GET /schedule/status", "fleet-scheduler state: tenants, jobs, saturation"},
 	{"GET /metrics", "Prometheus text exposition of the metric catalog"},
 }
 
@@ -71,11 +74,18 @@ type Options struct {
 	AccessLog *log.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Sched tunes the fleet scheduler behind POST /schedule (policy,
+	// quantile, saturation thresholds). Its Metrics field is ignored: the
+	// handler registers the fleetsched families on the same registry as
+	// everything else.
+	Sched fleetsched.Config
 }
 
-// server routes HTTP requests onto a predict.Registry.
+// server routes HTTP requests onto a predict.Registry and its fleet
+// scheduler.
 type server struct {
-	reg *predict.Registry
+	reg   *predict.Registry
+	sched *fleetsched.Scheduler
 }
 
 // NewHandler builds the daemon's HTTP handler over reg: every Routes entry
@@ -93,17 +103,21 @@ func NewHandler(reg *predict.Registry, opts Options) http.Handler {
 	mw.Log = opts.AccessLog
 	mw.PlatformFrom = platformFrom
 
-	s := &server{reg: reg}
+	schedCfg := opts.Sched
+	schedCfg.Metrics = fleetsched.NewMetrics(opts.Metrics)
+	s := &server{reg: reg, sched: fleetsched.New(reg, schedCfg)}
 	handlers := map[string]http.Handler{
-		"POST /predict":       http.HandlerFunc(s.handlePredict),
-		"POST /predict/batch": http.HandlerFunc(s.handleBatchPredict),
-		"POST /observe":       http.HandlerFunc(s.handleObserve),
-		"GET /accuracy":       http.HandlerFunc(s.handleAccuracy),
-		"GET /report":         http.HandlerFunc(s.handleReport),
-		"GET /healthz":        http.HandlerFunc(s.handleHealthz),
-		"POST /advance":       http.HandlerFunc(s.handleAdvance),
-		"POST /snapshot":      http.HandlerFunc(s.handleSnapshot),
-		"GET /metrics":        opts.Metrics.Handler(),
+		"POST /predict":        http.HandlerFunc(s.handlePredict),
+		"POST /predict/batch":  http.HandlerFunc(s.handleBatchPredict),
+		"POST /observe":        http.HandlerFunc(s.handleObserve),
+		"GET /accuracy":        http.HandlerFunc(s.handleAccuracy),
+		"GET /report":          http.HandlerFunc(s.handleReport),
+		"GET /healthz":         http.HandlerFunc(s.handleHealthz),
+		"POST /advance":        http.HandlerFunc(s.handleAdvance),
+		"POST /snapshot":       http.HandlerFunc(s.handleSnapshot),
+		"POST /schedule":       http.HandlerFunc(s.handleSchedule),
+		"GET /schedule/status": http.HandlerFunc(s.handleScheduleStatus),
+		"GET /metrics":         opts.Metrics.Handler(),
 	}
 	mux := http.NewServeMux()
 	for _, rt := range Routes {
@@ -499,6 +513,75 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSchedule answers POST /schedule: place up to MaxScheduleJobs SOR
+// jobs across the fleet under the daemon's placement policy (or the
+// body's per-request override). Tenants that fail lookup or prediction
+// are skipped and recorded; jobs no tenant can score are dropped and
+// counted, not queued.
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var sr ScheduleRequest
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(sr.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty job list"))
+		return
+	}
+	if len(sr.Jobs) > MaxScheduleJobs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%d jobs exceeds limit %d", len(sr.Jobs), MaxScheduleJobs))
+		return
+	}
+	jobs := make([]fleetsched.JobSpec, len(sr.Jobs))
+	for i, j := range sr.Jobs {
+		jobs[i] = fleetsched.JobSpec{Name: j.Name, N: j.N, Iterations: j.Iterations, Deadline: j.Deadline}
+	}
+	pls, err := s.sched.SubmitWith(jobs, fleetsched.Policy(sr.Policy), sr.Quantile)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, quantile := s.sched.Policy()
+	if sr.Policy != "" {
+		policy = fleetsched.Policy(sr.Policy)
+	}
+	if sr.Quantile != 0 {
+		quantile = sr.Quantile
+	}
+	resp := ScheduleResponse{
+		Policy:     string(policy),
+		Quantile:   quantile,
+		Placements: make([]PlacementJSON, len(pls)),
+		Unplaced:   len(jobs) - len(pls),
+	}
+	for i, pl := range pls {
+		resp.Placements[i] = PlacementJSON{
+			JobID:         pl.JobID,
+			Name:          pl.Name,
+			Tenant:        pl.Tenant,
+			Policy:        string(pl.Policy),
+			Quantile:      pl.Quantile,
+			Score:         pl.Score,
+			PredictedMean: pl.PredictedMean,
+			PredictedExec: pl.PredictedExec,
+			PredictionID:  pl.PredictionID,
+			Time:          pl.Time,
+			Deadline:      pl.Deadline,
+			Skips:         pl.Skips,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScheduleStatus answers GET /schedule/status: fold the fleet's
+// clock progress into the schedule (jobs start, finish, feed the
+// calibrators; saturation re-evaluates; queued work migrates), then
+// report the scheduler snapshot.
+func (s *server) handleScheduleStatus(w http.ResponseWriter, r *http.Request) {
+	s.sched.Sync()
+	writeJSON(w, http.StatusOK, s.sched.Status())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

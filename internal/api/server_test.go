@@ -233,8 +233,8 @@ func TestAccessLogPlatformFromBody(t *testing.T) {
 // TestRoutesHaveHandlers: the route table and handler map stay in sync —
 // NewHandler panics otherwise, so constructing it is the assertion.
 func TestRoutesHaveHandlers(t *testing.T) {
-	if len(Routes) != 9 {
-		t.Errorf("route table has %d entries, want 9", len(Routes))
+	if len(Routes) != 11 {
+		t.Errorf("route table has %d entries, want 11", len(Routes))
 	}
 	for _, rt := range Routes {
 		parts := strings.SplitN(rt.Pattern, " ", 2)
@@ -339,5 +339,103 @@ func TestBatchPredictRejections(t *testing.T) {
 	}
 	if br.Errors != 1 || br.Responses[0].Error == "" || br.Responses[1].PredictResponse == nil {
 		t.Errorf("advance item should fail alone: %+v", br)
+	}
+}
+
+// TestScheduleEndpoints drives POST /schedule and GET /schedule/status end
+// to end: default-policy placement, per-request policy override, status
+// accounting, and the input-validation 400s.
+func TestScheduleEndpoints(t *testing.T) {
+	ts, _, _ := newStack(t, Options{})
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	body, _ := json.Marshal(ScheduleRequest{Jobs: []ScheduleJob{
+		{Name: "a", N: 120, Iterations: 4, Deadline: 1e6},
+		{Name: "b", N: 120, Iterations: 4},
+	}})
+	resp := post(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d, want 200", resp.StatusCode)
+	}
+	var sr ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Policy != "quantile" || sr.Quantile != 0.95 {
+		t.Errorf("default policy=%q q=%v, want quantile/0.95", sr.Policy, sr.Quantile)
+	}
+	if len(sr.Placements) != 2 || sr.Unplaced != 0 {
+		t.Fatalf("placements=%d unplaced=%d, want 2/0", len(sr.Placements), sr.Unplaced)
+	}
+	for _, pl := range sr.Placements {
+		if pl.Tenant != "platform1" && pl.Tenant != "platform2" {
+			t.Errorf("placed on unknown tenant %q", pl.Tenant)
+		}
+		if pl.PredictedExec <= 0 {
+			t.Errorf("job %d: predicted_exec=%v, want > 0", pl.JobID, pl.PredictedExec)
+		}
+	}
+
+	// Per-request policy override is echoed and applied to each placement.
+	body, _ = json.Marshal(ScheduleRequest{
+		Jobs:   []ScheduleJob{{Name: "c", N: 120, Iterations: 4}},
+		Policy: "mean",
+	})
+	resp = post(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mean schedule: status %d, want 200", resp.StatusCode)
+	}
+	sr = ScheduleResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Policy != "mean" || len(sr.Placements) != 1 || sr.Placements[0].Policy != "mean" {
+		t.Errorf("override not applied: %+v", sr)
+	}
+
+	// Status folds completions forward and reports the population.
+	statusResp, err := http.Get(ts.URL + "/schedule/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statusResp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d, want 200", statusResp.StatusCode)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(statusResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["submitted"].(float64) != 3 {
+		t.Errorf("submitted=%v, want 3", st["submitted"])
+	}
+	if tenants, ok := st["tenants"].([]any); !ok || len(tenants) != 2 {
+		t.Errorf("tenants=%v, want 2 entries", st["tenants"])
+	}
+
+	// Validation: empty list, oversize list, bad job shape, bad policy.
+	for _, bad := range []string{
+		`{"jobs":[]}`,
+		`{"jobs":[{"n":2,"iterations":1}]}`,
+		`{"jobs":[{"n":100,"iterations":4}],"policy":"p99"}`,
+		`not json`,
+	} {
+		if resp := post([]byte(bad)); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	big := ScheduleRequest{Jobs: make([]ScheduleJob, MaxScheduleJobs+1)}
+	for i := range big.Jobs {
+		big.Jobs[i] = ScheduleJob{N: 100, Iterations: 1}
+	}
+	bigBody, _ := json.Marshal(big)
+	if resp := post(bigBody); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized schedule: status %d, want 400", resp.StatusCode)
 	}
 }

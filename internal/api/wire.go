@@ -343,3 +343,56 @@ type AdvanceRequest struct {
 	Platform string  `json:"platform"`
 	Seconds  float64 `json:"seconds"`
 }
+
+// MaxScheduleJobs bounds one POST /schedule submission.
+const MaxScheduleJobs = 256
+
+// ScheduleJob is one job in a POST /schedule body.
+type ScheduleJob struct {
+	// Name optionally labels the job in /schedule/status listings.
+	Name string `json:"name,omitempty"`
+	// N is the SOR grid size (N x N); Iterations the iteration count.
+	N          int `json:"n"`
+	Iterations int `json:"iterations"`
+	// Deadline is an optional absolute virtual-seconds completion
+	// deadline on the fleet's shared timeline (0 = none).
+	Deadline float64 `json:"deadline,omitempty"`
+}
+
+// ScheduleRequest is the POST /schedule body: jobs to place, plus an
+// optional per-request policy override.
+type ScheduleRequest struct {
+	Jobs []ScheduleJob `json:"jobs"`
+	// Policy overrides the daemon's placement policy for this round:
+	// "mean", "quantile", or "upper" (empty = daemon default).
+	Policy string `json:"policy,omitempty"`
+	// Quantile overrides the placement quantile, in (0,1) (0 = daemon
+	// default).
+	Quantile float64 `json:"quantile,omitempty"`
+}
+
+// PlacementJSON reports where one job landed.
+type PlacementJSON struct {
+	JobID         uint64  `json:"job_id"`
+	Name          string  `json:"name,omitempty"`
+	Tenant        string  `json:"tenant"`
+	Policy        string  `json:"policy"`
+	Quantile      float64 `json:"quantile"`
+	Score         float64 `json:"score"`
+	PredictedMean float64 `json:"predicted_mean"`
+	PredictedExec float64 `json:"predicted_exec"`
+	PredictionID  uint64  `json:"prediction_id"`
+	Time          float64 `json:"time"`
+	Deadline      float64 `json:"deadline,omitempty"`
+	Skips         int     `json:"skips,omitempty"`
+}
+
+// ScheduleResponse answers POST /schedule.
+type ScheduleResponse struct {
+	Policy     string          `json:"policy"`
+	Quantile   float64         `json:"quantile"`
+	Placements []PlacementJSON `json:"placements"`
+	// Unplaced counts submitted jobs no tenant could be scored for
+	// (they are dropped, not queued).
+	Unplaced int `json:"unplaced"`
+}

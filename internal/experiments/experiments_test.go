@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-selfsched", "ablation-objective",
 		"host-tcp", "host-bench",
 		"robust-faults", "calib-replay", "dist-tournament",
-		"workload-scenarios",
+		"workload-scenarios", "fleet-sched",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prodpred/internal/fleetsched"
+	"prodpred/internal/predict"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fleet-sched",
+		Title: "Distribution-aware fleet scheduling under bursty load",
+		Paper: "§5 argues the point of predicting execution time is scheduling: a scheduler that knows only the mean picks whichever host looks fastest right now, while one that reads the predicted distribution can hedge against volatility it has already measured. This experiment places identical SOR job waves across a mixed fleet — fast tenants driven by a bursty workload scenario, slower tenants on a quiet baseline — under the mean policy and the 95th-percentile quantile policy, and compares makespan and deadline-miss rate.",
+		Run:   runFleetSched,
+	})
+}
+
+// Fleet-sched shape: jobs sized so one execution (~240 virtual s on an
+// unloaded fast tenant) spans a meaningful slice of a burst period — "quiet
+// now" does not mean "quiet throughout" — waves spaced so placements sample
+// both quiet windows and burst onsets, and a deadline budget that the
+// steady quiet path meets with ~80 s to spare while a burst-caught job
+// blows through it.
+const (
+	fsWarmup      = 600.0 // virtual s of NWS warmup per tenant
+	fsN           = 2000  // SOR grid size per job
+	fsIters       = 400   // SOR iterations per job
+	fsWaves       = 8     // submission waves
+	fsJobsPerWave = 3
+	fsWaveGap     = 350.0 // virtual s between waves
+	fsTick        = 25.0  // virtual s per lockstep advance+sync step
+	fsDeadline    = 400.0 // per-job budget, virtual s from submission
+	fsDrainTicks  = 600   // post-wave sync cap before declaring nonconvergence
+	fsQuantile    = 0.95
+	// Width-based saturation is opened up so the placement policy — not the
+	// shared saturation guard — is what differs between the two arms.
+	fsSatRelWidth = 4.0
+)
+
+// fleetSchedSpecs declares the mixed fleet: two fast 3-ultra tenants whose
+// CPUs replay the named bursty scenario (attractive means, volatile tails)
+// and four slower 4-sparc10 tenants on the quiet baseline (higher means,
+// narrow tails, enough aggregate capacity that hedging onto them is
+// affordable).
+func fleetSchedSpecs(scenario string, seed int64) []predict.PlatformSpec {
+	spec := func(name, kind, load string, machines int, s int64) predict.PlatformSpec {
+		ms := make([]predict.MachineSpec, machines)
+		for i := range ms {
+			ms[i] = predict.MachineSpec{Name: fmt.Sprintf("m%d", i), Kind: kind}
+		}
+		return predict.PlatformSpec{
+			Name:     name,
+			Machines: ms,
+			CPU:      []predict.LoadSpec{{Kind: "scenario", Scenario: load}},
+			Net:      &predict.LoadSpec{Kind: "ethernet-contention"},
+			Seed:     s,
+			Warmup:   fsWarmup,
+		}
+	}
+	return []predict.PlatformSpec{
+		spec("burst-0", "ultra", scenario, 3, seed+11),
+		spec("burst-1", "ultra", scenario, 3, seed+23),
+		spec("quiet-0", "sparc10", "quiet-baseline", 4, seed+37),
+		spec("quiet-1", "sparc10", "quiet-baseline", 4, seed+41),
+		spec("quiet-2", "sparc10", "quiet-baseline", 4, seed+53),
+		spec("quiet-3", "sparc10", "quiet-baseline", 4, seed+67),
+	}
+}
+
+// fleetSchedArm runs one (scenario, policy) arm: a fresh fleet, the same
+// wave stream, lockstep clock advances with a Sync per tick, drained until
+// every job completes. Returns the final scheduler status.
+func fleetSchedArm(scenario string, policy fleetsched.Policy, seed int64) (fleetsched.Status, error) {
+	reg := predict.NewRegistry()
+	for _, spec := range fleetSchedSpecs(scenario, seed) {
+		if err := reg.RegisterSpec(spec); err != nil {
+			return fleetsched.Status{}, err
+		}
+		if _, err := reg.Lookup(spec.Name); err != nil {
+			return fleetsched.Status{}, err
+		}
+	}
+	s := fleetsched.New(reg, fleetsched.Config{
+		Policy:      policy,
+		Quantile:    fsQuantile,
+		SatRelWidth: fsSatRelWidth,
+	})
+	advance := func(dt float64) error {
+		for _, svc := range reg.Services() {
+			if err := svc.Advance(dt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	now := fsWarmup
+	total := 0
+	for w := 0; w < fsWaves; w++ {
+		jobs := make([]fleetsched.JobSpec, fsJobsPerWave)
+		for i := range jobs {
+			jobs[i] = fleetsched.JobSpec{
+				Name:       fmt.Sprintf("wave%d-job%d", w, i),
+				N:          fsN,
+				Iterations: fsIters,
+				Deadline:   now + fsDeadline,
+			}
+		}
+		if _, err := s.Submit(jobs); err != nil {
+			return fleetsched.Status{}, err
+		}
+		total += len(jobs)
+		for t := 0; t < int(fsWaveGap/fsTick); t++ {
+			if err := advance(fsTick); err != nil {
+				return fleetsched.Status{}, err
+			}
+			s.Sync()
+		}
+		now += fsWaveGap
+	}
+	for i := 0; i < fsDrainTicks; i++ {
+		s.Sync()
+		st := s.Status()
+		if st.Completed+st.Unplaced >= total {
+			return st, nil
+		}
+		if err := advance(fsTick); err != nil {
+			return fleetsched.Status{}, err
+		}
+	}
+	return fleetsched.Status{}, fmt.Errorf("fleet-sched: %s/%s did not drain %d jobs in %d ticks",
+		scenario, policy, total, fsDrainTicks)
+}
+
+// runFleetSched compares mean-based and quantile-based placement on two
+// bursty scenarios, reporting makespan and deadline-miss rate per arm.
+func runFleetSched(seed int64) (*Result, error) {
+	scenarios := []string{"flash-crowd", "regime-cascade"}
+	policies := []fleetsched.Policy{fleetsched.PolicyMean, fleetsched.PolicyQuantile}
+	tb := NewTable("scenario", "policy", "makespan (vs)", "miss rate", "migrations")
+	metrics := map[string]float64{"scenarios": float64(len(scenarios))}
+	quantileWins := 0
+	for _, sc := range scenarios {
+		arm := map[fleetsched.Policy]fleetsched.Status{}
+		for _, pol := range policies {
+			st, err := fleetSchedArm(sc, pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			if st.Completed == 0 {
+				return nil, fmt.Errorf("fleet-sched: %s/%s completed no jobs", sc, pol)
+			}
+			arm[pol] = st
+			missRate := float64(st.Misses) / float64(st.Completed)
+			tb.AddRowf(sc, string(pol),
+				fmt.Sprintf("%.0f", st.Makespan),
+				pct(missRate),
+				fmt.Sprintf("%d", st.Migrations))
+			metrics[sc+"_makespan_"+string(pol)] = st.Makespan
+			metrics[sc+"_missrate_"+string(pol)] = missRate
+			metrics[sc+"_completed_"+string(pol)] = float64(st.Completed)
+			metrics[sc+"_migrations_"+string(pol)] = float64(st.Migrations)
+		}
+		m, q := arm[fleetsched.PolicyMean], arm[fleetsched.PolicyQuantile]
+		if q.Makespan < m.Makespan && q.Misses < m.Misses {
+			quantileWins++
+		}
+	}
+	metrics["quantile_wins"] = float64(quantileWins)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d waves of %d SOR jobs (%dx%d, %d iterations, %.0f vs deadline budget)\nplaced across a 6-tenant fleet: 2 fast tenants under the bursty scenario,\n4 slower tenants on quiet-baseline. Identical fleets and job streams per\narm; only the placement policy differs (quantile at q=%.2f).\n\n",
+		fsWaves, fsJobsPerWave, fsN, fsN, fsIters, fsDeadline, fsQuantile)
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nThe mean policy chases the fast tenants' attractive quiet-time means and\npays when a burst lands mid-job; the quantile policy reads the learned\ntail and hedges onto the steady tenants. Quantile wins both makespan and\nmiss rate on %d/%d scenarios.\n", quantileWins, len(scenarios))
+	return &Result{ID: "fleet-sched", Title: "Distribution-aware fleet scheduling", Text: b.String(), Metrics: metrics}, nil
+}

@@ -216,6 +216,41 @@ func (r *Registry) registerRestored(spec *PlatformSpec, s *Service) error {
 	return nil
 }
 
+// Retire removes a platform registration — live or cold — so subsequent
+// Lookups miss with the bounded unknown-platform error. Requests already
+// holding the *Service keep working (the service itself is not torn
+// down); fleet consumers that enumerate tenants per round (the fleet
+// scheduler) observe the miss and are expected to skip and record it
+// rather than fail. Retiring an unknown name returns the same bounded
+// miss error Lookup would.
+func (r *Registry) Retire(name string) error {
+	if name == "" {
+		return errors.New("predict: retire needs a platform name")
+	}
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	if _, ok := sh.entries[name]; !ok {
+		sh.mu.Unlock()
+		return r.missError(fmt.Sprintf("predict: unknown platform %q", name), name)
+	}
+	delete(sh.entries, name)
+	delete(sh.services, name)
+	sh.mu.Unlock()
+	// Re-derive the empty-name resolution bookkeeping. Names() nests shard
+	// read locks under countMu; no path locks in the reverse order (every
+	// shard-lock holder releases before touching countMu).
+	r.countMu.Lock()
+	r.count--
+	r.soleName = ""
+	if r.count == 1 {
+		if names := r.Names(); len(names) == 1 {
+			r.soleName = names[0]
+		}
+	}
+	r.countMu.Unlock()
+	return nil
+}
+
 // Lookup finds (or lazily instantiates) the service for a platform name.
 // An empty name resolves only when exactly one platform is registered.
 // Misses allocate a bounded error — a count plus the few nearest names —

@@ -179,3 +179,45 @@ func TestRegistryShardedRouting(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryRetire asserts retiring a tenant removes it from lookup and
+// the roster with the bounded miss error, keeps already-held services
+// usable, and re-derives the empty-name sole-platform resolution.
+func TestRegistryRetire(t *testing.T) {
+	reg := fleetRegistry(t, 3)
+	held, err := reg.Lookup("tenant-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Retire("tenant-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup("tenant-0001"); err == nil {
+		t.Fatal("lookup of retired tenant should miss")
+	} else if !strings.Contains(err.Error(), "2 platform(s) registered") {
+		t.Errorf("miss error not bounded-style: %v", err)
+	}
+	if got := len(reg.Names()); got != 2 {
+		t.Fatalf("Names lists %d platforms after retire, want 2", got)
+	}
+	// The already-held service keeps serving.
+	req := baseRequest()
+	if _, err := held.Predict(req); err != nil {
+		t.Errorf("held service broken after retire: %v", err)
+	}
+	// Retiring an unknown name returns the bounded miss error.
+	if err := reg.Retire("tenant-0001"); err == nil {
+		t.Error("double retire should fail")
+	}
+	// Down to one platform, the empty name resolves to it again.
+	if err := reg.Retire("tenant-0002"); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := reg.Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name() != "tenant-0000" {
+		t.Errorf("empty-name lookup resolved to %q, want tenant-0000", svc.Name())
+	}
+}

@@ -7,21 +7,29 @@ import (
 	"prodpred/internal/stochastic"
 )
 
-// Objective scores a stochastic makespan prediction; lower is better. This
-// is the paper's "scheduling strategy tuned to the user's performance
-// metric": different metrics over the same stochastic prediction yield
-// different best allocations.
+// Objective scores a stochastic makespan prediction; lower is better. The
+// score is in the prediction's own time unit (virtual seconds throughout
+// this repo). This is the paper's "scheduling strategy tuned to the user's
+// performance metric": different metrics over the same stochastic
+// prediction yield different best allocations. An Objective must be a pure
+// function of its argument — the search below re-evaluates it freely and
+// assumes identical inputs score identically.
 type Objective func(stochastic.Value) float64
 
-// MeanObjective minimizes the expected makespan.
+// MeanObjective minimizes the expected makespan (virtual seconds).
 func MeanObjective(v stochastic.Value) float64 { return v.Mean }
 
 // UpperBoundObjective minimizes the pessimistic end of the interval
-// (Mean + Spread) — for callers who pay for overruns.
+// (Mean + Spread, virtual seconds) — for callers who pay for overruns.
 func UpperBoundObjective(v stochastic.Value) float64 { return v.Hi() }
 
 // QuantileObjective returns an objective minimizing the q-th quantile of
-// the makespan (e.g. 0.95 for a 5%-miss service promise).
+// the makespan under the normal interpretation (e.g. 0.95 for a 5%-miss
+// service promise). As q approaches 1 the score grows without bound for
+// any nonzero spread, so high quantiles increasingly favor low-variance
+// machines over low-mean ones; on point values (zero spread) every
+// quantile collapses to the mean. The returned closure is stateless and
+// safe for concurrent use.
 func QuantileObjective(q float64) Objective {
 	return func(v stochastic.Value) float64 { return v.Quantile(q) }
 }
@@ -32,6 +40,14 @@ func QuantileObjective(q float64) Objective {
 // machines that improves the objective most, until no single move helps.
 // The objective is evaluated through the Probabilistic group Max so that
 // spread differences between machines are visible to the search.
+//
+// unitTimes are per-unit execution times in virtual seconds (one entry per
+// machine); the returned allocation sums to total and the returned Value
+// is the predicted makespan of that allocation, also in virtual seconds. A
+// single-machine fleet yields the only possible allocation. The
+// search is deterministic — identical inputs yield the identical
+// allocation, with ties broken by machine index — and shares no state, so
+// concurrent calls are safe.
 func OptimizeAllocation(total int, unitTimes []stochastic.Value, objective Objective) ([]int, stochastic.Value, error) {
 	if objective == nil {
 		return nil, stochastic.Value{}, errors.New("sched: nil objective")
@@ -91,16 +107,20 @@ func OptimizeAllocation(total int, unitTimes []stochastic.Value, objective Objec
 	return alloc, bestV, nil
 }
 
-// CompareObjectives runs OptimizeAllocation under each named objective and
-// returns the allocations and predictions, for the tuned-metric comparison
-// the paper sketches in §1.2.
+// ObjectiveResult is one row of a CompareObjectives sweep: the objective's
+// name, the allocation it chose, and that allocation's predicted makespan
+// in virtual seconds.
 type ObjectiveResult struct {
 	Name     string
 	Alloc    []int
 	Makespan stochastic.Value
 }
 
-// CompareObjectives evaluates the standard objective set on one problem.
+// CompareObjectives runs OptimizeAllocation under each of the standard
+// objectives (mean, upper-bound, p95) on one problem and returns the
+// allocations and predictions, for the tuned-metric comparison the paper
+// sketches in §1.2. Deterministic and safe for concurrent use, like the
+// search it wraps.
 func CompareObjectives(total int, unitTimes []stochastic.Value) ([]ObjectiveResult, error) {
 	objectives := []struct {
 		name string

@@ -140,3 +140,77 @@ func TestCompareObjectives(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimizeAllocationEdges covers the degenerate corners of the search:
+// single-machine fleets with real spread, zero-variance unit times (every
+// objective must agree), and the quantile objective pushed toward q = 1.
+func TestOptimizeAllocationEdges(t *testing.T) {
+	// Single-machine fleet, stochastic unit time: the only allocation, with
+	// the makespan scaled through the group arithmetic.
+	solo := []stochastic.Value{stochastic.FromPercent(7, 25)}
+	alloc, v, err := OptimizeAllocation(12, solo, QuantileObjective(0.999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != 1 || alloc[0] != 12 {
+		t.Errorf("single machine alloc=%v want [12]", alloc)
+	}
+	if v.Mean <= 0 || v.Spread <= 0 {
+		t.Errorf("single machine makespan lost its spread: %v", v)
+	}
+
+	// Zero-variance unit times: quantiles collapse to the mean, so the
+	// mean, upper-bound, and extreme-quantile objectives must all pick the
+	// same allocation with the same score.
+	points := []stochastic.Value{stochastic.Point(9), stochastic.Point(3), stochastic.Point(6)}
+	var allocs [][]int
+	var scores []float64
+	for _, obj := range []Objective{MeanObjective, UpperBoundObjective, QuantileObjective(0.999)} {
+		a, av, err := OptimizeAllocation(54, points, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, a)
+		scores = append(scores, obj(av))
+	}
+	for i := 1; i < len(allocs); i++ {
+		for m := range allocs[0] {
+			if allocs[i][m] != allocs[0][m] {
+				t.Errorf("objective %d alloc %v diverges from mean alloc %v on point values", i, allocs[i], allocs[0])
+				break
+			}
+		}
+		if scores[i] != scores[0] {
+			t.Errorf("objective %d score %g != mean score %g on point values", i, scores[i], scores[0])
+		}
+	}
+
+	// q -> 1: the extreme quantile is dominated by spread, so against an
+	// equal-mean volatile machine the stable machine must absorb at least
+	// as much work as it does under the mean objective, and the chosen
+	// allocation must not lose to the mean-optimal one on its own
+	// objective.
+	unit := []stochastic.Value{
+		stochastic.FromPercent(12, 2),
+		stochastic.FromPercent(12, 45),
+	}
+	q := QuantileObjective(0.999)
+	allocQ, vQ, err := OptimizeAllocation(100, unit, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocMean, _, err := OptimizeAllocation(100, unit, MeanObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocQ[0] < allocMean[0] {
+		t.Errorf("q=0.999 should load the stable machine at least as hard: %v vs mean %v", allocQ, allocMean)
+	}
+	vMean, err := PredictMakespan(allocMean, unit, stochastic.Probabilistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q(vQ) > q(vMean)+1e-9 {
+		t.Errorf("q=0.999 optimum %g worse than mean-optimal %g on its own objective", q(vQ), q(vMean))
+	}
+}

@@ -15,15 +15,21 @@ import (
 // the price of a dispatch overhead per chunk. Both run against the same
 // simulated environment so the strategies are directly comparable.
 
-// StaticResult reports a simulated static-allocation run.
+// StaticResult reports a simulated static-allocation run. All times are in
+// virtual seconds.
 type StaticResult struct {
+	// Makespan is the slowest machine's completion time relative to start.
 	Makespan float64
 	// Finish[p] is machine p's completion time relative to start.
 	Finish []float64
 }
 
 // SimulateStatic executes a fixed allocation on the environment: machine p
-// performs alloc[p]*unitElems element-equivalents starting at start.
+// performs alloc[p]*unitElems element-equivalents starting at start
+// (virtual seconds on the environment's clock). The run is deterministic —
+// the environment's load trajectories are pure functions of time — and
+// read-only on env, so it is as safe for concurrent use as env.WorkDuration
+// is.
 func SimulateStatic(env *simenv.Env, alloc []int, unitElems, start float64) (StaticResult, error) {
 	if env == nil {
 		return StaticResult{}, errors.New("sched: nil environment")
@@ -54,6 +60,8 @@ func SimulateStatic(env *simenv.Env, alloc []int, unitElems, start float64) (Sta
 
 // SelfSchedResult reports a simulated self-scheduling run.
 type SelfSchedResult struct {
+	// Makespan is the last machine's completion time relative to start, in
+	// virtual seconds.
 	Makespan float64
 	// UnitsDone[p] counts the units machine p ended up executing.
 	UnitsDone []int
@@ -63,9 +71,12 @@ type SelfSchedResult struct {
 
 // SimulateSelfScheduling executes totalUnits units with dynamic
 // self-scheduling: whenever a machine goes idle it pulls the next chunk of
-// units from the bag, paying dispatchCost seconds per pull (the
+// units from the bag, paying dispatchCost virtual seconds per pull (the
 // request/response on the shared network). Smaller chunks adapt faster but
-// pay more dispatch overhead.
+// pay more dispatch overhead. start is on the environment's virtual clock;
+// idle-machine ties break on the lowest machine index, so the run is
+// deterministic for identical inputs. Read-only on env: safe for
+// concurrent use to the extent env.WorkDuration is.
 func SimulateSelfScheduling(env *simenv.Env, totalUnits, chunk int, unitElems, dispatchCost, start float64) (SelfSchedResult, error) {
 	if env == nil {
 		return SelfSchedResult{}, errors.New("sched: nil environment")

@@ -19,10 +19,12 @@ import (
 // outward; on communication-heavy problems this beats capacity-proportional
 // cuts.
 
-// StripTime predicts one full iteration's time for a strip of `rows` rows
-// in an n x n grid on the given machine: compute for both colors at the
-// mean forecast availability, plus send+receive of one ghost row per
-// neighbour per color phase.
+// StripTime predicts one full iteration's time, in virtual seconds, for a
+// strip of `rows` rows in an n x n grid on the given machine: compute for
+// both colors at the mean forecast availability, plus send+receive of one
+// ghost row per neighbour per color phase. loadMean is the forecast
+// availability fraction (floored at 0.01 so a dead forecast cannot divide
+// by zero). Pure and deterministic: no state, safe for concurrent use.
 func StripTime(rows, n, neighbors int, m cluster.Machine, loadMean float64, link cluster.Link) float64 {
 	if loadMean < 0.01 {
 		loadMean = 0.01
@@ -37,9 +39,12 @@ func StripTime(rows, n, neighbors int, m cluster.Machine, loadMean float64, link
 
 // TimeBalancedPartition builds a strip decomposition whose predicted
 // per-iteration strip times are equalized by fixed-point refinement. loads
-// are the stochastic availability forecasts; the mean is planned against
-// (use Conservative/Optimistic reads upstream by shifting the loads).
-// refinements bounds the fixed-point iterations; 8 is plenty in practice.
+// are the stochastic availability forecasts (dimensionless fractions); the
+// mean is planned against (use Conservative/Optimistic reads upstream by
+// shifting the loads). refinements bounds the fixed-point iterations; 8 is
+// plenty in practice. The refinement is deterministic — identical inputs
+// produce the identical partition — and touches no shared state, so
+// concurrent calls are safe.
 func TimeBalancedPartition(n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link, refinements int) (*sor.Partition, error) {
 	p := len(machines)
 	if p == 0 {
@@ -116,7 +121,8 @@ func stripTimes(part *sor.Partition, n int, machines []cluster.Machine, loads []
 }
 
 // Imbalance returns the ratio of the slowest to fastest predicted strip
-// time under the given decomposition (1.0 = perfectly balanced).
+// time under the given decomposition — dimensionless, 1.0 = perfectly
+// balanced. Deterministic and safe for concurrent use.
 func Imbalance(part *sor.Partition, n int, machines []cluster.Machine, loads []stochastic.Value, link cluster.Link) (float64, error) {
 	if part == nil {
 		return 0, errors.New("sched: nil partition")
@@ -137,12 +143,13 @@ func Imbalance(part *sor.Partition, n int, machines []cluster.Machine, loads []s
 }
 
 // PromiseFor converts a stochastic completion-time prediction into a
-// service promise with the given miss probability: the time t such that
+// service promise with the given miss probability: the time t, in the
+// prediction's own unit (virtual seconds throughout this repo), such that
 // P(completion > t) <= missProb under the normal interpretation. This is
 // the paper's "service range" alternative to hard QoS guarantees —
 // "probabilities associated with values in the service range could be used
 // in instances where poor performance can be tolerated a small percentage
-// of the time."
+// of the time." Pure and deterministic; safe for concurrent use.
 func PromiseFor(v stochastic.Value, missProb float64) (float64, error) {
 	if missProb <= 0 || missProb >= 1 {
 		return 0, fmt.Errorf("sched: miss probability %g outside (0,1)", missProb)

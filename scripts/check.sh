@@ -47,6 +47,14 @@ go run ./cmd/loadgen -scenario flash-crowd -duration 600 -o "$tmptrace" >/dev/nu
 go run ./cmd/loadgen -replay "$tmptrace" >/dev/null
 rm -f "$tmptrace"
 
+# Fleet-scheduler smoke: the fleet-sched experiment's acceptance — p95
+# placement strictly beats mean placement on makespan AND deadline-miss
+# rate under both bursty scenarios at the pinned seed (~13 s), plus a
+# short loadtest mixing POST /schedule submissions into the worker loop
+# with the scheduler's ledger reconciled against the client-side count.
+go test -run 'TestFleetSchedQuantileWins$' -count=1 ./internal/experiments
+go test -run 'TestRunSchedSmoke' -count=1 ./cmd/loadtest
+
 # Fuzz smoke: a few seconds of coverage-guided input on the hand-rolled
 # JSON request parser — it must never diverge from the stdlib fallback.
 go test -run '^$' -fuzz FuzzCodecParsers -fuzztime 5s ./internal/api
